@@ -1,0 +1,66 @@
+// bench_ablation_scaling - the paper's scaling argument (Sec. III-B): "PE
+// arrays are friendly to scaling... without reducing utilization". Sweeps
+// Td (DWC/PWC channel parallelism) and Tk (PWC kernel parallelism),
+// reporting PE count, per-image DSC latency, throughput, estimated area
+// and area efficiency. Utilization stays 100% as long as layer channels
+// remain multiples of the tile sizes.
+#include <iostream>
+
+#include "core/timing.hpp"
+#include "model/area_model.hpp"
+#include "nn/mobilenet.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace edea;
+
+  const auto specs = nn::mobilenet_dsc_specs();
+  const model::AreaModel area = model::AreaModel::paper();
+
+  struct Variant {
+    const char* name;
+    int td;
+    int tk;
+  };
+  const Variant variants[] = {
+      {"half (Td=4,Tk=8)", 4, 8},    {"paper (Td=8,Tk=16)", 8, 16},
+      {"2x kernels (Tk=32)", 8, 32}, {"2x channels (Td=16)", 16, 16},
+      {"4x (Td=16,Tk=32)", 16, 32},
+  };
+
+  std::cout << "=== Scaling study: PE array size vs performance ===\n";
+  TextTable t({"variant", "PEs", "DSC latency/img (us)", "avg GOPS",
+               "est. area (mm2)", "GOPS/mm2", "lane util"});
+  for (const Variant& v : variants) {
+    core::EdeaConfig cfg = core::EdeaConfig::paper();
+    cfg.td = v.td;
+    cfg.tk = v.tk;
+    const core::TimingModel tm(cfg);
+
+    std::int64_t cycles = 0, ops = 0;
+    bool aligned = true;
+    for (const auto& spec : specs) {
+      cycles += tm.layer_timing(spec).total_cycles;
+      ops += spec.total_ops();
+      aligned = aligned && spec.in_channels % cfg.td == 0 &&
+                spec.out_channels % cfg.tk == 0;
+    }
+    const double gops = static_cast<double>(ops) /
+                        static_cast<double>(cycles);
+    const double mm2 = area.estimate_mm2(cfg);
+    t.add_row({v.name,
+               TextTable::num(static_cast<std::int64_t>(cfg.total_mac_count())),
+               TextTable::num(static_cast<double>(cycles) / 1000.0, 2),
+               TextTable::num(gops, 1), TextTable::num(mm2, 3),
+               TextTable::num(gops / mm2, 1),
+               aligned ? "100%" : "<100% (misaligned)"});
+  }
+  t.render(std::cout);
+
+  std::cout << "\nDoubling Tk halves the kernel-group loop (Eq. 1); "
+               "doubling Td halves the slice loop (Eq. 2). Both preserve "
+               "100% lane utilization on MobileNetV1 because its channel "
+               "counts are multiples of the tile sizes - the paper's "
+               "scaling-friendliness claim.\n";
+  return 0;
+}

@@ -1,0 +1,43 @@
+// bench_common.hpp - shared setup for the reproduction benches: builds the
+// synthetic-weight quantized MobileNetV1 and runs it through the
+// cycle-accurate accelerator once, caching per-layer results.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mobilenet.hpp"
+
+namespace edea::bench {
+
+/// Deterministic seed used by every bench so their outputs agree.
+inline constexpr std::uint64_t kBenchSeed = 20240101;
+
+struct MobileNetRun {
+  std::unique_ptr<nn::FloatMobileNet> net;
+  std::unique_ptr<nn::QuantMobileNet> qnet;
+  core::NetworkRunResult result;
+};
+
+/// Builds the network, calibrates on a small synthetic batch, quantizes,
+/// and runs all 13 DSC layers on the accelerator.
+inline MobileNetRun run_mobilenet_on_accelerator(
+    std::uint64_t seed = kBenchSeed) {
+  MobileNetRun out;
+  out.net = std::make_unique<nn::FloatMobileNet>(seed);
+  nn::SyntheticCifar data(seed ^ 0x5eed);
+  std::vector<nn::FloatTensor> images;
+  for (int i = 0; i < 4; ++i) images.push_back(data.sample(i).image);
+  const nn::CalibrationResult cal = nn::calibrate(*out.net, images);
+  out.qnet = std::make_unique<nn::QuantMobileNet>(*out.net, cal);
+
+  core::EdeaAccelerator accel;
+  const nn::FloatTensor stem = out.net->forward_stem(images[0]);
+  out.result = accel.run_network(out.qnet->blocks(),
+                                 out.qnet->quantize_input(stem));
+  return out;
+}
+
+}  // namespace edea::bench

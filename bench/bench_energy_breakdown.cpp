@@ -1,0 +1,83 @@
+// bench_energy_breakdown - bottom-up (event-level) energy accounting of a
+// full MobileNetV1 inference, calibrated so its on-chip total matches the
+// top-down model at the paper operating point, then broken down by
+// component for comparison with Fig. 9 (right).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/energy_model.hpp"
+#include "model/paper_data.hpp"
+#include "model/power_model.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace edea;
+
+  const bench::MobileNetRun run = bench::run_mobilenet_on_accelerator();
+  const model::PowerModel pm = model::PowerModel::paper_calibrated();
+  const auto points = model::paper_calibrated_operating_points();
+
+  // Top-down on-chip energy of the whole network at the calibrated points.
+  double target_pj = 0.0;
+  for (const auto& r : run.result.layers) {
+    target_pj +=
+        pm.power_mw(points[static_cast<std::size_t>(r.spec.index)]) *
+        r.time_ns(1.0);
+  }
+
+  // Calibrate the event model on the total (use a representative layer
+  // aggregation: calibrate against the summed breakdown).
+  model::EnergyModel base;
+  model::EnergyBreakdown raw_total;
+  for (const auto& r : run.result.layers) raw_total += base.account(r);
+  // Scale all on-chip event energies by target / raw on-chip.
+  const double scale = target_pj / raw_total.on_chip_pj();
+  model::EnergyParams params = base.params();
+  params.mac_pj *= scale;
+  params.mac_gated_pj *= scale;
+  params.sram_access_pj *= scale;
+  params.nonconv_pj *= scale;
+  const model::EnergyModel cal(params);
+
+  std::cout << "=== Event-level energy breakdown (MobileNetV1, one "
+               "inference) ===\n";
+  model::EnergyBreakdown total;
+  TextTable t({"layer", "DWC MAC (nJ)", "PWC MAC (nJ)", "NonConv (nJ)",
+               "SRAM (nJ)", "external (nJ)"});
+  for (const auto& r : run.result.layers) {
+    const model::EnergyBreakdown e = cal.account(r);
+    total += e;
+    t.add_row({std::to_string(r.spec.index),
+               TextTable::num(e.dwc_mac_pj / 1000.0, 2),
+               TextTable::num(e.pwc_mac_pj / 1000.0, 2),
+               TextTable::num(e.nonconv_pj / 1000.0, 2),
+               TextTable::num(e.sram_pj / 1000.0, 2),
+               TextTable::num(e.external_pj / 1000.0, 2)});
+  }
+  t.render(std::cout);
+
+  std::cout << "\n=== on-chip share vs Fig. 9 (right) ===\n";
+  TextTable s({"component", "bottom-up share", "paper"});
+  const double on = total.on_chip_pj();
+  s.add_row({"PWC engine", TextTable::percent(total.pwc_mac_pj / on, 2),
+             "66.23% (incl. clock load)"});
+  s.add_row({"DWC engine", TextTable::percent(total.dwc_mac_pj / on, 2),
+             "15.70% (incl. clock load)"});
+  s.add_row({"Non-Conv units", TextTable::percent(total.nonconv_pj / on, 2),
+             "6.14%"});
+  s.add_row({"buffers (all)", TextTable::percent(total.sram_pj / on, 2),
+             "8.17% (intermediate+weight+offline)"});
+  s.render(std::cout);
+
+  std::cout << "\ntotals: on-chip "
+            << TextTable::num(on / 1e6, 3) << " uJ ("
+            << TextTable::num(target_pj / 1e6, 3)
+            << " uJ top-down target), external "
+            << TextTable::num(total.external_pj / 1e6, 3)
+            << " uJ at " << cal.params().external_access_pj
+            << " pJ/element\nThe bottom-up split attributes idle/clock power "
+               "to the units doing the work; Fig. 9's engine shares include "
+               "their clock loads, so PWC/DWC land lower here while the "
+               "SRAM share lands higher (see EXPERIMENTS.md).\n";
+  return 0;
+}

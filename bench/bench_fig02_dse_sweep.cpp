@@ -1,0 +1,55 @@
+// bench_fig02_dse_sweep - regenerates Fig. 2 (design space exploration):
+//   (a) PE array size per tiling case and exploration group,
+//   (b) activation / weight access counts over all MobileNetV1 DSC layers,
+// and reports the selected design point (paper: La, Tn=Tm=2, Case 6).
+#include <iostream>
+#include <vector>
+
+#include "dse/explorer.hpp"
+#include "nn/mobilenet.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace edea;
+
+  const auto spec_array = nn::mobilenet_dsc_specs();
+  const std::vector<nn::DscLayerSpec> specs(spec_array.begin(),
+                                            spec_array.end());
+  dse::Explorer explorer(specs);
+  const dse::ExplorationResult result = explorer.explore();
+
+  std::cout << "=== Fig. 2a: PE array size per design point ===\n";
+  {
+    TextTable t({"group", "case", "Td", "Tk", "DWC PEs", "PWC PEs",
+                 "total PEs"});
+    for (const dse::DesignPoint& p : result.points) {
+      t.add_row({std::string(dse::loop_order_name(p.group.order)) +
+                     ", Tn=Tm=" + std::to_string(p.group.tn),
+                 "Case" + std::to_string(p.tcase.id),
+                 std::to_string(p.tcase.td), std::to_string(p.tcase.tk),
+                 TextTable::num(p.pe.dwc), TextTable::num(p.pe.pwc),
+                 TextTable::num(p.pe.total())});
+    }
+    t.render(std::cout);
+  }
+
+  std::cout << "\n=== Fig. 2b: access counts over all 13 DSC layers ===\n";
+  {
+    TextTable t({"group", "case", "activation", "weight", "total"});
+    for (const dse::DesignPoint& p : result.points) {
+      t.add_row({std::string(dse::loop_order_name(p.group.order)) +
+                     ", Tn=Tm=" + std::to_string(p.group.tn),
+                 "Case" + std::to_string(p.tcase.id),
+                 TextTable::num(p.access.activation()),
+                 TextTable::num(p.access.weight()),
+                 TextTable::num(p.access.total())});
+    }
+    t.render(std::cout);
+  }
+
+  std::cout << "\nSelected design point: " << result.best().label() << "\n";
+  std::cout << "  total PEs: " << result.best().pe.total()
+            << " (paper: 800)\n";
+  std::cout << "  paper's choice: La, Tn=Tm=2, Case6 (Td=8, Tk=16)\n";
+  return 0;
+}

@@ -1,0 +1,104 @@
+// bench_fig09_breakdown - regenerates Fig. 9: area (left) and power
+// (right) breakdown of the accelerator, plus the Fig. 8 layout-level
+// sanity checks (total area, PWC:DWC area ratio vs PE ratio).
+#include <iostream>
+
+#include "core/config.hpp"
+#include "model/area_model.hpp"
+#include "model/paper_data.hpp"
+#include "model/power_model.hpp"
+#include "nn/mobilenet.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace edea;
+  using model::AreaModel;
+
+  const AreaModel area = AreaModel::paper();
+  const core::EdeaConfig cfg = core::EdeaConfig::paper();
+
+  std::cout << "=== Fig. 8: layout ===\n";
+  std::cout << "die: " << model::kPaperDieWidthUm << " um x "
+            << model::kPaperDieHeightUm << " um = "
+            << TextTable::num(model::kPaperDieWidthUm *
+                                  model::kPaperDieHeightUm / 1e6,
+                              3)
+            << " mm^2 (paper total: 0.58 mm^2)\n";
+  std::cout << "PWC:DWC area ratio: "
+            << TextTable::num(area.pwc_engine_mm2() / area.dwc_engine_mm2(),
+                              2)
+            << "x vs PE ratio "
+            << TextTable::num(static_cast<double>(cfg.pwc_mac_count()) /
+                                  cfg.dwc_mac_count(),
+                              2)
+            << "x (paper: ~1.7x vs 1.8x)\n\n";
+
+  std::cout << "=== Fig. 9 (left): area breakdown ===\n";
+  {
+    const model::AreaBreakdown& b = area.breakdown();
+    TextTable t({"component", "share", "area (mm^2)"});
+    t.add_row({"PWC engine", TextTable::percent(b.pwc_engine, 2),
+               TextTable::num(area.pwc_engine_mm2(), 4)});
+    t.add_row({"DWC engine", TextTable::percent(b.dwc_engine, 2),
+               TextTable::num(area.dwc_engine_mm2(), 4)});
+    t.add_row({"Non-Conv units", TextTable::percent(b.nonconv, 2),
+               TextTable::num(area.nonconv_mm2(), 4)});
+    t.add_row({"on-chip buffers", TextTable::percent(b.buffers, 2),
+               TextTable::num(area.total_mm2() * b.buffers, 4)});
+    t.add_row({"control/interconnect", TextTable::percent(b.control, 2),
+               TextTable::num(area.total_mm2() * b.control, 4)});
+    t.add_row({"clock", TextTable::percent(b.clock, 2),
+               TextTable::num(area.total_mm2() * b.clock, 4)});
+    t.render(std::cout);
+  }
+
+  std::cout << "\n=== Fig. 9 (right): power breakdown ===\n";
+  {
+    const model::PowerBreakdown p{};
+    TextTable t({"component", "share (paper)"});
+    t.add_row({"PWC engine", TextTable::percent(p.pwc_engine, 2)});
+    t.add_row({"DWC engine", TextTable::percent(p.dwc_engine, 2)});
+    t.add_row({"Non-Conv units", TextTable::percent(p.nonconv, 2)});
+    t.add_row({"intermediate buffer", TextTable::percent(
+                                          p.intermediate_buffer, 2)});
+    t.add_row({"weight buffers", TextTable::percent(p.weight_buffers, 2)});
+    t.add_row({"clock tree (others)", TextTable::percent(p.clock_tree, 2)});
+    t.add_row({"offline buffer", TextTable::percent(p.offline_buffer, 2)});
+    t.render(std::cout);
+  }
+
+  std::cout << "\n=== model cross-check: average power decomposition ===\n";
+  {
+    // Our calibrated model splits average power into an idle floor plus
+    // per-engine switching; compare the engine shares against Fig. 9.
+    const model::PowerModel pm = model::PowerModel::paper_calibrated();
+    const auto points = model::paper_calibrated_operating_points();
+    const core::TimingModel tm(cfg);
+    const auto specs = nn::mobilenet_dsc_specs();
+    double t_total = 0.0, e_total = 0.0, e_dwc = 0.0, e_pwc = 0.0;
+    for (int i = 0; i < model::kPaperLayerCount; ++i) {
+      const auto& op = points[static_cast<std::size_t>(i)];
+      const double t_ns =
+          tm.layer_timing(specs[static_cast<std::size_t>(i)]).time_ns(1.0);
+      t_total += t_ns;
+      e_total += pm.power_mw(op) * t_ns;
+      e_dwc += pm.c_dwc_mw() * op.duty_dwc * op.act_dwc * t_ns;
+      e_pwc += pm.c_pwc_mw() * op.duty_pwc * op.act_pwc * t_ns;
+    }
+    TextTable t({"quantity", "model", "paper"});
+    t.add_row({"average power (mW)", TextTable::num(e_total / t_total, 2),
+               "~90 (derived from Figs. 12/13)"});
+    t.add_row({"PWC switching share", TextTable::percent(e_pwc / e_total, 2),
+               "66.23% (incl. engine clock load)"});
+    t.add_row({"DWC switching share", TextTable::percent(e_dwc / e_total, 2),
+               "15.70% (incl. engine clock load)"});
+    t.add_row({"idle floor share",
+               TextTable::percent(1.0 - (e_dwc + e_pwc) / e_total, 2),
+               "registers/buffers/clock"});
+    t.render(std::cout);
+    std::cout << "note: Fig. 9 attributes each engine's clock/register load "
+                 "to the engine; our model lumps activity-independent power "
+                 "into the idle floor (see EXPERIMENTS.md).\n";
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// bench_fig13_throughput - regenerates Fig. 13: per-layer throughput in
+// GOPS. The paper's series is exactly 1024 (layers 0-4), 973.5 (5-10) and
+// 905.6 (11-12); the cycle-accurate simulator reproduces it bit-for-bit
+// because throughput is a pure function of Eq. 1/2.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "model/paper_data.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace edea;
+
+  const bench::MobileNetRun run = bench::run_mobilenet_on_accelerator();
+
+  std::cout << "=== Fig. 13: throughput per layer (GOPS @ 1 GHz) ===\n";
+  TextTable t({"layer", "simulated", "paper", "rel. error"});
+  for (const auto& r : run.result.layers) {
+    const double sim = r.throughput_gops(1.0);
+    const double paper =
+        model::kPaperThroughputGops[static_cast<std::size_t>(r.spec.index)];
+    t.add_row({std::to_string(r.spec.index), TextTable::num(sim, 2),
+               TextTable::num(paper, 1),
+               TextTable::percent(relative_error(sim, paper), 3)});
+  }
+  const double avg = run.result.average_throughput_gops(1.0);
+  t.add_row({"average", TextTable::num(avg, 2),
+             TextTable::num(model::kPaperAvgThroughputGops, 2),
+             TextTable::percent(
+                 relative_error(avg, model::kPaperAvgThroughputGops), 3)});
+  t.render(std::cout);
+
+  std::cout << "\nPeak throughput: "
+            << TextTable::num(
+                   [&] {
+                     double peak = 0.0;
+                     for (const auto& r : run.result.layers) {
+                       peak = std::max(peak, r.throughput_gops(1.0));
+                     }
+                     return peak;
+                   }(),
+                   2)
+            << " GOPS (paper: 1024 GOPS; 512 PWC MACs x 2 ops @ 1 GHz)\n";
+  return 0;
+}

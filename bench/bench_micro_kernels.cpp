@@ -1,0 +1,151 @@
+// bench_micro_kernels - google-benchmark microbenchmarks of the simulator
+// hot paths: engine steps, the Non-Conv unit, quantization, and the golden
+// reference convolutions. These measure *simulator* (host) performance,
+// not modeled hardware performance - useful when extending the library.
+#include <benchmark/benchmark.h>
+
+#include "core/accelerator.hpp"
+#include "core/dwc_engine.hpp"
+#include "core/pwc_engine.hpp"
+#include "nn/layers.hpp"
+#include "nn/ops.hpp"
+#include "nn/quant.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace edea;
+
+void BM_DwcEngineStep(benchmark::State& state) {
+  const core::EdeaConfig cfg = core::EdeaConfig::paper();
+  core::DwcEngine engine(cfg);
+  Rng rng(1);
+  std::vector<std::int8_t> w(static_cast<std::size_t>(9 * cfg.td));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  engine.load_weights(w, cfg.td);
+  core::DwcWindow window;
+  window.extent = 4;
+  window.channels = cfg.td;
+  window.values.resize(static_cast<std::size_t>(16 * cfg.td));
+  for (auto& v : window.values) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(window, 1));
+  }
+  state.SetItemsProcessed(state.iterations() * engine.mac_count());
+}
+BENCHMARK(BM_DwcEngineStep);
+
+void BM_PwcEngineStep(benchmark::State& state) {
+  const core::EdeaConfig cfg = core::EdeaConfig::paper();
+  core::PwcEngine engine(cfg);
+  Rng rng(2);
+  core::PwcStepInput pin;
+  pin.rows = cfg.tn;
+  pin.cols = cfg.tm;
+  pin.channels = cfg.td;
+  pin.kernels = cfg.tk;
+  pin.activations.resize(static_cast<std::size_t>(4 * cfg.td));
+  pin.weights.resize(static_cast<std::size_t>(cfg.tk * cfg.td));
+  for (auto& v : pin.activations) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  for (auto& v : pin.weights) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(pin));
+  }
+  state.SetItemsProcessed(state.iterations() * engine.mac_count());
+}
+BENCHMARK(BM_PwcEngineStep);
+
+void BM_NonConvAffine(benchmark::State& state) {
+  const auto k = arch::Q8_16::from_double(0.73);
+  const auto b = arch::Q8_16::from_double(-1.25);
+  std::int32_t acc = 12345;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(arch::nonconv_affine(acc, k, b));
+    acc = (acc * 1103515245 + 12345) & 0xFFFFF;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NonConvAffine);
+
+void BM_QuantizeTensor(benchmark::State& state) {
+  Rng rng(3);
+  nn::FloatTensor t(nn::Shape{32, 32, 32});
+  for (auto& v : t.storage()) v = static_cast<float>(rng.normal(0.0, 1.0));
+  const nn::QuantScale s{0.02f};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::quantize_tensor(t, s));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(t.size()));
+}
+BENCHMARK(BM_QuantizeTensor);
+
+void BM_ReferenceDepthwise(benchmark::State& state) {
+  Rng rng(4);
+  const int ch = static_cast<int>(state.range(0));
+  nn::Int8Tensor input(nn::Shape{16, 16, ch});
+  nn::Int8Tensor kernel(nn::Shape{3, 3, ch});
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  for (auto& v : kernel.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        nn::depthwise_conv2d_q(input, kernel, {3, 1, 1}));
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 16 * ch * 9);
+}
+BENCHMARK(BM_ReferenceDepthwise)->Arg(32)->Arg(128);
+
+void BM_ReferencePointwise(benchmark::State& state) {
+  Rng rng(5);
+  const int ch = static_cast<int>(state.range(0));
+  nn::Int8Tensor input(nn::Shape{8, 8, ch});
+  nn::Int8Tensor weights(nn::Shape{ch, ch});
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  for (auto& v : weights.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::pointwise_conv2d_q(input, weights));
+  }
+  state.SetItemsProcessed(state.iterations() * 8 * 8 * ch * ch);
+}
+BENCHMARK(BM_ReferencePointwise)->Arg(64)->Arg(256);
+
+void BM_AcceleratorLayer(benchmark::State& state) {
+  nn::DscLayerSpec spec;
+  spec.in_rows = 8;
+  spec.in_cols = 8;
+  spec.in_channels = 64;
+  spec.out_channels = 64;
+  Rng rng(6);
+  const nn::FloatDscLayer fl = nn::make_random_float_layer(spec, rng);
+  const nn::QuantDscLayer layer = nn::quantize_layer(
+      fl, nn::QuantScale{0.02f}, nn::QuantScale{0.03f},
+      nn::QuantScale{0.03f});
+  nn::Int8Tensor input(nn::Shape{8, 8, 64});
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  core::EdeaAccelerator accel;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.run_layer(layer, input));
+  }
+  state.SetItemsProcessed(state.iterations() * spec.total_macs());
+}
+BENCHMARK(BM_AcceleratorLayer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// bench_table1_tiling_cases - regenerates Table I (the six selected tiling
+// cases) together with the per-case structural consequences: PE array
+// sizes for both Tn=Tm choices and the tile shapes each case implies.
+#include <iostream>
+
+#include "dse/access_model.hpp"
+#include "dse/loop_order.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace edea;
+
+  std::cout << "=== Table I: selected tiling sizes ===\n";
+  TextTable t({"case", "Td", "Tk", "PEs (Tn=Tm=1)", "PEs (Tn=Tm=2)",
+               "DWC tile (s1)", "PWC tile"});
+  for (const dse::TilingCase& c : dse::kTableICases) {
+    const auto pe1 = dse::pe_array_size(c, 1, 1);
+    const auto pe2 = dse::pe_array_size(c, 2, 2);
+    t.add_row({"Case" + std::to_string(c.id), std::to_string(c.td),
+               std::to_string(c.tk), TextTable::num(pe1.total()),
+               TextTable::num(pe2.total()),
+               "3x3x" + std::to_string(c.td) + " / 4x4x" +
+                   std::to_string(c.td),
+               "1x1x" + std::to_string(c.td) + "x" + std::to_string(c.tk)});
+  }
+  t.render(std::cout);
+
+  std::cout << "\nThe paper constrains Tn=Tm to 1 or 2 because layers 11/12 "
+               "have 2x2 ifmaps; Case 6 with Tn=Tm=2 is the selected design "
+               "(800 PEs: 288 DWC + 512 PWC).\n";
+  return 0;
+}

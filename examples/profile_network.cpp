@@ -1,0 +1,55 @@
+// profile_network - the profiler workflow: run a network on the
+// cycle-accurate accelerator and render the full engineering report
+// (timing, utilization, sparsity, power, energy, traffic, accumulator
+// envelope). Profiles MobileNetV1 by default; pass "edeanet" to profile
+// the custom 6-layer network instead.
+#include <cstring>
+#include <iostream>
+
+#include "core/accelerator.hpp"
+#include "model/report.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mobilenet.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/random.hpp"
+
+int main(int argc, char** argv) {
+  using namespace edea;
+
+  const bool edeanet = argc > 1 && std::strcmp(argv[1], "edeanet") == 0;
+
+  core::EdeaAccelerator accel;
+  core::NetworkRunResult run;
+
+  if (edeanet) {
+    std::cout << "profiling EdeaNet-64 (custom DSC network)\n\n";
+    const auto layers = nn::make_random_quant_network(nn::edeanet_specs(),
+                                                      1234);
+    Rng rng(1);
+    nn::Int8Tensor input(nn::Shape{64, 64, 16});
+    for (auto& v : input.storage()) {
+      v = rng.bernoulli(0.4)
+              ? std::int8_t{0}
+              : static_cast<std::int8_t>(rng.uniform_int(0, 127));
+    }
+    run = accel.run_network(layers, input);
+  } else {
+    std::cout << "profiling MobileNetV1-CIFAR10 (one real inference, "
+                 "synthetic image)\n\n";
+    nn::FloatMobileNet net(20240101);
+    nn::SyntheticCifar data(5);
+    std::vector<nn::FloatTensor> images;
+    for (int i = 0; i < 4; ++i) images.push_back(data.sample(i).image);
+    const nn::CalibrationResult cal = nn::calibrate(net, images);
+    const nn::QuantMobileNet qnet(net, cal);
+    // Fully-integer path: int8 stem feeding the accelerated DSC stack.
+    const nn::Int8Tensor stem_q =
+        qnet.forward_stem_q(qnet.quantize_image(images[0]));
+    run = accel.run_network(qnet.blocks(), stem_q);
+  }
+
+  const model::PowerModel power = model::PowerModel::paper_calibrated();
+  const model::EnergyModel energy;  // default 22 nm-class event energies
+  model::render_network_report(std::cout, run, power, energy);
+  return 0;
+}

@@ -1,0 +1,76 @@
+// counters.hpp - access/activity counters shared by the memory and PE
+// models. Every quantitative claim in the paper (access counts in Fig. 2/3,
+// activity-dependent power in Fig. 11) ultimately reads these counters.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace edea::arch {
+
+/// Read/write event counter for a memory-like component.
+struct AccessCounter {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t read_bytes = 0;
+  std::int64_t write_bytes = 0;
+
+  void record_read(std::int64_t bytes, std::int64_t count = 1) noexcept {
+    reads += count;
+    read_bytes += bytes;
+  }
+  void record_write(std::int64_t bytes, std::int64_t count = 1) noexcept {
+    writes += count;
+    write_bytes += bytes;
+  }
+
+  [[nodiscard]] std::int64_t total_accesses() const noexcept {
+    return reads + writes;
+  }
+  [[nodiscard]] std::int64_t total_bytes() const noexcept {
+    return read_bytes + write_bytes;
+  }
+
+  void reset() noexcept { *this = AccessCounter{}; }
+
+  AccessCounter& operator+=(const AccessCounter& other) noexcept {
+    reads += other.reads;
+    writes += other.writes;
+    read_bytes += other.read_bytes;
+    write_bytes += other.write_bytes;
+    return *this;
+  }
+};
+
+/// MAC-activity counter for one engine: total lane-cycles, useful MACs, and
+/// MACs whose activation operand was zero (clock/power-gating opportunity -
+/// the mechanism behind Fig. 11's power-vs-sparsity correlation).
+struct MacActivity {
+  std::int64_t lane_cycles = 0;   ///< PE lanes x active cycles offered
+  std::int64_t useful_macs = 0;   ///< MACs that contributed to an output
+  std::int64_t zero_operand_macs = 0;  ///< useful MACs with a zero activation
+
+  [[nodiscard]] double utilization() const noexcept {
+    return lane_cycles == 0 ? 0.0
+                            : static_cast<double>(useful_macs) /
+                                  static_cast<double>(lane_cycles);
+  }
+
+  /// Fraction of useful MACs whose activation input was zero.
+  [[nodiscard]] double zero_operand_fraction() const noexcept {
+    return useful_macs == 0 ? 0.0
+                            : static_cast<double>(zero_operand_macs) /
+                                  static_cast<double>(useful_macs);
+  }
+
+  void reset() noexcept { *this = MacActivity{}; }
+
+  MacActivity& operator+=(const MacActivity& other) noexcept {
+    lane_cycles += other.lane_cycles;
+    useful_macs += other.useful_macs;
+    zero_operand_macs += other.zero_operand_macs;
+    return *this;
+  }
+};
+
+}  // namespace edea::arch

@@ -1,0 +1,80 @@
+// ext_memory.hpp - external (off-chip) memory traffic model.
+//
+// The feature maps themselves live in host tensors; what the architecture
+// cares about - and what Fig. 3 plots - is *how many* external accesses
+// each dataflow performs, split by traffic class. This model is therefore
+// a categorized counter, not a storage array.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "arch/counters.hpp"
+#include "util/check.hpp"
+
+namespace edea::arch {
+
+/// Traffic classes distinguished by the paper's analysis.
+enum class TrafficClass : int {
+  kActivation = 0,  ///< ifmap/ofmap elements (Fig. 2b upper bars, Fig. 3)
+  kWeight = 1,      ///< DWC/PWC kernels (Fig. 2b lower bars)
+  kParameter = 2,   ///< offline Non-Conv parameters (k, b pairs)
+};
+
+inline constexpr int kTrafficClassCount = 3;
+
+[[nodiscard]] constexpr std::string_view traffic_class_name(
+    TrafficClass c) noexcept {
+  switch (c) {
+    case TrafficClass::kActivation:
+      return "activation";
+    case TrafficClass::kWeight:
+      return "weight";
+    case TrafficClass::kParameter:
+      return "parameter";
+  }
+  return "?";
+}
+
+class ExternalMemory {
+ public:
+  void record_read(TrafficClass c, std::int64_t elements,
+                   std::int64_t bytes_per_element = 1) {
+    EDEA_REQUIRE(elements >= 0, "negative element count");
+    counter(c).record_read(elements * bytes_per_element, elements);
+  }
+
+  void record_write(TrafficClass c, std::int64_t elements,
+                    std::int64_t bytes_per_element = 1) {
+    EDEA_REQUIRE(elements >= 0, "negative element count");
+    counter(c).record_write(elements * bytes_per_element, elements);
+  }
+
+  [[nodiscard]] const AccessCounter& counter(TrafficClass c) const {
+    return counters_[static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] AccessCounter& counter(TrafficClass c) {
+    return counters_[static_cast<std::size_t>(c)];
+  }
+
+  /// Total element accesses (reads + writes) of one class.
+  [[nodiscard]] std::int64_t accesses(TrafficClass c) const {
+    return counter(c).total_accesses();
+  }
+
+  [[nodiscard]] std::int64_t total_accesses() const {
+    std::int64_t t = 0;
+    for (const auto& c : counters_) t += c.total_accesses();
+    return t;
+  }
+
+  void reset() {
+    for (auto& c : counters_) c.reset();
+  }
+
+ private:
+  std::array<AccessCounter, kTrafficClassCount> counters_{};
+};
+
+}  // namespace edea::arch

@@ -1,0 +1,85 @@
+// pe.hpp - processing-element primitives: an int8 MAC lane and a binary
+// adder tree, the two building blocks of both engines in Fig. 5.
+//
+// The engines in src/core are built from these so that structural claims
+// of the paper (288 vs 512 multipliers, 9-input vs 8-input adder trees,
+// tree depth) are explicit, testable properties rather than implicit loop
+// bounds.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "arch/counters.hpp"
+#include "util/check.hpp"
+
+namespace edea::arch {
+
+/// One int8 x int8 multiplier lane with activity tracking. The `activation`
+/// operand is the one whose zero-ness gates switching power (Fig. 11).
+class MacLane {
+ public:
+  /// Computes activation * weight, recording activity.
+  [[nodiscard]] std::int32_t multiply(std::int8_t activation,
+                                      std::int8_t weight,
+                                      MacActivity& activity) const noexcept {
+    activity.lane_cycles += 1;
+    activity.useful_macs += 1;
+    if (activation == 0) activity.zero_operand_macs += 1;
+    return static_cast<std::int32_t>(activation) *
+           static_cast<std::int32_t>(weight);
+  }
+
+  /// An idle cycle: the lane is clocked but does no useful work.
+  void idle(MacActivity& activity) const noexcept {
+    activity.lane_cycles += 1;
+  }
+};
+
+/// Combinational adder tree over a fixed number of inputs. Depth is
+/// ceil(log2(fan_in)); the paper's DWC engine uses 9-input trees (depth 4)
+/// and the PWC engine 8-input trees (depth 3).
+class AdderTree {
+ public:
+  explicit AdderTree(int fan_in) : fan_in_(fan_in) {
+    EDEA_REQUIRE(fan_in > 0, "adder tree fan-in must be positive");
+  }
+
+  [[nodiscard]] int fan_in() const noexcept { return fan_in_; }
+
+  [[nodiscard]] int depth() const noexcept {
+    return fan_in_ <= 1
+               ? 0
+               : static_cast<int>(
+                     std::bit_width(static_cast<unsigned>(fan_in_ - 1)));
+  }
+
+  /// Sums exactly fan_in() products. Pairwise reduction mirrors the
+  /// hardware topology; for integer addition the result is order-invariant,
+  /// and a unit test pins the equivalence to naive summation.
+  [[nodiscard]] std::int32_t sum(std::span<const std::int32_t> products)
+      const {
+    EDEA_REQUIRE(products.size() == static_cast<std::size_t>(fan_in_),
+                 "adder tree fed wrong number of products");
+    scratch_.assign(products.begin(), products.end());
+    while (scratch_.size() > 1) {
+      std::size_t out = 0;
+      for (std::size_t i = 0; i + 1 < scratch_.size(); i += 2) {
+        scratch_[out++] = scratch_[i] + scratch_[i + 1];
+      }
+      if (scratch_.size() % 2 == 1) {
+        scratch_[out++] = scratch_.back();
+      }
+      scratch_.resize(out);
+    }
+    return scratch_.empty() ? 0 : scratch_.front();
+  }
+
+ private:
+  int fan_in_;
+  mutable std::vector<std::int32_t> scratch_;
+};
+
+}  // namespace edea::arch

@@ -1,0 +1,89 @@
+// sram.hpp - on-chip SRAM buffer model.
+//
+// The accelerator (Fig. 4) instantiates five of these: DWC ifmap buffer,
+// DWC weight buffer, offline (Non-Conv parameter) buffer, intermediate
+// buffer, and PWC weight buffer. The model provides byte-addressed storage
+// with a hard capacity limit (writing past capacity is a ResourceError: the
+// tiler exists precisely because layers do not fit) and read/write counters.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "arch/counters.hpp"
+#include "util/check.hpp"
+
+namespace edea::arch {
+
+class SramBuffer {
+ public:
+  SramBuffer(std::string name, std::int64_t capacity_bytes)
+      : name_(std::move(name)), storage_(check_capacity(capacity_bytes)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::int64_t capacity() const noexcept {
+    return static_cast<std::int64_t>(storage_.size());
+  }
+
+  /// Writes `size` bytes at `addr`. Counts one write access per call (the
+  /// silicon writes a word or burst per port transaction, not per byte).
+  void write(std::int64_t addr, const void* src, std::int64_t size) {
+    bounds_check(addr, size, "write");
+    std::memcpy(storage_.data() + addr, src, static_cast<std::size_t>(size));
+    counter_.record_write(size);
+  }
+
+  /// Reads `size` bytes at `addr` into dst. Counts one read access.
+  void read(std::int64_t addr, void* dst, std::int64_t size) {
+    bounds_check(addr, size, "read");
+    std::memcpy(dst, storage_.data() + addr, static_cast<std::size_t>(size));
+    counter_.record_read(size);
+  }
+
+  /// Typed single-element helpers used by the engines.
+  template <typename T>
+  void store(std::int64_t index, T value) {
+    write(index * static_cast<std::int64_t>(sizeof(T)), &value, sizeof(T));
+  }
+
+  template <typename T>
+  [[nodiscard]] T load(std::int64_t index) {
+    T value;
+    read(index * static_cast<std::int64_t>(sizeof(T)), &value, sizeof(T));
+    return value;
+  }
+
+  [[nodiscard]] const AccessCounter& counter() const noexcept {
+    return counter_;
+  }
+  void reset_counters() noexcept { counter_.reset(); }
+
+  /// Zeroes the contents without touching the counters (power-on state).
+  void clear_contents() {
+    std::fill(storage_.begin(), storage_.end(), std::uint8_t{0});
+  }
+
+ private:
+  static std::size_t check_capacity(std::int64_t capacity_bytes) {
+    EDEA_REQUIRE(capacity_bytes > 0, "SRAM capacity must be positive");
+    return static_cast<std::size_t>(capacity_bytes);
+  }
+
+  void bounds_check(std::int64_t addr, std::int64_t size,
+                    const char* op) const {
+    if (addr < 0 || size < 0 || addr + size > capacity()) {
+      throw ResourceError("SRAM '" + name_ + "': out-of-range " + op +
+                          " at addr " + std::to_string(addr) + " size " +
+                          std::to_string(size) + " (capacity " +
+                          std::to_string(capacity()) + ")");
+    }
+  }
+
+  std::string name_;
+  std::vector<std::uint8_t> storage_;
+  AccessCounter counter_;
+};
+
+}  // namespace edea::arch

@@ -1,0 +1,254 @@
+#include "baseline/serialized_accelerator.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace edea::baseline {
+
+using arch::TrafficClass;
+using core::BufferTile;
+using core::ChannelSlice;
+using core::KernelGroup;
+using core::Tiler;
+
+SerializedDscAccelerator::SerializedDscAccelerator(core::EdeaConfig config)
+    : config_(config), dwc_(config), pwc_(config), nonconv_(config) {
+  config_.validate();
+}
+
+SerializedLayerResult SerializedDscAccelerator::run_layer(
+    const nn::QuantDscLayer& layer, const nn::Int8Tensor& input) {
+  const nn::DscLayerSpec& spec = layer.spec;
+  EDEA_REQUIRE(input.rank() == 3 && input.dim(0) == spec.in_rows &&
+                   input.dim(1) == spec.in_cols &&
+                   input.dim(2) == spec.in_channels,
+               "layer input shape mismatch");
+
+  Tiler tiler(config_, spec);
+  dwc_.reset_activity();
+  pwc_.reset_activity();
+  nonconv_.reset_counters();
+
+  SerializedLayerResult result;
+  result.common.spec = spec;
+  result.common.output = nn::Int8Tensor(
+      nn::Shape{spec.out_rows(), spec.out_cols(), spec.out_channels});
+  result.common.dwc_input_zero_fraction = input.zero_fraction();
+
+  const int N = spec.out_rows();
+  const int M = spec.out_cols();
+  const int K = spec.out_channels;
+  const int image_rows = input.dim(0);
+  const int image_cols = input.dim(1);
+
+  // The externally-stored intermediate map (the round-trip EDEA removes).
+  nn::Int8Tensor intermediate(nn::Shape{N, M, spec.in_channels});
+
+  // ---- Phase 1: depthwise convolution over the whole layer. ----
+  for (const BufferTile& tile : tiler.tiles()) {
+    for (const ChannelSlice& slice : tiler.slices()) {
+      // Ifmap + weight load (counted identically to EDEA's pass loads).
+      result.common.external.record_read(
+          TrafficClass::kActivation,
+          tile.valid_input_elements(image_rows, image_cols) * slice.channels);
+      const auto w_elems =
+          std::int64_t{1} * config_.kernel * config_.kernel * slice.channels;
+      result.common.external.record_read(TrafficClass::kWeight, w_elems);
+      result.common.external.record_read(TrafficClass::kParameter,
+                                         std::int64_t{2} * slice.channels);
+
+      std::vector<std::int8_t> w(static_cast<std::size_t>(w_elems));
+      for (int i = 0; i < config_.kernel; ++i) {
+        for (int j = 0; j < config_.kernel; ++j) {
+          for (int ch = 0; ch < slice.channels; ++ch) {
+            w[static_cast<std::size_t>(
+                (i * config_.kernel + j) * slice.channels + ch)] =
+                layer.dwc_weights(i, j, slice.channel0 + ch);
+          }
+        }
+      }
+      dwc_.load_weights(w, slice.channels);
+
+      result.dwc_phase_cycles += config_.init_cycles;
+      const int steps_r = (tile.out_rows + config_.tn - 1) / config_.tn;
+      const int steps_c = (tile.out_cols + config_.tm - 1) / config_.tm;
+      std::vector<std::int8_t> tile_int8(
+          static_cast<std::size_t>(config_.tn * config_.tm * slice.channels));
+      std::vector<nn::NonConvChannelParams> params;
+      for (int ch = 0; ch < slice.channels; ++ch) {
+        params.push_back(layer.nonconv1.channels[static_cast<std::size_t>(
+            slice.channel0 + ch)]);
+      }
+
+      for (int sy = 0; sy < steps_r; ++sy) {
+        for (int sx = 0; sx < steps_c; ++sx) {
+          const int out_r0 = tile.out_row0 + sy * config_.tn;
+          const int out_c0 = tile.out_col0 + sx * config_.tm;
+
+          core::DwcWindow window;
+          window.extent = config_.dwc_window_extent(spec.stride);
+          window.channels = slice.channels;
+          window.values.assign(static_cast<std::size_t>(
+                                   window.extent * window.extent *
+                                   window.channels),
+                               0);
+          const int gr0 = out_r0 * spec.stride - spec.padding;
+          const int gc0 = out_c0 * spec.stride - spec.padding;
+          for (int r = 0; r < window.extent; ++r) {
+            for (int c = 0; c < window.extent; ++c) {
+              const int gr = gr0 + r;
+              const int gc = gc0 + c;
+              if (gr < 0 || gr >= image_rows || gc < 0 || gc >= image_cols) {
+                continue;
+              }
+              for (int ch = 0; ch < window.channels; ++ch) {
+                window.values[static_cast<std::size_t>(
+                    (r * window.extent + c) * window.channels + ch)] =
+                    input(gr, gc, slice.channel0 + ch);
+              }
+            }
+          }
+
+          const core::DwcStepOutput out = dwc_.step(window, spec.stride);
+          result.dwc_phase_cycles += 1;
+          result.common.timing.dwc_active_cycles += 1;
+
+          nonconv_.set_writeback_mode(false);
+          nonconv_.apply_block(out.acc, params, slice.channels, tile_int8);
+
+          // Round-trip: write the valid outputs to external memory.
+          for (int r = 0; r < out.rows; ++r) {
+            const int gr = out_r0 + r;
+            if (gr >= tile.out_row0 + tile.out_rows || gr >= N) continue;
+            for (int c = 0; c < out.cols; ++c) {
+              const int gc = out_c0 + c;
+              if (gc >= tile.out_col0 + tile.out_cols || gc >= M) continue;
+              for (int ch = 0; ch < slice.channels; ++ch) {
+                intermediate(gr, gc, slice.channel0 + ch) =
+                    tile_int8[static_cast<std::size_t>(
+                        (r * out.cols + c) * slice.channels + ch)];
+                ++result.intermediate_external_writes;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  result.common.external.record_write(TrafficClass::kActivation,
+                                      result.intermediate_external_writes);
+  result.common.pwc_input_zero_fraction = intermediate.zero_fraction();
+
+  // ---- Phase 2: pointwise convolution, reading the intermediate back. ----
+  for (const BufferTile& tile : tiler.tiles()) {
+    std::vector<std::int32_t> psum(
+        static_cast<std::size_t>(tile.out_rows * tile.out_cols * K), 0);
+
+    for (const ChannelSlice& slice : tiler.slices()) {
+      result.pwc_phase_cycles += config_.init_cycles;
+      result.common.external.record_read(
+          TrafficClass::kWeight, std::int64_t{K} * slice.channels);
+
+      const int steps_r = (tile.out_rows + config_.tn - 1) / config_.tn;
+      const int steps_c = (tile.out_cols + config_.tm - 1) / config_.tm;
+      for (int sy = 0; sy < steps_r; ++sy) {
+        for (int sx = 0; sx < steps_c; ++sx) {
+          const int out_r0 = tile.out_row0 + sy * config_.tn;
+          const int out_c0 = tile.out_col0 + sx * config_.tm;
+
+          // Fetch the step's intermediate tile once (held in registers
+          // across kernel groups), counting the external reads.
+          std::vector<std::int8_t> acts(static_cast<std::size_t>(
+              config_.tn * config_.tm * slice.channels));
+          for (int r = 0; r < config_.tn; ++r) {
+            for (int c = 0; c < config_.tm; ++c) {
+              const int gr = out_r0 + r;
+              const int gc = out_c0 + c;
+              for (int ch = 0; ch < slice.channels; ++ch) {
+                std::int8_t v = 0;
+                if (gr < N && gc < M) {
+                  v = intermediate(gr, gc, slice.channel0 + ch);
+                  ++result.intermediate_external_reads;
+                }
+                acts[static_cast<std::size_t>(
+                    (r * config_.tm + c) * slice.channels + ch)] = v;
+              }
+            }
+          }
+
+          for (const KernelGroup& group : tiler.kernel_groups()) {
+            core::PwcStepInput pin;
+            pin.rows = config_.tn;
+            pin.cols = config_.tm;
+            pin.channels = slice.channels;
+            pin.kernels = group.kernels;
+            pin.activations = acts;
+            pin.weights.resize(
+                static_cast<std::size_t>(group.kernels * slice.channels));
+            for (int kk = 0; kk < group.kernels; ++kk) {
+              for (int ch = 0; ch < slice.channels; ++ch) {
+                pin.weights[static_cast<std::size_t>(kk * slice.channels +
+                                                     ch)] =
+                    layer.pwc_weights(group.kernel0 + kk,
+                                      slice.channel0 + ch);
+              }
+            }
+            const core::PwcStepOutput pout = pwc_.step(pin);
+            result.pwc_phase_cycles += 1;
+            result.common.timing.pwc_active_cycles += 1;
+
+            for (int r = 0; r < pout.rows; ++r) {
+              const int tr = sy * config_.tn + r;
+              if (tr >= tile.out_rows) continue;
+              for (int c = 0; c < pout.cols; ++c) {
+                const int tc = sx * config_.tm + c;
+                if (tc >= tile.out_cols) continue;
+                for (int kk = 0; kk < pout.kernels; ++kk) {
+                  psum[static_cast<std::size_t>(
+                      (tr * tile.out_cols + tc) * K + group.kernel0 + kk)] +=
+                      pout.at(r, c, kk);
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Write-back through the Non-Conv array (per-K parameters).
+    nonconv_.set_writeback_mode(true);
+    result.common.external.record_read(TrafficClass::kParameter,
+                                       std::int64_t{2} * K);
+    std::vector<std::int8_t> out_row(static_cast<std::size_t>(K));
+    std::vector<std::int32_t> acc_row(static_cast<std::size_t>(K));
+    for (int r = 0; r < tile.out_rows; ++r) {
+      for (int c = 0; c < tile.out_cols; ++c) {
+        for (int k = 0; k < K; ++k) {
+          acc_row[static_cast<std::size_t>(k)] = psum[static_cast<std::size_t>(
+              (r * tile.out_cols + c) * K + k)];
+        }
+        nonconv_.apply_block(acc_row, layer.nonconv2.channels, K, out_row);
+        for (int k = 0; k < K; ++k) {
+          result.common.output(tile.out_row0 + r, tile.out_col0 + c, k) =
+              out_row[static_cast<std::size_t>(k)];
+        }
+        result.common.external.record_write(TrafficClass::kActivation, K);
+      }
+    }
+  }
+  result.common.external.record_read(TrafficClass::kActivation,
+                                     result.intermediate_external_reads);
+
+  result.common.timing.total_cycles =
+      result.dwc_phase_cycles + result.pwc_phase_cycles;
+  result.common.timing.init_cycles = 0;  // split across the two phases
+  result.common.timing.compute_cycles = result.common.timing.total_cycles;
+  result.common.dwc_activity = dwc_.activity();
+  result.common.pwc_activity = pwc_.activity();
+  result.common.nonconv_transfer_ops = nonconv_.transfer_ops();
+  result.common.nonconv_writeback_ops = nonconv_.writeback_ops();
+  return result;
+}
+
+}  // namespace edea::baseline

@@ -1,0 +1,77 @@
+// serialized_accelerator.hpp - the comparison architecture EDEA improves on.
+//
+// Two baseline behaviours from the paper's Sec. I/II narrative:
+//   1. no direct transfer: the DWC output round-trips through external
+//      memory (write N*M*D, read N*M*D back) - the Fig. 3 "baseline";
+//   2. no parallel engines: DWC and PWC phases execute serially per
+//      (tile, slice) pass, each paying its own initiation - the [6]-style
+//      "separate engine without parallel operation".
+//
+// The arithmetic is identical to EDEA (same engines, same Non-Conv math),
+// so outputs remain bit-exact; only traffic and latency differ. That makes
+// the streaming/latency ablation a controlled experiment.
+#pragma once
+
+#include "arch/ext_memory.hpp"
+#include "core/config.hpp"
+#include "core/dwc_engine.hpp"
+#include "core/nonconv_unit.hpp"
+#include "core/pwc_engine.hpp"
+#include "core/run_result.hpp"
+#include "core/tiler.hpp"
+#include "nn/layers.hpp"
+
+namespace edea::baseline {
+
+/// Extra measurements the serialized baseline produces on top of the
+/// common LayerRunResult.
+struct SerializedLayerResult {
+  core::LayerRunResult common;
+  std::int64_t dwc_phase_cycles = 0;
+  std::int64_t pwc_phase_cycles = 0;
+  std::int64_t intermediate_external_writes = 0;  ///< N*M*D
+  std::int64_t intermediate_external_reads = 0;   ///< N*M*D
+};
+
+class SerializedDscAccelerator {
+ public:
+  explicit SerializedDscAccelerator(
+      core::EdeaConfig config = core::EdeaConfig::paper());
+
+  [[nodiscard]] SerializedLayerResult run_layer(
+      const nn::QuantDscLayer& layer, const nn::Int8Tensor& input);
+
+  [[nodiscard]] const core::EdeaConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  core::EdeaConfig config_;
+  core::DwcEngine dwc_;
+  core::PwcEngine pwc_;
+  core::NonConvUnitArray nonconv_;
+};
+
+/// Analytic utilization model of a *unified* convolution engine ([2]-[4]):
+/// one PE array sized for the PWC dataflow executes both convolution types.
+/// During DWC phases only the lanes matching the depthwise pattern
+/// contribute, so average utilization drops - the imbalance EDEA's dual
+/// engines remove.
+struct UnifiedEngineModel {
+  int array_macs = 512;      ///< PE array size (PWC-shaped)
+  int dwc_usable_macs = 288; ///< lanes a depthwise pass can keep busy
+
+  /// Average lane utilization over one DSC layer (cycle-weighted).
+  [[nodiscard]] double layer_utilization(const nn::DscLayerSpec& spec) const {
+    const double dwc_cycles =
+        static_cast<double>(spec.dwc_macs()) / dwc_usable_macs;
+    const double pwc_cycles =
+        static_cast<double>(spec.pwc_macs()) / array_macs;
+    const double useful =
+        static_cast<double>(spec.dwc_macs() + spec.pwc_macs());
+    const double offered = (dwc_cycles + pwc_cycles) * array_macs;
+    return offered <= 0.0 ? 0.0 : useful / offered;
+  }
+};
+
+}  // namespace edea::baseline

@@ -1,0 +1,96 @@
+// accelerator.hpp - the cycle-accurate EDEA accelerator model (Fig. 4).
+//
+// Composition:
+//   - five on-chip SRAM buffers (DWC ifmap, DWC weight, offline, PWC
+//     weight, intermediate) plus the PWC partial-sum accumulator,
+//   - the 288-MAC DWC engine and 512-MAC PWC engine,
+//   - the 8-unit Non-Conv array between them (and on the write-back path),
+//   - a tiler implementing the La dataflow with 8x8-output buffer tiles.
+//
+// Contract, enforced by tests:
+//   1. bit-exactness: run_layer output == nn::QuantDscLayer::forward,
+//   2. cycle-exactness: measured cycles == TimingModel (Eq. 1/2),
+//   3. resource-exactness: no buffer access beyond modeled capacity.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "arch/ext_memory.hpp"
+#include "arch/sram.hpp"
+#include "core/config.hpp"
+#include "core/dwc_engine.hpp"
+#include "core/nonconv_unit.hpp"
+#include "core/pwc_engine.hpp"
+#include "core/run_result.hpp"
+#include "core/tiler.hpp"
+#include "core/timing.hpp"
+#include "nn/layers.hpp"
+#include "nn/mobilenet.hpp"
+
+namespace edea::core {
+
+class EdeaAccelerator {
+ public:
+  explicit EdeaAccelerator(EdeaConfig config = EdeaConfig::paper());
+
+  /// Runs one quantized DSC layer. `input` is the int8 ifmap [R][C][D].
+  [[nodiscard]] LayerRunResult run_layer(const nn::QuantDscLayer& layer,
+                                         const nn::Int8Tensor& input);
+
+  /// Runs a stack of DSC layers back to back (e.g. all of MobileNetV1).
+  [[nodiscard]] NetworkRunResult run_network(
+      const std::vector<nn::QuantDscLayer>& layers,
+      const nn::Int8Tensor& input);
+
+  /// Attaches a pipeline trace sink; the next run_layer records its first
+  /// pass (Fig. 7 diagram). Pass nullptr to detach.
+  void set_trace(PipelineTrace* trace) noexcept { trace_ = trace; }
+
+  [[nodiscard]] const EdeaConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const DwcEngine& dwc_engine() const noexcept { return dwc_; }
+  [[nodiscard]] const PwcEngine& pwc_engine() const noexcept { return pwc_; }
+
+ private:
+  /// Executes one (buffer tile, channel slice) pass; returns cycles spent.
+  std::int64_t run_pass(const nn::QuantDscLayer& layer,
+                        const nn::Int8Tensor& input, const BufferTile& tile,
+                        const ChannelSlice& slice, bool first_slice,
+                        const std::vector<KernelGroup>& groups,
+                        LayerRunResult& result);
+
+  /// Write-back: accumulator -> Non-Conv (per-K params) -> output tensor.
+  void write_back_tile(const nn::QuantDscLayer& layer, const BufferTile& tile,
+                       LayerRunResult& result);
+
+  /// Loads the valid part of the tile's input region into the ifmap buffer.
+  void load_ifmap_tile(const nn::Int8Tensor& input, const BufferTile& tile,
+                       const ChannelSlice& slice, LayerRunResult& result);
+
+  /// Reads one DWC window from the ifmap buffer (zeros outside the image).
+  DwcWindow fetch_window(const BufferTile& tile, const ChannelSlice& slice,
+                         int image_rows, int image_cols, int out_row0,
+                         int out_col0, int stride, int padding,
+                         LayerRunResult& result);
+
+  EdeaConfig config_;
+  DwcEngine dwc_;
+  PwcEngine pwc_;
+  NonConvUnitArray nonconv_;
+
+  arch::SramBuffer ifmap_buffer_;
+  arch::SramBuffer dwc_weight_buffer_;
+  arch::SramBuffer offline_buffer_;
+  arch::SramBuffer intermediate_buffer_;
+  arch::SramBuffer pwc_weight_buffer_;
+  arch::SramBuffer accumulator_;
+
+  PipelineTrace* trace_ = nullptr;
+
+  // Per-layer PWC-input sparsity tally (reset by run_layer).
+  std::int64_t pwc_input_zeros_ = 0;
+  std::int64_t pwc_input_total_ = 0;
+};
+
+}  // namespace edea::core

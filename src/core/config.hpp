@@ -1,0 +1,118 @@
+// config.hpp - static configuration of the EDEA accelerator.
+//
+// The paper's silicon fixes Tn=Tm=2, Td=8, Tk=16 (the Case-6/La winner of
+// the design space exploration), 3x3 DWC kernels, a 9-cycle pipeline
+// initiation, and a 1 GHz clock. The struct keeps every one of these a
+// named, validated parameter so the scaling study (Sec. III-B: "PE arrays
+// are friendly to scaling") can vary them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace edea::core {
+
+struct EdeaConfig {
+  // --- dataflow tile sizes (Table I / Table II nomenclature) ---
+  int tn = 2;   ///< output tile rows per engine step
+  int tm = 2;   ///< output tile cols per engine step
+  int td = 8;   ///< input channels per slice (DWC parallel channels)
+  int tk = 16;  ///< PWC kernels per group
+  int kernel = 3;  ///< DWC kernel extent (H = W)
+
+  // --- pipeline / buffering ---
+  int init_cycles = 9;     ///< Fig. 7 initiation interval
+  int max_tile_out = 8;    ///< ifmap buffer sized for an 8x8 output tile
+  double clock_ghz = 1.0;  ///< TT corner, 0.8 V
+
+  /// The canonical configuration of the fabricated accelerator.
+  [[nodiscard]] static EdeaConfig paper() { return EdeaConfig{}; }
+
+  void validate() const {
+    EDEA_REQUIRE(tn > 0 && tm > 0 && td > 0 && tk > 0, "tile sizes positive");
+    EDEA_REQUIRE(kernel > 0 && kernel % 2 == 1, "kernel must be odd");
+    EDEA_REQUIRE(init_cycles >= 0, "initiation cycles non-negative");
+    EDEA_REQUIRE(max_tile_out >= tn && max_tile_out >= tm,
+                 "buffer tile must hold at least one engine step");
+    EDEA_REQUIRE(max_tile_out % tn == 0 && max_tile_out % tm == 0,
+                 "buffer tile must be a whole number of engine steps");
+    EDEA_REQUIRE(clock_ghz > 0.0, "clock must be positive");
+  }
+
+  // --- derived structural quantities (Fig. 5) ---
+
+  /// DWC engine multiplier count: Td x H x W x Tn x Tm (= 288 in the paper).
+  [[nodiscard]] int dwc_mac_count() const noexcept {
+    return td * kernel * kernel * tn * tm;
+  }
+
+  /// PWC engine multiplier count: Td x Tk x Tn x Tm (= 512 in the paper).
+  [[nodiscard]] int pwc_mac_count() const noexcept { return td * tk * tn * tm; }
+
+  /// Total PE (multiplier) count (= 800 in the paper, Table III).
+  [[nodiscard]] int total_mac_count() const noexcept {
+    return dwc_mac_count() + pwc_mac_count();
+  }
+
+  /// Input window extent the DWC engine consumes for one step at `stride`:
+  /// (Tn-1)*stride + kernel. Paper: 4x4 at stride 1, 5x5 at stride 2.
+  [[nodiscard]] int dwc_window_extent(int stride) const noexcept {
+    return (tn - 1) * stride + kernel;
+  }
+
+  /// Input region extent backing a full buffer tile at `stride`.
+  [[nodiscard]] int ifmap_tile_extent(int stride) const noexcept {
+    return (max_tile_out - 1) * stride + kernel;
+  }
+
+  // --- buffer capacities in bytes (Fig. 4 instances) ---
+
+  /// DWC ifmap buffer: worst-case input region (stride 2) x Td channels.
+  [[nodiscard]] std::int64_t dwc_ifmap_buffer_bytes() const noexcept {
+    const int extent = ifmap_tile_extent(/*stride=*/2);
+    return std::int64_t{1} * extent * extent * td;
+  }
+
+  /// DWC weight buffer: one kernel slice (3x3xTd), double buffered.
+  [[nodiscard]] std::int64_t dwc_weight_buffer_bytes() const noexcept {
+    return std::int64_t{2} * kernel * kernel * td;
+  }
+
+  /// Offline buffer: Non-Conv (k, b) pairs for one slice (Td channels),
+  /// 3 bytes each (24-bit), double buffered.
+  [[nodiscard]] std::int64_t offline_buffer_bytes() const noexcept {
+    return std::int64_t{2} * td * 6;
+  }
+
+  /// Intermediate buffer: one Tn x Tm x Td int8 tile, double buffered
+  /// (DWC fills one half while PWC drains the other - the direct-transfer
+  /// mechanism of the paper's title).
+  [[nodiscard]] std::int64_t intermediate_buffer_bytes() const noexcept {
+    return std::int64_t{2} * tn * tm * td;
+  }
+
+  /// PWC weight buffer: one slice's weights for every kernel (Td x K_max).
+  [[nodiscard]] std::int64_t pwc_weight_buffer_bytes(
+      int max_out_channels = 1024) const noexcept {
+    return std::int64_t{1} * td * max_out_channels;
+  }
+
+  /// PWC accumulator: 32-bit partial sums for one buffer tile's ofmap.
+  /// Worst case over MobileNetV1: 8x8 spatial x 256 kernels (= layer 3/4).
+  [[nodiscard]] std::int64_t accumulator_buffer_bytes(
+      int max_psum_entries = 16384) const noexcept {
+    return std::int64_t{4} * max_psum_entries;
+  }
+
+  [[nodiscard]] std::string to_string() const {
+    return "EdeaConfig{Tn=" + std::to_string(tn) + ",Tm=" + std::to_string(tm) +
+           ",Td=" + std::to_string(td) + ",Tk=" + std::to_string(tk) +
+           ",k=" + std::to_string(kernel) +
+           ",init=" + std::to_string(init_cycles) +
+           ",tile=" + std::to_string(max_tile_out) + "}";
+  }
+};
+
+}  // namespace edea::core

@@ -1,0 +1,74 @@
+#include "core/dwc_engine.hpp"
+
+#include "util/check.hpp"
+
+namespace edea::core {
+
+DwcEngine::DwcEngine(const EdeaConfig& config)
+    : config_(config), tree_(config.kernel * config.kernel) {
+  config_.validate();
+  products_.resize(static_cast<std::size_t>(tree_.fan_in()));
+}
+
+void DwcEngine::load_weights(const std::vector<std::int8_t>& weights,
+                             int channels) {
+  EDEA_REQUIRE(channels > 0 && channels <= config_.td,
+               "DWC weight slice channel count must be in (0, Td]");
+  EDEA_REQUIRE(weights.size() == static_cast<std::size_t>(
+                                     config_.kernel * config_.kernel *
+                                     channels),
+               "DWC weight slice size mismatch");
+  weights_ = weights;
+  weight_channels_ = channels;
+}
+
+DwcStepOutput DwcEngine::step(const DwcWindow& window, int stride) {
+  EDEA_REQUIRE(stride == 1 || stride == 2, "DWC stride must be 1 or 2");
+  EDEA_REQUIRE(weight_channels_ > 0, "DWC weights not loaded");
+  EDEA_REQUIRE(window.channels == weight_channels_,
+               "window channel count must match loaded weights");
+  EDEA_REQUIRE(window.extent == config_.dwc_window_extent(stride),
+               "window extent must match stride geometry");
+
+  const int k = config_.kernel;
+  DwcStepOutput out;
+  out.rows = config_.tn;
+  out.cols = config_.tm;
+  out.channels = window.channels;
+  out.acc.resize(static_cast<std::size_t>(out.rows * out.cols * out.channels));
+
+  for (int ch = 0; ch < window.channels; ++ch) {
+    for (int ty = 0; ty < config_.tn; ++ty) {
+      for (int tx = 0; tx < config_.tm; ++tx) {
+        // One 9-input adder tree instance: 3x3 products for this output.
+        for (int i = 0; i < k; ++i) {
+          for (int j = 0; j < k; ++j) {
+            const std::int8_t a =
+                window.at(ty * stride + i, tx * stride + j, ch);
+            const std::int8_t w = weights_[static_cast<std::size_t>(
+                (i * k + j) * weight_channels_ + ch)];
+            products_[static_cast<std::size_t>(i * k + j)] =
+                lane_.multiply(a, w, activity_);
+          }
+        }
+        out.acc[static_cast<std::size_t>((ty * out.cols + tx) * out.channels +
+                                         ch)] = tree_.sum(products_);
+      }
+    }
+  }
+
+  // Lanes belonging to channels absent from this slice idle this cycle
+  // (never happens for MobileNetV1, whose channel counts are multiples of
+  // Td, but the engine is general).
+  const int idle_lanes =
+      (config_.td - window.channels) * config_.tn * config_.tm * k * k;
+  for (int i = 0; i < idle_lanes; ++i) lane_.idle(activity_);
+
+  return out;
+}
+
+void DwcEngine::idle_cycle() {
+  for (int i = 0; i < mac_count(); ++i) lane_.idle(activity_);
+}
+
+}  // namespace edea::core

@@ -1,0 +1,68 @@
+#include "core/pwc_engine.hpp"
+
+#include "util/check.hpp"
+
+namespace edea::core {
+
+PwcEngine::PwcEngine(const EdeaConfig& config)
+    : config_(config), tree_(config.td) {
+  config_.validate();
+  products_.resize(static_cast<std::size_t>(config_.td));
+}
+
+PwcStepOutput PwcEngine::step(const PwcStepInput& input) {
+  EDEA_REQUIRE(input.rows == config_.tn && input.cols == config_.tm,
+               "PWC step tile must be Tn x Tm");
+  EDEA_REQUIRE(input.channels > 0 && input.channels <= config_.td,
+               "PWC slice channel count must be in (0, Td]");
+  EDEA_REQUIRE(input.kernels > 0 && input.kernels <= config_.tk,
+               "PWC kernel-group size must be in (0, Tk]");
+  EDEA_REQUIRE(input.activations.size() ==
+                   static_cast<std::size_t>(input.rows * input.cols *
+                                            input.channels),
+               "PWC activation block size mismatch");
+  EDEA_REQUIRE(input.weights.size() == static_cast<std::size_t>(
+                                           input.kernels * input.channels),
+               "PWC weight block size mismatch");
+
+  PwcStepOutput out;
+  out.rows = input.rows;
+  out.cols = input.cols;
+  out.kernels = input.kernels;
+  out.psum.resize(
+      static_cast<std::size_t>(out.rows * out.cols * out.kernels));
+
+  for (int r = 0; r < input.rows; ++r) {
+    for (int c = 0; c < input.cols; ++c) {
+      for (int kk = 0; kk < input.kernels; ++kk) {
+        // One 8-input adder tree fed by two 4-multiplier PEs.
+        for (int ch = 0; ch < config_.td; ++ch) {
+          if (ch < input.channels) {
+            products_[static_cast<std::size_t>(ch)] =
+                lane_.multiply(input.act(r, c, ch), input.wt(kk, ch),
+                               activity_);
+          } else {
+            // Channel lanes beyond the slice width idle (zero product).
+            lane_.idle(activity_);
+            products_[static_cast<std::size_t>(ch)] = 0;
+          }
+        }
+        out.psum[static_cast<std::size_t>((r * out.cols + c) * out.kernels +
+                                          kk)] = tree_.sum(products_);
+      }
+    }
+  }
+
+  // Kernel lanes beyond the group width idle this cycle.
+  const int idle_lanes =
+      (config_.tk - input.kernels) * config_.tn * config_.tm * config_.td;
+  for (int i = 0; i < idle_lanes; ++i) lane_.idle(activity_);
+
+  return out;
+}
+
+void PwcEngine::idle_cycle() {
+  for (int i = 0; i < mac_count(); ++i) lane_.idle(activity_);
+}
+
+}  // namespace edea::core

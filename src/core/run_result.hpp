@@ -1,0 +1,172 @@
+// run_result.hpp - measurement records produced by accelerator runs.
+// Shared by the EDEA accelerator (src/core) and the serialized baseline
+// (src/baseline) so benches can tabulate them uniformly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/counters.hpp"
+#include "arch/ext_memory.hpp"
+#include "core/timing.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace edea::core {
+
+/// Access counters of the five on-chip buffers of Fig. 4 plus the PWC
+/// accumulator. Element-granular (one count per int8/int32 element moved).
+struct BufferAccessSnapshot {
+  arch::AccessCounter dwc_ifmap;
+  arch::AccessCounter dwc_weight;
+  arch::AccessCounter offline;
+  arch::AccessCounter intermediate;
+  arch::AccessCounter pwc_weight;
+  arch::AccessCounter accumulator;
+
+  BufferAccessSnapshot& operator+=(const BufferAccessSnapshot& o) noexcept {
+    dwc_ifmap += o.dwc_ifmap;
+    dwc_weight += o.dwc_weight;
+    offline += o.offline;
+    intermediate += o.intermediate;
+    pwc_weight += o.pwc_weight;
+    accumulator += o.accumulator;
+    return *this;
+  }
+};
+
+/// Dataflow-level counters used to validate the Table II equations: these
+/// count operand *consumptions* by the engines (a padded window position
+/// counts even though the SRAM never stores padding).
+struct DataflowCounters {
+  std::int64_t dwc_window_elements = 0;  ///< Tr*Tc*Td per DWC step
+  std::int64_t dwc_weight_elements = 0;  ///< kernel slice loads into engine
+  std::int64_t pwc_activation_elements = 0;  ///< intermediate reads per group
+  std::int64_t pwc_weight_elements = 0;      ///< external weight loads
+
+  DataflowCounters& operator+=(const DataflowCounters& o) noexcept {
+    dwc_window_elements += o.dwc_window_elements;
+    dwc_weight_elements += o.dwc_weight_elements;
+    pwc_activation_elements += o.pwc_activation_elements;
+    pwc_weight_elements += o.pwc_weight_elements;
+    return *this;
+  }
+};
+
+/// Everything measured while running one DSC layer.
+struct LayerRunResult {
+  nn::DscLayerSpec spec;
+  nn::Int8Tensor output;
+
+  LayerTiming timing;  ///< measured cycle counts (asserted == Eq. 1/2)
+
+  arch::MacActivity dwc_activity;
+  arch::MacActivity pwc_activity;
+  std::int64_t nonconv_transfer_ops = 0;
+  std::int64_t nonconv_writeback_ops = 0;
+
+  BufferAccessSnapshot buffers;
+  DataflowCounters dataflow;
+  arch::ExternalMemory external;
+
+  /// Tensor-level input-activation zero fractions (Fig. 11 quantities).
+  double dwc_input_zero_fraction = 0.0;
+  double pwc_input_zero_fraction = 0.0;
+
+  /// Largest |partial sum| observed in the PWC accumulator across the
+  /// whole layer. The silicon carries 24-bit accumulators (Fig. 6); this
+  /// statistic validates that envelope on real data.
+  std::int64_t max_abs_psum = 0;
+
+  /// True iff every partial sum stayed within the signed 24-bit envelope.
+  [[nodiscard]] bool within_24bit_accumulator() const noexcept {
+    return max_abs_psum <= ((std::int64_t{1} << 23) - 1);
+  }
+
+  // --- derived metrics ---
+
+  [[nodiscard]] double time_ns(double clock_ghz) const noexcept {
+    return timing.time_ns(clock_ghz);
+  }
+
+  /// Layer throughput in GOPS (2 ops per MAC over the layer's nominal work).
+  [[nodiscard]] double throughput_gops(double clock_ghz) const noexcept {
+    return static_cast<double>(spec.total_ops()) / time_ns(clock_ghz);
+  }
+
+  /// Lane utilization of each engine over its *active* cycles; the paper's
+  /// "100% PE utilization" claim is about exactly this quantity.
+  [[nodiscard]] double dwc_lane_utilization() const noexcept {
+    const auto active_lanes = dwc_activity.useful_macs;
+    const auto offered =
+        timing.dwc_active_cycles == 0
+            ? std::int64_t{0}
+            : dwc_activity.lane_cycles;
+    return offered == 0 ? 0.0
+                        : static_cast<double>(active_lanes) /
+                              static_cast<double>(offered);
+  }
+  [[nodiscard]] double pwc_lane_utilization() const noexcept {
+    return pwc_activity.lane_cycles == 0
+               ? 0.0
+               : static_cast<double>(pwc_activity.useful_macs) /
+                     static_cast<double>(pwc_activity.lane_cycles);
+  }
+
+  /// Temporal occupancy (active cycles / total cycles) of each engine.
+  [[nodiscard]] double dwc_duty() const noexcept {
+    return timing.total_cycles == 0
+               ? 0.0
+               : static_cast<double>(timing.dwc_active_cycles) /
+                     static_cast<double>(timing.total_cycles);
+  }
+  [[nodiscard]] double pwc_duty() const noexcept {
+    return timing.total_cycles == 0
+               ? 0.0
+               : static_cast<double>(timing.pwc_active_cycles) /
+                     static_cast<double>(timing.total_cycles);
+  }
+};
+
+/// Aggregate over a whole network run.
+struct NetworkRunResult {
+  std::vector<LayerRunResult> layers;
+  nn::Int8Tensor output;
+
+  [[nodiscard]] std::int64_t total_cycles() const noexcept {
+    std::int64_t c = 0;
+    for (const auto& l : layers) c += l.timing.total_cycles;
+    return c;
+  }
+  [[nodiscard]] std::int64_t total_ops() const noexcept {
+    std::int64_t o = 0;
+    for (const auto& l : layers) o += l.spec.total_ops();
+    return o;
+  }
+  /// Average throughput = total ops / total time (the paper's 981.42 GOPS).
+  [[nodiscard]] double average_throughput_gops(double clock_ghz) const {
+    const double ns = static_cast<double>(total_cycles()) / clock_ghz;
+    return ns == 0.0 ? 0.0 : static_cast<double>(total_ops()) / ns;
+  }
+};
+
+/// Pipeline trace event for the Fig. 7 timing-diagram bench.
+struct TraceEvent {
+  std::int64_t cycle = 0;
+  std::string stage;
+  std::string detail;
+};
+
+struct PipelineTrace {
+  std::vector<TraceEvent> events;
+  bool armed = false;  ///< record only the first pass of the first tile
+
+  void emit(std::int64_t cycle, std::string stage, std::string detail) {
+    if (armed) {
+      events.push_back(TraceEvent{cycle, std::move(stage), std::move(detail)});
+    }
+  }
+};
+
+}  // namespace edea::core

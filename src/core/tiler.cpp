@@ -1,0 +1,75 @@
+#include "core/tiler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace edea::core {
+
+std::int64_t BufferTile::valid_input_elements(int image_rows,
+                                              int image_cols) const {
+  const int r0 = std::max(in_row0, 0);
+  const int r1 = std::min(in_row0 + in_rows, image_rows);
+  const int c0 = std::max(in_col0, 0);
+  const int c1 = std::min(in_col0 + in_cols, image_cols);
+  if (r1 <= r0 || c1 <= c0) return 0;
+  return std::int64_t{1} * (r1 - r0) * (c1 - c0);
+}
+
+Tiler::Tiler(const EdeaConfig& config, const nn::DscLayerSpec& spec)
+    : config_(config), spec_(spec) {
+  config_.validate();
+  const int N = spec.out_rows();
+  const int M = spec.out_cols();
+  EDEA_REQUIRE(N > 0 && M > 0, "layer output must be non-empty");
+
+  // Buffer tiles: chunks of at most max_tile_out x max_tile_out outputs.
+  for (int r0 = 0; r0 < N; r0 += config_.max_tile_out) {
+    const int rows = std::min(config_.max_tile_out, N - r0);
+    for (int c0 = 0; c0 < M; c0 += config_.max_tile_out) {
+      const int cols = std::min(config_.max_tile_out, M - c0);
+      BufferTile t;
+      t.out_row0 = r0;
+      t.out_col0 = c0;
+      t.out_rows = rows;
+      t.out_cols = cols;
+      // Input region: first tap of the first output to last tap of the
+      // last output (inclusive), in unpadded coordinates.
+      t.in_row0 = r0 * spec.stride - spec.padding;
+      t.in_col0 = c0 * spec.stride - spec.padding;
+      t.in_rows = (rows - 1) * spec.stride + spec.kernel;
+      t.in_cols = (cols - 1) * spec.stride + spec.kernel;
+      tiles_.push_back(t);
+    }
+  }
+
+  for (int d0 = 0; d0 < spec.in_channels; d0 += config_.td) {
+    slices_.push_back(
+        ChannelSlice{d0, std::min(config_.td, spec.in_channels - d0)});
+  }
+
+  for (int k0 = 0; k0 < spec.out_channels; k0 += config_.tk) {
+    groups_.push_back(
+        KernelGroup{k0, std::min(config_.tk, spec.out_channels - k0)});
+  }
+}
+
+std::int64_t Tiler::max_tile_input_bytes() const {
+  std::int64_t worst = 0;
+  for (const BufferTile& t : tiles_) {
+    worst = std::max(worst, std::int64_t{1} * t.in_rows * t.in_cols *
+                                config_.td);
+  }
+  return worst;
+}
+
+std::int64_t Tiler::max_tile_psum_entries() const {
+  std::int64_t worst = 0;
+  for (const BufferTile& t : tiles_) {
+    worst = std::max(worst, std::int64_t{1} * t.out_rows * t.out_cols *
+                                spec_.out_channels);
+  }
+  return worst;
+}
+
+}  // namespace edea::core

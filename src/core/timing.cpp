@@ -1,0 +1,59 @@
+#include "core/timing.hpp"
+
+#include "util/check.hpp"
+
+namespace edea::core {
+
+std::int64_t TimingModel::tile_pass_cycles(int tile_rows, int tile_cols,
+                                           int out_channels) const {
+  EDEA_REQUIRE(tile_rows > 0 && tile_cols > 0 && out_channels > 0,
+               "tile extents must be positive");
+  const std::int64_t spatial_steps =
+      ceil_div(tile_rows, config_.tn) * ceil_div(tile_cols, config_.tm);
+  const std::int64_t kernel_groups = ceil_div(out_channels, config_.tk);
+  return config_.init_cycles + spatial_steps * kernel_groups;
+}
+
+std::int64_t TimingModel::buffer_tile_count(
+    const nn::DscLayerSpec& spec) const {
+  return ceil_div(spec.out_rows(), config_.max_tile_out) *
+         ceil_div(spec.out_cols(), config_.max_tile_out);
+}
+
+LayerTiming TimingModel::layer_timing(const nn::DscLayerSpec& spec) const {
+  const int N = spec.out_rows();
+  const int M = spec.out_cols();
+  EDEA_REQUIRE(N > 0 && M > 0, "layer output must be non-empty");
+
+  const std::int64_t slices = ceil_div(spec.in_channels, config_.td);
+  const std::int64_t kernel_groups = ceil_div(spec.out_channels, config_.tk);
+
+  LayerTiming t;
+  // Iterate buffer tiles explicitly so ragged edges (output extents that
+  // are not multiples of max_tile_out) are counted exactly; MobileNetV1
+  // always tiles evenly but the accelerator itself is general.
+  for (int row0 = 0; row0 < N; row0 += config_.max_tile_out) {
+    const int tile_rows = std::min(config_.max_tile_out, N - row0);
+    for (int col0 = 0; col0 < M; col0 += config_.max_tile_out) {
+      const int tile_cols = std::min(config_.max_tile_out, M - col0);
+      const std::int64_t spatial_steps =
+          ceil_div(tile_rows, config_.tn) * ceil_div(tile_cols, config_.tm);
+      t.passes += slices;
+      t.init_cycles += slices * config_.init_cycles;
+      t.compute_cycles += slices * spatial_steps * kernel_groups;
+      t.dwc_active_cycles += slices * spatial_steps;
+      t.pwc_active_cycles += slices * spatial_steps * kernel_groups;
+    }
+  }
+  t.total_cycles = t.init_cycles + t.compute_cycles;
+  return t;
+}
+
+double TimingModel::layer_throughput_gops(const nn::DscLayerSpec& spec) const {
+  const LayerTiming t = layer_timing(spec);
+  const double ops = static_cast<double>(spec.total_ops());
+  // ops / ns = GOPS when the clock is in GHz (cycles / GHz = ns).
+  return ops / t.time_ns(config_.clock_ghz);
+}
+
+}  // namespace edea::core

@@ -1,0 +1,97 @@
+#include "dse/access_model.hpp"
+
+#include "util/check.hpp"
+
+namespace edea::dse {
+
+namespace {
+
+[[nodiscard]] std::int64_t ceil_div_i64(std::int64_t a,
+                                        std::int64_t b) noexcept {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+PeArraySize pe_array_size(const TilingCase& tcase, int tn, int tm,
+                          int kernel) {
+  EDEA_REQUIRE(tn > 0 && tm > 0 && kernel > 0, "tile sizes must be positive");
+  PeArraySize size;
+  size.dwc = std::int64_t{tcase.td} * kernel * kernel * tn * tm;
+  size.pwc = std::int64_t{tcase.td} * tcase.tk * tn * tm;
+  return size;
+}
+
+AccessCount layer_access(const nn::DscLayerSpec& spec, LoopOrder order,
+                         int tn, int tm, const TilingCase& tcase) {
+  EDEA_REQUIRE(tn > 0 && tm > 0, "tile sizes must be positive");
+  const std::int64_t N = spec.out_rows();
+  const std::int64_t M = spec.out_cols();
+  const std::int64_t D = spec.in_channels;
+  const std::int64_t K = spec.out_channels;
+  const std::int64_t HW = std::int64_t{spec.kernel} * spec.kernel;
+
+  // DWC engine window extents for this stride (Fig. 1's Tr x Tc).
+  const std::int64_t tr = (tn - 1) * spec.stride + spec.kernel;
+  const std::int64_t tc = (tm - 1) * spec.stride + spec.kernel;
+
+  // Spatial engine-step count (the N*M / (Tn*Tm) factor of Table II,
+  // exact for ragged edges).
+  const std::int64_t spatial = ceil_div_i64(N, tn) * ceil_div_i64(M, tm);
+  const std::int64_t kernel_groups = ceil_div_i64(K, tcase.tk);
+
+  AccessCount a;
+  // The DWC side is identical for both orders: every spatial step consumes
+  // a Tr x Tc window across all D channels (Table II row 1).
+  a.dwc_activation = tr * tc * spatial * D;
+
+  if (order == LoopOrder::kLa) {
+    // Weight stationary (Table II verbatim): kernels fetched once, PWC
+    // activations re-fetched once per kernel-group residency.
+    a.dwc_weight = HW * D;
+    a.pwc_activation = N * M * D * kernel_groups;
+    a.pwc_weight = D * K;
+  } else {
+    // Input stationary (symmetric model): activations fetched once, both
+    // engines' weights re-fetched for every spatial tile.
+    a.dwc_weight = HW * D * spatial;
+    a.pwc_activation = N * M * D;
+    a.pwc_weight = D * K * spatial;
+  }
+  return a;
+}
+
+AccessCount network_access(const std::vector<nn::DscLayerSpec>& specs,
+                           LoopOrder order, int tn, int tm,
+                           const TilingCase& tcase) {
+  AccessCount total;
+  for (const auto& spec : specs) {
+    total += layer_access(spec, order, tn, tm, tcase);
+  }
+  return total;
+}
+
+IntermediateAccessAnalysis intermediate_access(const nn::DscLayerSpec& spec) {
+  IntermediateAccessAnalysis a;
+  const std::int64_t padded_rows = spec.in_rows + 2 * spec.padding;
+  const std::int64_t padded_cols = spec.in_cols + 2 * spec.padding;
+  a.dwc_input = padded_rows * padded_cols * spec.in_channels;
+  a.intermediate = std::int64_t{2} * spec.out_rows() * spec.out_cols() *
+                   spec.in_channels;
+  a.pwc_output =
+      std::int64_t{1} * spec.out_rows() * spec.out_cols() * spec.out_channels;
+  return a;
+}
+
+IntermediateAccessTotals intermediate_access_totals(
+    const std::vector<nn::DscLayerSpec>& specs) {
+  IntermediateAccessTotals t;
+  for (const auto& spec : specs) {
+    const IntermediateAccessAnalysis a = intermediate_access(spec);
+    t.baseline += a.baseline_total();
+    t.streaming += a.streaming_total();
+  }
+  return t;
+}
+
+}  // namespace edea::dse

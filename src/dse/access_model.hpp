@@ -1,0 +1,109 @@
+// access_model.hpp - analytic PE-size and access-count models of Sec. II.
+//
+// For loop order La with Tn=Tm=2 the equations are the paper's Table II
+// verbatim; the Lb column uses the symmetric input-stationary model
+// (weights re-fetched per spatial tile, activations fetched once per
+// kernel group residency) - see DESIGN.md item 7.6 for the derivation and
+// the documented deviation of absolute Lb magnitudes from Fig. 2b.
+#pragma once
+
+#include <cstdint>
+
+#include "dse/loop_order.hpp"
+#include "nn/layers.hpp"
+
+namespace edea::dse {
+
+/// PE-array (multiplier) requirements of a configuration (Fig. 2a; the
+/// equations are the "PE Array" column of Table II).
+struct PeArraySize {
+  std::int64_t dwc = 0;  ///< Td x H x W x Tn x Tm
+  std::int64_t pwc = 0;  ///< Td x Tk x Tn x Tm
+  [[nodiscard]] std::int64_t total() const noexcept { return dwc + pwc; }
+};
+
+[[nodiscard]] PeArraySize pe_array_size(const TilingCase& tcase, int tn,
+                                        int tm, int kernel = 3);
+
+/// Access counts for one layer under one configuration (Fig. 2b bars).
+struct AccessCount {
+  std::int64_t dwc_activation = 0;
+  std::int64_t dwc_weight = 0;
+  std::int64_t pwc_activation = 0;
+  std::int64_t pwc_weight = 0;
+
+  [[nodiscard]] std::int64_t activation() const noexcept {
+    return dwc_activation + pwc_activation;
+  }
+  [[nodiscard]] std::int64_t weight() const noexcept {
+    return dwc_weight + pwc_weight;
+  }
+  [[nodiscard]] std::int64_t total() const noexcept {
+    return activation() + weight();
+  }
+
+  AccessCount& operator+=(const AccessCount& o) noexcept {
+    dwc_activation += o.dwc_activation;
+    dwc_weight += o.dwc_weight;
+    pwc_activation += o.pwc_activation;
+    pwc_weight += o.pwc_weight;
+    return *this;
+  }
+};
+
+/// Access counts of one DSC layer under (order, Tn=Tm, Td, Tk).
+[[nodiscard]] AccessCount layer_access(const nn::DscLayerSpec& spec,
+                                       LoopOrder order, int tn, int tm,
+                                       const TilingCase& tcase);
+
+/// Sum of layer_access over a network.
+[[nodiscard]] AccessCount network_access(
+    const std::vector<nn::DscLayerSpec>& specs, LoopOrder order, int tn,
+    int tm, const TilingCase& tcase);
+
+// ---------------------------------------------------------------------------
+// Fig. 3: intermediate-activation access elimination.
+// ---------------------------------------------------------------------------
+
+/// Per-layer activation memory-access analysis with and without streaming
+/// the DWC output directly into the PWC. The baseline counts the padded
+/// DWC input footprint, both sides of the intermediate map, and the PWC
+/// output; streaming removes the two intermediate terms.
+struct IntermediateAccessAnalysis {
+  std::int64_t dwc_input = 0;      ///< (R+2p) * (C+2p) * D
+  std::int64_t intermediate = 0;   ///< 2 * N * M * D (write + read)
+  std::int64_t pwc_output = 0;     ///< N * M * K
+
+  [[nodiscard]] std::int64_t baseline_total() const noexcept {
+    return dwc_input + intermediate + pwc_output;
+  }
+  [[nodiscard]] std::int64_t streaming_total() const noexcept {
+    return dwc_input + pwc_output;
+  }
+  /// Fraction of baseline accesses eliminated (paper: 15.4% .. 46.9%).
+  [[nodiscard]] double reduction() const noexcept {
+    return baseline_total() == 0
+               ? 0.0
+               : static_cast<double>(intermediate) /
+                     static_cast<double>(baseline_total());
+  }
+};
+
+[[nodiscard]] IntermediateAccessAnalysis intermediate_access(
+    const nn::DscLayerSpec& spec);
+
+/// Network-level totals (paper: 34.7% overall reduction).
+struct IntermediateAccessTotals {
+  std::int64_t baseline = 0;
+  std::int64_t streaming = 0;
+  [[nodiscard]] double reduction() const noexcept {
+    return baseline == 0 ? 0.0
+                         : 1.0 - static_cast<double>(streaming) /
+                                     static_cast<double>(baseline);
+  }
+};
+
+[[nodiscard]] IntermediateAccessTotals intermediate_access_totals(
+    const std::vector<nn::DscLayerSpec>& specs);
+
+}  // namespace edea::dse

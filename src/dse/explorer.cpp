@@ -1,0 +1,50 @@
+#include "dse/explorer.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace edea::dse {
+
+std::string DesignPoint::label() const {
+  std::ostringstream os;
+  os << loop_order_name(group.order) << ", Tn=Tm=" << group.tn << ", Case"
+     << tcase.id << " (Td=" << tcase.td << ", Tk=" << tcase.tk << ")";
+  return os.str();
+}
+
+Explorer::Explorer(std::vector<nn::DscLayerSpec> specs)
+    : specs_(std::move(specs)) {
+  EDEA_REQUIRE(!specs_.empty(), "explorer needs at least one layer");
+}
+
+ExplorationResult Explorer::explore() const {
+  ExplorationResult result;
+  result.points.reserve(kExplorationGroups.size() * kTableICases.size());
+
+  for (const ExplorationGroup& group : kExplorationGroups) {
+    for (const TilingCase& tcase : kTableICases) {
+      DesignPoint p;
+      p.group = group;
+      p.tcase = tcase;
+      p.pe = pe_array_size(tcase, group.tn, group.tn);
+      p.access = network_access(specs_, group.order, group.tn, group.tn,
+                                tcase);
+      result.points.push_back(p);
+    }
+  }
+
+  for (std::size_t i = 1; i < result.points.size(); ++i) {
+    const DesignPoint& cand = result.points[i];
+    const DesignPoint& best = result.points[result.best_index];
+    const bool better_access = cand.access.total() < best.access.total();
+    const bool tied_access = cand.access.total() == best.access.total();
+    // Tie-break toward parallelism (see ExplorationResult doc comment).
+    if (better_access || (tied_access && cand.pe.total() > best.pe.total())) {
+      result.best_index = i;
+    }
+  }
+  return result;
+}
+
+}  // namespace edea::dse

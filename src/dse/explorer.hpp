@@ -1,0 +1,52 @@
+// explorer.hpp - the design space exploration of Sec. II: sweeps the four
+// (loop order x Tn=Tm) groups over the six Table I tiling cases, evaluates
+// PE-array size and total access count on a network, and selects the
+// configuration the paper selected (La, Tn=Tm=2, Case 6).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dse/access_model.hpp"
+#include "dse/loop_order.hpp"
+#include "nn/layers.hpp"
+
+namespace edea::dse {
+
+/// One evaluated design point.
+struct DesignPoint {
+  ExplorationGroup group;
+  TilingCase tcase;
+  PeArraySize pe;
+  AccessCount access;
+
+  [[nodiscard]] std::string label() const;
+};
+
+/// Ranking policy, mirroring the paper's narrative: minimize total access
+/// count; break ties toward higher compute parallelism (larger PE array),
+/// which is how Case 6 (Td=8) wins over the access-equivalent Case 3
+/// (Td=4) - more parallelism at equal traffic means lower latency.
+struct ExplorationResult {
+  std::vector<DesignPoint> points;  ///< all 24 design points, sweep order
+  std::size_t best_index = 0;
+
+  [[nodiscard]] const DesignPoint& best() const { return points[best_index]; }
+};
+
+class Explorer {
+ public:
+  explicit Explorer(std::vector<nn::DscLayerSpec> specs);
+
+  /// Evaluates all groups x cases on the configured network.
+  [[nodiscard]] ExplorationResult explore() const;
+
+  [[nodiscard]] const std::vector<nn::DscLayerSpec>& specs() const noexcept {
+    return specs_;
+  }
+
+ private:
+  std::vector<nn::DscLayerSpec> specs_;
+};
+
+}  // namespace edea::dse

@@ -1,0 +1,57 @@
+// loop_order.hpp - dataflow nomenclature of Sec. II.
+//
+// Five convolution loops (Fig. 1): Loop1 = MACs inside one window,
+// Loop2 = the Td channels of a slice, Loop3 = spatial scan, Loop4 = the
+// D/Td channel slices, Loop5 = the K/Tk kernel groups (PWC only). The two
+// admissible orders swap Loop3 and Loop4:
+//   La: Loop1 -> Loop2 -> Loop3 -> Loop4 -> Loop5   (spatial inner)
+//   Lb: Loop1 -> Loop2 -> Loop4 -> Loop3 -> Loop5   (channel-slice inner)
+#pragma once
+
+#include <array>
+#include <string_view>
+
+namespace edea::dse {
+
+enum class LoopOrder {
+  kLa,  ///< spatial scan inside the channel-slice loop (weight stationary)
+  kLb,  ///< channel-slice loop inside the spatial scan (input stationary)
+};
+
+[[nodiscard]] constexpr std::string_view loop_order_name(
+    LoopOrder o) noexcept {
+  return o == LoopOrder::kLa ? "La" : "Lb";
+}
+
+/// One tiling configuration candidate (Table I uses six (Td, Tk) cases,
+/// crossed with Tn = Tm in {1, 2} and the two loop orders).
+struct TilingCase {
+  int id = 0;  ///< 1-based case number as in Table I
+  int td = 4;
+  int tk = 4;
+};
+
+/// Table I verbatim.
+inline constexpr std::array<TilingCase, 6> kTableICases{{
+    {1, 4, 4},
+    {2, 4, 8},
+    {3, 4, 16},
+    {4, 8, 4},
+    {5, 8, 8},
+    {6, 8, 16},
+}};
+
+/// One exploration group: loop order x output-tile size.
+struct ExplorationGroup {
+  LoopOrder order = LoopOrder::kLa;
+  int tn = 1;  ///< Tn = Tm constrained equal in the paper's sweep
+};
+
+inline constexpr std::array<ExplorationGroup, 4> kExplorationGroups{{
+    {LoopOrder::kLa, 1},
+    {LoopOrder::kLb, 1},
+    {LoopOrder::kLa, 2},
+    {LoopOrder::kLb, 2},
+}};
+
+}  // namespace edea::dse

@@ -1,0 +1,65 @@
+// area_model.hpp - silicon area model (Fig. 8 layout, Fig. 9 breakdown).
+//
+// The published total (0.58 mm^2 in GF 22FDX) and component percentages are
+// anchors; from them the model derives per-MAC area constants so that
+// scaled configurations (more channels / kernels, Sec. III-B) get a
+// first-order area estimate for the scaling-study benches.
+#pragma once
+
+#include "core/config.hpp"
+#include "model/paper_data.hpp"
+
+namespace edea::model {
+
+class AreaModel {
+ public:
+  [[nodiscard]] static AreaModel paper() { return AreaModel{}; }
+
+  [[nodiscard]] double total_mm2() const noexcept { return kPaperAreaMm2; }
+  [[nodiscard]] const AreaBreakdown& breakdown() const noexcept {
+    return breakdown_;
+  }
+
+  [[nodiscard]] double pwc_engine_mm2() const noexcept {
+    return total_mm2() * breakdown_.pwc_engine;
+  }
+  [[nodiscard]] double dwc_engine_mm2() const noexcept {
+    return total_mm2() * breakdown_.dwc_engine;
+  }
+  [[nodiscard]] double nonconv_mm2() const noexcept {
+    return total_mm2() * breakdown_.nonconv;
+  }
+
+  /// Area per PWC multiplier lane, derived from the paper point (512 lanes).
+  [[nodiscard]] double pwc_area_per_mac_mm2() const noexcept {
+    return pwc_engine_mm2() / 512.0;
+  }
+  /// Area per DWC multiplier lane (288 lanes; larger than a PWC lane
+  /// because of the deeper 9-input adder trees).
+  [[nodiscard]] double dwc_area_per_mac_mm2() const noexcept {
+    return dwc_engine_mm2() / 288.0;
+  }
+
+  /// First-order area estimate for a scaled configuration: engine areas
+  /// scale with MAC count, the Non-Conv unit with Td, and the remaining
+  /// components are carried over unchanged.
+  [[nodiscard]] double estimate_mm2(const core::EdeaConfig& config) const {
+    const double fixed = total_mm2() * (breakdown_.buffers +
+                                        breakdown_.control + breakdown_.clock);
+    const double nc = nonconv_mm2() * static_cast<double>(config.td) / 8.0;
+    return fixed + nc +
+           dwc_area_per_mac_mm2() * config.dwc_mac_count() +
+           pwc_area_per_mac_mm2() * config.pwc_mac_count();
+  }
+
+  /// Area efficiency in GOPS/mm^2.
+  [[nodiscard]] static double area_efficiency(double gops,
+                                              double mm2) noexcept {
+    return mm2 <= 0.0 ? 0.0 : gops / mm2;
+  }
+
+ private:
+  AreaBreakdown breakdown_{};
+};
+
+}  // namespace edea::model

@@ -1,0 +1,106 @@
+#include "model/comparison.hpp"
+
+#include "model/area_model.hpp"
+#include "model/tech_scaling.hpp"
+#include "util/check.hpp"
+
+namespace edea::model {
+
+namespace {
+
+ComparisonEntry from_paper_row(const PaperComparisonRow& row) {
+  ComparisonEntry e;
+  e.label = row.label;
+  e.technology_nm = row.technology_nm;
+  e.precision_bits = row.precision_bits;
+  e.voltage_v = row.voltage_v;
+  e.pe_count = row.pe_count;
+  e.conv_type = row.conv_type;
+  e.power_mw = row.power_mw;
+  e.frequency_mhz = row.frequency_mhz;
+  e.area_mm2 = row.area_mm2;
+  e.throughput_gops = row.throughput_gops;
+  e.energy_eff_tops_w = row.energy_eff_tops_w;
+  e.area_eff_gops_mm2 = row.area_eff_gops_mm2;
+  e.paper_norm_energy_eff = row.paper_norm_energy_eff;
+  e.paper_norm_area_eff = row.paper_norm_area_eff;
+
+  // Our analytic normalization: precision adjustment (Table III footnote),
+  // then first-order technology/voltage scaling to 22 nm / 0.8 V.
+  const TechPoint from{static_cast<double>(row.technology_nm), row.voltage_v};
+  e.norm_energy_eff = scale_energy_efficiency(
+      normalize_precision(row.energy_eff_tops_w, row.precision_bits), from,
+      kReference22nm);
+  e.norm_area_eff = scale_area_efficiency(
+      normalize_precision(row.area_eff_gops_mm2, row.precision_bits), from,
+      kReference22nm);
+  return e;
+}
+
+}  // namespace
+
+std::vector<ComparisonEntry> build_comparison_table(
+    const SimulatedThisWork& simulated) {
+  std::vector<ComparisonEntry> table;
+  table.reserve(kPaperComparisonRows.size() + 2);
+  for (const PaperComparisonRow& row : kPaperComparisonRows) {
+    table.push_back(from_paper_row(row));
+  }
+
+  // The paper's own EDEA row (published silicon numbers).
+  table.push_back(from_paper_row(kPaperThisWork));
+
+  // The row derived from this repository's simulator + models. Already at
+  // the reference node, so normalized == raw.
+  ComparisonEntry e;
+  e.label = "This Work (simulated)";
+  e.technology_nm = 22;
+  e.precision_bits = 8;
+  e.voltage_v = 0.8;
+  e.pe_count = simulated.pe_count;
+  e.conv_type = "DWC+PWC";
+  e.power_mw = simulated.avg_power_mw;
+  e.frequency_mhz = 1000.0;
+  e.area_mm2 = simulated.area_mm2;
+  e.throughput_gops = simulated.peak_throughput_gops;
+  e.energy_eff_tops_w = simulated.peak_energy_eff_tops_w;
+  e.area_eff_gops_mm2 = AreaModel::area_efficiency(
+      simulated.peak_throughput_gops, simulated.area_mm2);
+  e.norm_energy_eff = e.energy_eff_tops_w;
+  e.norm_area_eff = e.area_eff_gops_mm2;
+  e.paper_norm_energy_eff = e.energy_eff_tops_w;
+  e.paper_norm_area_eff = e.area_eff_gops_mm2;
+  table.push_back(e);
+  return table;
+}
+
+std::vector<AdvantageFactors> advantage_factors(
+    const std::vector<ComparisonEntry>& table, std::size_t this_work_index) {
+  EDEA_REQUIRE(this_work_index < table.size(), "index out of range");
+  const ComparisonEntry& self = table[this_work_index];
+  std::vector<AdvantageFactors> out;
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    if (i == this_work_index) continue;
+    const ComparisonEntry& other = table[i];
+    AdvantageFactors f;
+    f.versus = other.label;
+    // "Raw" advantage compares 8-bit-equivalent ops (the paper's
+    // double-dagger footnote), so 16-bit rows get the (16/8)^2 adjustment.
+    const double other_ee_8bit =
+        normalize_precision(other.energy_eff_tops_w, other.precision_bits);
+    f.raw_energy =
+        other_ee_8bit > 0 ? self.energy_eff_tops_w / other_ee_8bit : 0.0;
+    f.normalized_energy = other.paper_norm_energy_eff > 0
+                              ? self.energy_eff_tops_w /
+                                    other.paper_norm_energy_eff
+                              : 0.0;
+    f.normalized_area =
+        other.paper_norm_area_eff > 0
+            ? self.area_eff_gops_mm2 / other.paper_norm_area_eff
+            : 0.0;
+    out.push_back(f);
+  }
+  return out;
+}
+
+}  // namespace edea::model

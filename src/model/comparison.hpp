@@ -1,0 +1,64 @@
+// comparison.hpp - Table III: comparison with state-of-the-art works.
+//
+// Builds the full comparison table: the five published competitor rows,
+// the paper's own EDEA row, and a "This Work (simulated)" row derived live
+// from this repository's timing + power models, with both the paper's and
+// our analytic normalization to 22 nm / 0.8 V.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/paper_data.hpp"
+
+namespace edea::model {
+
+/// A fully-populated comparison row ready for printing.
+struct ComparisonEntry {
+  std::string label;
+  int technology_nm = 0;
+  int precision_bits = 0;
+  double voltage_v = 0.0;
+  int pe_count = 0;
+  std::string conv_type;
+  double power_mw = 0.0;
+  double frequency_mhz = 0.0;
+  double area_mm2 = 0.0;
+  double throughput_gops = 0.0;
+  double energy_eff_tops_w = 0.0;
+  double area_eff_gops_mm2 = 0.0;
+  double norm_energy_eff = 0.0;       ///< our analytic normalization
+  double norm_area_eff = 0.0;
+  double paper_norm_energy_eff = 0.0; ///< the paper's published normalization
+  double paper_norm_area_eff = 0.0;
+};
+
+/// Simulated "This Work" figures supplied by the caller (from the cycle
+/// simulator and calibrated power model).
+struct SimulatedThisWork {
+  double peak_throughput_gops = 0.0;
+  double peak_energy_eff_tops_w = 0.0;
+  double avg_power_mw = 0.0;
+  double area_mm2 = 0.0;
+  int pe_count = 0;
+};
+
+/// Builds the table. Normalized columns are already precision-adjusted
+/// (16-bit rows scaled by (16/8)^2, matching the paper's footnote).
+[[nodiscard]] std::vector<ComparisonEntry> build_comparison_table(
+    const SimulatedThisWork& simulated);
+
+/// Energy-efficiency advantage factors of this work over each competitor,
+/// pre- and post-normalization (the paper quotes 14.6x/9.87x/2.72x/2.65x
+/// raw and 1.74x/3.11x/1.37x/2.65x normalized).
+struct AdvantageFactors {
+  std::string versus;
+  double raw_energy = 0.0;
+  double normalized_energy = 0.0;
+  double normalized_area = 0.0;
+};
+
+[[nodiscard]] std::vector<AdvantageFactors> advantage_factors(
+    const std::vector<ComparisonEntry>& table, std::size_t this_work_index);
+
+}  // namespace edea::model

@@ -1,0 +1,72 @@
+#include "model/energy_model.hpp"
+
+#include "util/check.hpp"
+
+namespace edea::model {
+
+EnergyModel::EnergyModel(EnergyParams params) : params_(params) {
+  EDEA_REQUIRE(params_.mac_pj >= 0 && params_.mac_gated_pj >= 0 &&
+                   params_.sram_access_pj >= 0 && params_.nonconv_pj >= 0 &&
+                   params_.external_access_pj >= 0 &&
+                   params_.idle_pw_per_cycle_pj >= 0,
+               "event energies must be non-negative");
+  EDEA_REQUIRE(params_.mac_gated_pj <= params_.mac_pj,
+               "a gated MAC cannot cost more than an active one");
+}
+
+namespace {
+
+double mac_energy(const arch::MacActivity& a, const EnergyParams& p) {
+  const std::int64_t active = a.useful_macs - a.zero_operand_macs;
+  return static_cast<double>(active) * p.mac_pj +
+         static_cast<double>(a.zero_operand_macs) * p.mac_gated_pj;
+}
+
+std::int64_t sram_accesses(const core::BufferAccessSnapshot& b) {
+  return b.dwc_ifmap.total_accesses() + b.dwc_weight.total_accesses() +
+         b.offline.total_accesses() + b.intermediate.total_accesses() +
+         b.pwc_weight.total_accesses() + b.accumulator.total_accesses();
+}
+
+}  // namespace
+
+EnergyBreakdown EnergyModel::account(const core::LayerRunResult& r) const {
+  EnergyBreakdown e;
+  e.dwc_mac_pj = mac_energy(r.dwc_activity, params_);
+  e.pwc_mac_pj = mac_energy(r.pwc_activity, params_);
+  e.nonconv_pj = static_cast<double>(r.nonconv_transfer_ops +
+                                     r.nonconv_writeback_ops) *
+                 params_.nonconv_pj;
+  e.sram_pj = static_cast<double>(sram_accesses(r.buffers)) *
+              params_.sram_access_pj;
+  e.external_pj = static_cast<double>(r.external.total_accesses()) *
+                  params_.external_access_pj;
+  e.idle_pj = static_cast<double>(r.timing.total_cycles) *
+              params_.idle_pw_per_cycle_pj;
+  return e;
+}
+
+double EnergyModel::on_chip_power_mw(const core::LayerRunResult& r,
+                                     double clock_ghz) const {
+  EDEA_REQUIRE(clock_ghz > 0.0, "clock must be positive");
+  const double t_ns = r.timing.time_ns(clock_ghz);
+  EDEA_REQUIRE(t_ns > 0.0, "layer run has zero duration");
+  return account(r).on_chip_pj() / t_ns;  // pJ / ns == mW
+}
+
+EnergyModel EnergyModel::calibrated_to(const core::LayerRunResult& r,
+                                       double target_on_chip_pj) const {
+  EDEA_REQUIRE(target_on_chip_pj > 0.0, "target energy must be positive");
+  const double current = account(r).on_chip_pj();
+  EDEA_REQUIRE(current > 0.0, "cannot calibrate against a zero-energy run");
+  const double scale = target_on_chip_pj / current;
+  EnergyParams p = params_;
+  p.mac_pj *= scale;
+  p.mac_gated_pj *= scale;
+  p.sram_access_pj *= scale;
+  p.nonconv_pj *= scale;
+  p.idle_pw_per_cycle_pj *= scale;
+  return EnergyModel(p);
+}
+
+}  // namespace edea::model

@@ -1,0 +1,83 @@
+// energy_model.hpp - event-level (bottom-up) energy accounting.
+//
+// Complements the calibrated top-down power model (power_model.hpp): each
+// counted event of an accelerator run - MAC operations (gated by operand
+// zeros), on-chip SRAM accesses, Non-Conv affines, external transfers -
+// carries a per-event energy. Defaults are 22 nm-class estimates with the
+// usual memory-hierarchy ordering (external >> SRAM >> MAC); a single
+// calibration factor scales the MAC/SRAM/Non-Conv ("on-chip dynamic")
+// energies so that the bottom-up total matches the top-down calibrated
+// model at the paper's operating point, after which the *breakdown* is a
+// genuine prediction.
+#pragma once
+
+#include <cstdint>
+
+#include "core/run_result.hpp"
+
+namespace edea::model {
+
+/// Per-event energies in picojoules.
+struct EnergyParams {
+  double mac_pj = 0.10;            ///< int8 MAC, operand switching
+  double mac_gated_pj = 0.01;      ///< int8 MAC with a zero activation
+  double sram_access_pj = 0.06;    ///< on-chip buffer element access
+  double nonconv_pj = 0.25;        ///< 24-bit fixed-point affine
+  double external_access_pj = 10.0;  ///< off-chip element transfer
+  double idle_pw_per_cycle_pj = 0.0; ///< leakage/clock per cycle (optional)
+};
+
+/// Energy of one layer run, by component.
+struct EnergyBreakdown {
+  double dwc_mac_pj = 0.0;
+  double pwc_mac_pj = 0.0;
+  double nonconv_pj = 0.0;
+  double sram_pj = 0.0;
+  double external_pj = 0.0;
+  double idle_pj = 0.0;
+
+  [[nodiscard]] double on_chip_pj() const noexcept {
+    return dwc_mac_pj + pwc_mac_pj + nonconv_pj + sram_pj + idle_pj;
+  }
+  [[nodiscard]] double total_pj() const noexcept {
+    return on_chip_pj() + external_pj;
+  }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) noexcept {
+    dwc_mac_pj += o.dwc_mac_pj;
+    pwc_mac_pj += o.pwc_mac_pj;
+    nonconv_pj += o.nonconv_pj;
+    sram_pj += o.sram_pj;
+    external_pj += o.external_pj;
+    idle_pj += o.idle_pj;
+    return *this;
+  }
+};
+
+class EnergyModel {
+ public:
+  explicit EnergyModel(EnergyParams params = EnergyParams{});
+
+  [[nodiscard]] const EnergyParams& params() const noexcept {
+    return params_;
+  }
+
+  /// Accounts every counted event of a layer run.
+  [[nodiscard]] EnergyBreakdown account(const core::LayerRunResult& r) const;
+
+  /// Average on-chip power (mW) implied by this model for a layer run.
+  [[nodiscard]] double on_chip_power_mw(const core::LayerRunResult& r,
+                                        double clock_ghz) const;
+
+  /// Returns a copy whose on-chip event energies are scaled so that the
+  /// bottom-up on-chip energy of `r` equals `target_on_chip_pj` (derived
+  /// from the calibrated top-down model). External energy is untouched -
+  /// the top-down model only covers the chip.
+  [[nodiscard]] EnergyModel calibrated_to(const core::LayerRunResult& r,
+                                          double target_on_chip_pj) const;
+
+ private:
+  EnergyParams params_;
+};
+
+}  // namespace edea::model

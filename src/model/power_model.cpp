@@ -1,0 +1,101 @@
+#include "model/power_model.hpp"
+
+#include <cmath>
+
+#include "nn/mobilenet.hpp"
+#include "util/check.hpp"
+
+namespace edea::model {
+
+namespace {
+
+/// Early-layer activity assumption used by anchor A2 (45% zeros).
+constexpr double kLayer1ActivityAssumption = 0.55;
+
+}  // namespace
+
+PowerModel::PowerModel(double c_idle_mw, double c_dwc_mw, double c_pwc_mw)
+    : c_idle_(c_idle_mw), c_dwc_(c_dwc_mw), c_pwc_(c_pwc_mw) {
+  EDEA_REQUIRE(c_idle_mw >= 0.0 && c_dwc_mw >= 0.0 && c_pwc_mw >= 0.0,
+               "power coefficients must be non-negative");
+}
+
+std::array<OperatingPoint, kPaperLayerCount> paper_layer_duties(
+    const core::EdeaConfig& config) {
+  const core::TimingModel timing(config);
+  const auto specs = nn::mobilenet_dsc_specs();
+  std::array<OperatingPoint, kPaperLayerCount> points{};
+  for (int i = 0; i < kPaperLayerCount; ++i) {
+    const core::LayerTiming t =
+        timing.layer_timing(specs[static_cast<std::size_t>(i)]);
+    OperatingPoint& op = points[static_cast<std::size_t>(i)];
+    op.duty_dwc = static_cast<double>(t.dwc_active_cycles) /
+                  static_cast<double>(t.total_cycles);
+    op.duty_pwc = static_cast<double>(t.pwc_active_cycles) /
+                  static_cast<double>(t.total_cycles);
+  }
+  return points;
+}
+
+PowerModel PowerModel::paper_calibrated(const core::EdeaConfig& config) {
+  const auto duties = paper_layer_duties(config);
+
+  // Anchor A3: per-lane parity ties the two switching coefficients.
+  const double lane_ratio = static_cast<double>(config.dwc_mac_count()) /
+                            static_cast<double>(config.pwc_mac_count());
+
+  // Anchor A1 (layer 12, published zero percentages):
+  //   c_idle + c_pwc * (lane_ratio*d12_dwc*a12_dwc + d12_pwc*a12_pwc) = P12
+  const OperatingPoint& d12 = duties[12];
+  const double a12_dwc = 1.0 - kPaperLayer12DwcZero;
+  const double a12_pwc = 1.0 - kPaperLayer12PwcZero;
+  const double w12 =
+      lane_ratio * d12.duty_dwc * a12_dwc + d12.duty_pwc * a12_pwc;
+  const double p12 = paper_layer_power_mw(12);
+
+  // Anchor A2 (layer 1, assumed activity):
+  const OperatingPoint& d1 = duties[1];
+  const double w1 =
+      (lane_ratio * d1.duty_dwc + d1.duty_pwc) * kLayer1ActivityAssumption;
+  const double p1 = paper_layer_power_mw(1);
+
+  // Two equations in (c_idle, c_pwc):
+  //   c_idle + w12 * c_pwc = p12
+  //   c_idle + w1  * c_pwc = p1
+  const double c_pwc = (p1 - p12) / (w1 - w12);
+  const double c_idle = p12 - w12 * c_pwc;
+  const double c_dwc = lane_ratio * c_pwc;
+  EDEA_ASSERT(c_pwc > 0.0 && c_idle > 0.0,
+              "power-model calibration produced non-physical coefficients");
+  return PowerModel(c_idle, c_dwc, c_pwc);
+}
+
+double PowerModel::invert_activity(double duty_dwc, double duty_pwc,
+                                   double target_power_mw) const {
+  const double denom = c_dwc_ * duty_dwc + c_pwc_ * duty_pwc;
+  EDEA_REQUIRE(denom > 0.0, "cannot invert activity with zero duty");
+  const double a = (target_power_mw - c_idle_) / denom;
+  return a;
+}
+
+std::array<OperatingPoint, kPaperLayerCount>
+paper_calibrated_operating_points(const core::EdeaConfig& config) {
+  const PowerModel model = PowerModel::paper_calibrated(config);
+  auto points = paper_layer_duties(config);
+  for (int i = 0; i < kPaperLayerCount; ++i) {
+    OperatingPoint& op = points[static_cast<std::size_t>(i)];
+    if (i == 12) {
+      // Layer 12 keeps its two published zero percentages.
+      op.act_dwc = 1.0 - kPaperLayer12DwcZero;
+      op.act_pwc = 1.0 - kPaperLayer12PwcZero;
+    } else {
+      const double a = model.invert_activity(op.duty_dwc, op.duty_pwc,
+                                             paper_layer_power_mw(i));
+      op.act_dwc = a;
+      op.act_pwc = a;
+    }
+  }
+  return points;
+}
+
+}  // namespace edea::model

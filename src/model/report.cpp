@@ -1,0 +1,136 @@
+#include "model/report.hpp"
+
+#include <ostream>
+
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+namespace edea::model {
+
+namespace {
+
+OperatingPoint operating_point(const core::LayerRunResult& r) {
+  OperatingPoint op;
+  op.duty_dwc = r.dwc_duty();
+  op.duty_pwc = r.pwc_duty();
+  op.act_dwc = 1.0 - r.dwc_input_zero_fraction;
+  op.act_pwc = 1.0 - r.pwc_input_zero_fraction;
+  return op;
+}
+
+}  // namespace
+
+NetworkSummary summarize(const core::NetworkRunResult& run,
+                         const PowerModel& power, const EnergyModel& energy,
+                         double clock_ghz) {
+  EDEA_REQUIRE(!run.layers.empty(), "cannot summarize an empty run");
+  EDEA_REQUIRE(clock_ghz > 0.0, "clock must be positive");
+
+  NetworkSummary s;
+  double energy_pj_topdown = 0.0;
+  for (const auto& r : run.layers) {
+    s.total_macs += r.spec.total_macs();
+    s.total_cycles += r.timing.total_cycles;
+    const double t_ns = r.time_ns(clock_ghz);
+    energy_pj_topdown += power.power_mw(operating_point(r)) * t_ns;
+    const EnergyBreakdown e = energy.account(r);
+    s.on_chip_energy_uj += e.on_chip_pj() / 1e6;
+    s.external_energy_uj += e.external_pj / 1e6;
+    s.external_accesses += r.external.total_accesses();
+    s.all_layers_bit_envelope_ok =
+        s.all_layers_bit_envelope_ok && r.within_24bit_accumulator();
+  }
+  s.total_time_us =
+      static_cast<double>(s.total_cycles) / clock_ghz / 1000.0;
+  s.average_gops = run.average_throughput_gops(clock_ghz);
+  s.average_power_mw =
+      energy_pj_topdown / (static_cast<double>(s.total_cycles) / clock_ghz);
+  s.average_efficiency_tops_w =
+      static_cast<double>(run.total_ops()) / energy_pj_topdown;
+  return s;
+}
+
+void render_network_report(std::ostream& os,
+                           const core::NetworkRunResult& run,
+                           const PowerModel& power, const EnergyModel& energy,
+                           const ReportOptions& options) {
+  const NetworkSummary s = summarize(run, power, energy, options.clock_ghz);
+
+  if (options.per_layer) {
+    os << "--- per-layer profile ---\n";
+    TextTable t({"layer", "shape", "cycles", "GOPS", "DWC duty", "PWC duty",
+                 "util", "PWC in zero%", "P (mW)"});
+    for (const auto& r : run.layers) {
+      const double p = power.power_mw(operating_point(r));
+      const bool full_util = r.dwc_lane_utilization() >= 1.0 &&
+                             r.pwc_lane_utilization() >= 1.0;
+      t.add_row({std::to_string(r.spec.index), r.spec.to_string(),
+                 TextTable::num(r.timing.total_cycles),
+                 TextTable::num(r.throughput_gops(options.clock_ghz), 1),
+                 TextTable::percent(r.dwc_duty(), 1),
+                 TextTable::percent(r.pwc_duty(), 1),
+                 full_util ? "100%" : "<100%",
+                 TextTable::percent(r.pwc_input_zero_fraction, 1),
+                 TextTable::num(p, 1)});
+    }
+    t.render(os);
+  }
+
+  if (options.traffic) {
+    os << "\n--- external traffic (elements) ---\n";
+    TextTable t({"layer", "act reads", "act writes", "weights", "params"});
+    for (const auto& r : run.layers) {
+      t.add_row({std::to_string(r.spec.index),
+                 TextTable::num(r.external
+                                    .counter(arch::TrafficClass::kActivation)
+                                    .reads),
+                 TextTable::num(r.external
+                                    .counter(arch::TrafficClass::kActivation)
+                                    .writes),
+                 TextTable::num(
+                     r.external.accesses(arch::TrafficClass::kWeight)),
+                 TextTable::num(
+                     r.external.accesses(arch::TrafficClass::kParameter))});
+    }
+    t.render(os);
+  }
+
+  if (options.power) {
+    os << "\n--- energy (bottom-up event model) ---\n";
+    TextTable t({"layer", "on-chip (nJ)", "external (nJ)", "psum max",
+                 "24-bit OK"});
+    for (const auto& r : run.layers) {
+      const EnergyBreakdown e = energy.account(r);
+      t.add_row({std::to_string(r.spec.index),
+                 TextTable::num(e.on_chip_pj() / 1000.0, 2),
+                 TextTable::num(e.external_pj / 1000.0, 2),
+                 TextTable::num(r.max_abs_psum),
+                 r.within_24bit_accumulator() ? "yes" : "NO"});
+    }
+    t.render(os);
+  }
+
+  if (options.totals) {
+    os << "\n--- network totals ---\n";
+    TextTable t({"metric", "value"});
+    t.add_row({"MACs", TextTable::num(s.total_macs)});
+    t.add_row({"cycles", TextTable::num(s.total_cycles)});
+    t.add_row({"time (us)", TextTable::num(s.total_time_us, 2)});
+    t.add_row({"average throughput (GOPS)",
+               TextTable::num(s.average_gops, 1)});
+    t.add_row({"average power (mW, top-down)",
+               TextTable::num(s.average_power_mw, 1)});
+    t.add_row({"efficiency (TOPS/W)",
+               TextTable::num(s.average_efficiency_tops_w, 2)});
+    t.add_row({"on-chip energy (uJ)",
+               TextTable::num(s.on_chip_energy_uj, 3)});
+    t.add_row({"external energy (uJ)",
+               TextTable::num(s.external_energy_uj, 3)});
+    t.add_row({"external accesses", TextTable::num(s.external_accesses)});
+    t.add_row({"24-bit accumulator envelope",
+               s.all_layers_bit_envelope_ok ? "respected" : "VIOLATED"});
+    t.render(os);
+  }
+}
+
+}  // namespace edea::model

@@ -1,0 +1,56 @@
+// report.hpp - human-readable profiling reports for accelerator runs.
+//
+// Ties the whole evaluation stack together: given a NetworkRunResult (from
+// the cycle-accurate simulator) plus the calibrated power and energy
+// models, renders the profile a performance engineer would want - per-layer
+// timing/throughput/utilization/sparsity, power and energy, traffic by
+// class, and network totals. Used by the profile_network example and
+// available to downstream users as a library call.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/run_result.hpp"
+#include "model/energy_model.hpp"
+#include "model/power_model.hpp"
+
+namespace edea::model {
+
+/// Options controlling which report sections are rendered.
+struct ReportOptions {
+  bool per_layer = true;
+  bool traffic = true;
+  bool power = true;
+  bool totals = true;
+  double clock_ghz = 1.0;
+};
+
+/// Aggregated network-level metrics (also useful programmatically).
+struct NetworkSummary {
+  std::int64_t total_macs = 0;
+  std::int64_t total_cycles = 0;
+  double total_time_us = 0.0;
+  double average_gops = 0.0;
+  double average_power_mw = 0.0;       ///< top-down model, measured sparsity
+  double average_efficiency_tops_w = 0.0;
+  double on_chip_energy_uj = 0.0;      ///< bottom-up event model
+  double external_energy_uj = 0.0;
+  std::int64_t external_accesses = 0;
+  bool all_layers_bit_envelope_ok = true;  ///< 24-bit accumulator check
+};
+
+/// Computes the summary without rendering.
+[[nodiscard]] NetworkSummary summarize(const core::NetworkRunResult& run,
+                                       const PowerModel& power,
+                                       const EnergyModel& energy,
+                                       double clock_ghz = 1.0);
+
+/// Renders the full report to `os`.
+void render_network_report(std::ostream& os,
+                           const core::NetworkRunResult& run,
+                           const PowerModel& power,
+                           const EnergyModel& energy,
+                           const ReportOptions& options = ReportOptions{});
+
+}  // namespace edea::model

@@ -1,0 +1,60 @@
+// tech_scaling.hpp - technology/voltage normalization for Table III.
+//
+// The paper normalizes competitors to 22 nm / 0.8 V "following the
+// methodology in [19]" (Latotzke & Gemmeke, IEEE Access 2021). We implement
+// the standard first-order model:
+//
+//   energy/op      ~ C * V^2,  C ~ feature size
+//     -> energy efficiency scales by (t_from / t_to) * (V_from / V_to)^2
+//   area           ~ t^2
+//     -> area efficiency scales by (t_from / t_to)^2
+//   precision      -> 16-bit designs are normalized to 8-bit ops by
+//                     (precision / 8)^2 (the paper's footnote)
+//
+// The paper's own normalized numbers (computed with [19]'s empirical
+// per-node factors) are preserved in paper_data.hpp; Table III benches
+// print both so the difference in methodology is visible.
+#pragma once
+
+#include "util/check.hpp"
+
+namespace edea::model {
+
+struct TechPoint {
+  double technology_nm = 22.0;
+  double voltage_v = 0.8;
+};
+
+inline constexpr TechPoint kReference22nm{22.0, 0.8};
+
+/// Scales an energy efficiency (TOPS/W) measured at `from` to `to`.
+[[nodiscard]] inline double scale_energy_efficiency(double tops_w,
+                                                    TechPoint from,
+                                                    TechPoint to) {
+  EDEA_REQUIRE(from.technology_nm > 0 && to.technology_nm > 0 &&
+                   from.voltage_v > 0 && to.voltage_v > 0,
+               "technology points must be positive");
+  const double tech = from.technology_nm / to.technology_nm;
+  const double volt = from.voltage_v / to.voltage_v;
+  return tops_w * tech * volt * volt;
+}
+
+/// Scales an area efficiency (GOPS/mm^2) measured at `from` to `to`.
+[[nodiscard]] inline double scale_area_efficiency(double gops_mm2,
+                                                  TechPoint from,
+                                                  TechPoint to) {
+  EDEA_REQUIRE(from.technology_nm > 0 && to.technology_nm > 0,
+               "technology points must be positive");
+  const double tech = from.technology_nm / to.technology_nm;
+  return gops_mm2 * tech * tech;
+}
+
+/// Normalizes a throughput/efficiency figure quoted at `bits`-bit precision
+/// to 8-bit-equivalent ops: (bits / 8)^2 (Table III footnote).
+[[nodiscard]] inline double normalize_precision(double value, int bits) {
+  EDEA_REQUIRE(bits > 0, "precision must be positive");
+  const double f = static_cast<double>(bits) / 8.0;
+  return value * f * f;
+}
+
+}  // namespace edea::model

@@ -1,0 +1,81 @@
+#include "nn/dataset.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace edea::nn {
+
+namespace {
+
+/// Class signature: orientation, spatial frequency and RGB tint of the
+/// dominant grating. Ten visually-distinct combinations.
+struct ClassSignature {
+  double angle;      ///< grating orientation in radians
+  double frequency;  ///< cycles across the image
+  float r, g, b;     ///< color tint
+};
+
+constexpr std::array<ClassSignature, SyntheticCifar::kClasses> kSignatures{{
+    {0.00, 2.0, 0.9f, 0.2f, 0.2f},
+    {0.35, 3.0, 0.2f, 0.9f, 0.2f},
+    {0.70, 4.0, 0.2f, 0.2f, 0.9f},
+    {1.05, 5.0, 0.9f, 0.9f, 0.2f},
+    {1.40, 6.0, 0.9f, 0.2f, 0.9f},
+    {1.75, 2.5, 0.2f, 0.9f, 0.9f},
+    {2.10, 3.5, 0.8f, 0.5f, 0.2f},
+    {2.45, 4.5, 0.5f, 0.2f, 0.8f},
+    {2.80, 5.5, 0.2f, 0.8f, 0.5f},
+    {3.10, 6.5, 0.7f, 0.7f, 0.7f},
+}};
+
+}  // namespace
+
+LabeledImage SyntheticCifar::sample(int label) {
+  EDEA_REQUIRE(label >= 0 && label < kClasses, "class label out of range");
+  const ClassSignature& sig = kSignatures[static_cast<std::size_t>(label)];
+
+  // Per-image jitter: phase shift, small angle perturbation, noise level.
+  const double phase = rng_.uniform(0.0, 6.28318530717958647692);
+  const double angle = sig.angle + rng_.normal(0.0, 0.05);
+  const double freq = sig.frequency * (1.0 + rng_.normal(0.0, 0.05));
+  const double noise_level = rng_.uniform(0.05, 0.15);
+
+  const double kx = std::cos(angle) * freq * 2.0 * M_PI / 32.0;
+  const double ky = std::sin(angle) * freq * 2.0 * M_PI / 32.0;
+
+  LabeledImage out;
+  out.label = label;
+  out.image = FloatTensor(Shape{32, 32, 3});
+  for (int y = 0; y < 32; ++y) {
+    for (int x = 0; x < 32; ++x) {
+      const double wave =
+          0.5 + 0.5 * std::sin(kx * x + ky * y + phase);  // in [0, 1]
+      const std::array<float, 3> tint{sig.r, sig.g, sig.b};
+      for (int c = 0; c < 3; ++c) {
+        const double noise = rng_.normal(0.0, noise_level);
+        double v = wave * tint[static_cast<std::size_t>(c)] + noise;
+        if (v < 0.0) v = 0.0;
+        if (v > 1.0) v = 1.0;
+        out.image(y, x, c) = static_cast<float>(v);
+      }
+    }
+  }
+  return out;
+}
+
+LabeledImage SyntheticCifar::sample() {
+  return sample(static_cast<int>(rng_.uniform_int(0, kClasses - 1)));
+}
+
+std::vector<LabeledImage> SyntheticCifar::batch(int count) {
+  EDEA_REQUIRE(count > 0, "batch size must be positive");
+  std::vector<LabeledImage> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    out.push_back(sample(i % kClasses));
+  }
+  return out;
+}
+
+}  // namespace edea::nn

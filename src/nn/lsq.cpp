@@ -1,0 +1,144 @@
+#include "nn/lsq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace edea::nn {
+
+double quantization_mse(const std::vector<float>& values, QuantScale scale,
+                        int lo, int hi) {
+  EDEA_REQUIRE(scale.scale > 0.0f, "scale must be positive");
+  EDEA_REQUIRE(lo < hi, "clamp bounds inverted");
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  const double s = static_cast<double>(scale.scale);
+  for (const float v : values) {
+    double q = std::nearbyint(static_cast<double>(v) / s);
+    q = std::clamp(q, static_cast<double>(lo), static_cast<double>(hi));
+    const double err = static_cast<double>(v) - s * q;
+    sum += err * err;
+  }
+  return sum / static_cast<double>(values.size());
+}
+
+QuantScale optimize_scale(const std::vector<float>& values, int lo, int hi,
+                          const LsqOptions& options) {
+  EDEA_REQUIRE(options.bracket_lo > 0.0 &&
+                   options.bracket_hi > options.bracket_lo,
+               "invalid search bracket");
+  EDEA_REQUIRE(options.iterations > 0, "iterations must be positive");
+
+  double max_abs_v = 0.0;
+  for (const float v : values) {
+    max_abs_v = std::max(max_abs_v, std::abs(static_cast<double>(v)));
+  }
+  const int range = std::max(std::abs(lo), std::abs(hi));
+  if (max_abs_v == 0.0) return QuantScale{1.0f};
+  const double base = max_abs_v / static_cast<double>(range);
+
+  // Golden-section search for the MSE minimum over [a, b].
+  constexpr double kInvPhi = 0.61803398874989484820;
+  double a = options.bracket_lo * base;
+  double b = options.bracket_hi * base;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double f1 = quantization_mse(values, QuantScale{static_cast<float>(x1)},
+                               lo, hi);
+  double f2 = quantization_mse(values, QuantScale{static_cast<float>(x2)},
+                               lo, hi);
+  for (int i = 0; i < options.iterations; ++i) {
+    if (f1 <= f2) {
+      b = x2;
+      x2 = x1;
+      f2 = f1;
+      x1 = b - kInvPhi * (b - a);
+      f1 = quantization_mse(values, QuantScale{static_cast<float>(x1)}, lo,
+                            hi);
+    } else {
+      a = x1;
+      x1 = x2;
+      f1 = f2;
+      x2 = a + kInvPhi * (b - a);
+      f2 = quantization_mse(values, QuantScale{static_cast<float>(x2)}, lo,
+                            hi);
+    }
+  }
+  const double best = 0.5 * (a + b);
+
+  // Never return something worse than the plain max-based scale - the
+  // bracket could exclude the optimum for degenerate distributions.
+  const QuantScale candidate{static_cast<float>(best)};
+  const QuantScale fallback{static_cast<float>(base)};
+  if (quantization_mse(values, candidate, lo, hi) <=
+      quantization_mse(values, fallback, lo, hi)) {
+    return candidate;
+  }
+  return fallback;
+}
+
+std::vector<float> subsample(const FloatTensor& t, std::size_t max_samples) {
+  EDEA_REQUIRE(max_samples > 0, "sample cap must be positive");
+  std::vector<float> out;
+  if (t.size() <= max_samples) {
+    out.assign(t.data(), t.data() + t.size());
+    return out;
+  }
+  const std::size_t stride = (t.size() + max_samples - 1) / max_samples;
+  out.reserve(t.size() / stride + 1);
+  for (std::size_t i = 0; i < t.size(); i += stride) {
+    out.push_back(t.data()[i]);
+  }
+  return out;
+}
+
+CalibrationResult lsq_calibrate(const FloatMobileNet& net,
+                                const std::vector<FloatTensor>& images,
+                                const LsqOptions& options) {
+  EDEA_REQUIRE(!images.empty(), "calibration needs at least one image");
+
+  // Capture per-layer samples across all calibration images.
+  std::vector<std::vector<float>> input_samples(kDscLayerCount + 1);
+  std::vector<std::vector<float>> intermediate_samples(kDscLayerCount);
+  std::vector<float> image_samples;
+
+  const std::size_t per_image_cap =
+      std::max<std::size_t>(1, options.max_samples / images.size());
+  for (const FloatTensor& image : images) {
+    {
+      const auto s = subsample(image, per_image_cap);
+      image_samples.insert(image_samples.end(), s.begin(), s.end());
+    }
+    std::vector<FloatTensor> inputs;
+    std::vector<FloatTensor> intermediates;
+    (void)net.forward_dsc(net.forward_stem(image), &inputs, &intermediates);
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const auto s = subsample(inputs[i], per_image_cap);
+      input_samples[i].insert(input_samples[i].end(), s.begin(), s.end());
+    }
+    for (std::size_t i = 0; i < intermediates.size(); ++i) {
+      const auto s = subsample(intermediates[i], per_image_cap);
+      intermediate_samples[i].insert(intermediate_samples[i].end(),
+                                     s.begin(), s.end());
+    }
+  }
+
+  CalibrationResult cal;
+  // Images are in [0, 1] (non-negative) but quantized into the signed
+  // symmetric domain like every other tensor.
+  cal.image_scale = optimize_scale(image_samples, 0, 127, options);
+  cal.block_input_scales.reserve(input_samples.size());
+  for (const auto& samples : input_samples) {
+    cal.block_input_scales.push_back(
+        optimize_scale(samples, kActMin, kActMax, options));
+  }
+  cal.intermediate_scales.reserve(intermediate_samples.size());
+  for (const auto& samples : intermediate_samples) {
+    cal.intermediate_scales.push_back(
+        optimize_scale(samples, kActMin, kActMax, options));
+  }
+  return cal;
+}
+
+}  // namespace edea::nn

@@ -1,0 +1,74 @@
+// lsq.hpp - learned-step-size quantization calibration (LSQ substitute).
+//
+// The paper quantizes MobileNetV1 with LSQ (Esser et al., its ref. [14]),
+// which *learns* each quantization step size during training. Without a
+// training loop, the closest functional substitute is to optimize each
+// step size directly against calibration data: choose the scale that
+// minimizes the mean squared reconstruction error of the
+// quantize->dequantize round trip, instead of naively using max/127.
+// On heavy-tailed activation distributions the optimized step is smaller
+// than the max-based one (it sacrifices rare outliers for resolution),
+// which is exactly the behaviour LSQ converges to.
+//
+// The optimizer is a golden-section search over a bracketed scale range -
+// the MSE is smooth and unimodal in the scale for all practical
+// distributions, and the search needs no gradients.
+#pragma once
+
+#include <vector>
+
+#include "nn/mobilenet.hpp"
+#include "nn/quant.hpp"
+#include "nn/tensor.hpp"
+
+namespace edea::nn {
+
+struct LsqOptions {
+  int iterations = 48;        ///< golden-section refinement steps
+  /// Search bracket as multiples of the max/127 baseline. The default is
+  /// deliberately conservative (clip-averse): minimizing *per-tensor* MSE
+  /// with an unconstrained bracket can clip informative outliers and hurt
+  /// *end-to-end* fidelity - trained LSQ escapes that by adapting the
+  /// weights, which a post-hoc optimizer cannot (quantified in
+  /// bench_lsq_calibration and EXPERIMENTS.md).
+  double bracket_lo = 0.40;   ///< search lower bound, x (max/127)
+  double bracket_hi = 1.20;   ///< search upper bound, x (max/127)
+  /// Per-layer sample cap: calibration tensors are subsampled to at most
+  /// this many elements (deterministic striding) to bound optimizer cost.
+  std::size_t max_samples = 65536;
+
+  /// An aggressive configuration for studying the clipping trade-off.
+  [[nodiscard]] static LsqOptions aggressive() {
+    LsqOptions o;
+    o.iterations = 64;
+    o.bracket_lo = 0.02;
+    return o;
+  }
+};
+
+/// Mean squared quantize->dequantize error of `values` under `scale`.
+/// `lo`/`hi` are the integer clamp bounds (0/127 for post-ReLU
+/// activations, -128/127 for signed tensors).
+[[nodiscard]] double quantization_mse(const std::vector<float>& values,
+                                      QuantScale scale, int lo, int hi);
+
+/// Finds the MSE-minimizing scale for `values` within
+/// [bracket_lo, bracket_hi] x (max|v|/127). Returns the max-based scale
+/// unchanged if `values` is empty or all zero.
+[[nodiscard]] QuantScale optimize_scale(const std::vector<float>& values,
+                                        int lo, int hi,
+                                        const LsqOptions& options = {});
+
+/// Deterministically subsamples a tensor into a value vector of at most
+/// `max_samples` elements (uniform striding).
+[[nodiscard]] std::vector<float> subsample(const FloatTensor& t,
+                                           std::size_t max_samples);
+
+/// LSQ-substitute calibration of a float MobileNet: captures the same
+/// activations as nn::calibrate, then optimizes every activation scale
+/// (block inputs, intermediates, image) against reconstruction MSE.
+[[nodiscard]] CalibrationResult lsq_calibrate(
+    const FloatMobileNet& net, const std::vector<FloatTensor>& images,
+    const LsqOptions& options = {});
+
+}  // namespace edea::nn

@@ -1,0 +1,55 @@
+#include "nn/metrics.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace edea::nn {
+
+double cosine_similarity(const FloatTensor& a, const FloatTensor& b) {
+  EDEA_REQUIRE(a.shape() == b.shape(), "cosine_similarity shape mismatch");
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double x = a.data()[i];
+    const double y = b.data()[i];
+    dot += x * y;
+    na += x * x;
+    nb += y * y;
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double mean_abs_error(const FloatTensor& a, const FloatTensor& b) {
+  EDEA_REQUIRE(a.shape() == b.shape(), "mean_abs_error shape mismatch");
+  EDEA_REQUIRE(a.size() > 0, "mean_abs_error of empty tensors");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(static_cast<double>(a.data()[i]) - b.data()[i]);
+  }
+  return sum / static_cast<double>(a.size());
+}
+
+int max_abs_diff(const Int8Tensor& a, const Int8Tensor& b) {
+  EDEA_REQUIRE(a.shape() == b.shape(), "max_abs_diff shape mismatch");
+  int m = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const int d = std::abs(static_cast<int>(a.data()[i]) -
+                           static_cast<int>(b.data()[i]));
+    if (d > m) m = d;
+  }
+  return m;
+}
+
+double exact_match_fraction(const Int8Tensor& a, const Int8Tensor& b) {
+  EDEA_REQUIRE(a.shape() == b.shape(), "exact_match_fraction shape mismatch");
+  EDEA_REQUIRE(a.size() > 0, "exact_match_fraction of empty tensors");
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i] == b.data()[i]) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(a.size());
+}
+
+}  // namespace edea::nn

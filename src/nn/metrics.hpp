@@ -1,0 +1,68 @@
+// metrics.hpp - fidelity metrics between the float reference network and
+// the quantized/accelerated network, plus simple classification metrics.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/tensor.hpp"
+
+namespace edea::nn {
+
+/// Cosine similarity of two same-shape tensors (1.0 for identical
+/// directions; 0 when either tensor is all-zero).
+[[nodiscard]] double cosine_similarity(const FloatTensor& a,
+                                       const FloatTensor& b);
+
+/// Mean absolute error between two same-shape tensors.
+[[nodiscard]] double mean_abs_error(const FloatTensor& a,
+                                    const FloatTensor& b);
+
+/// Largest elementwise absolute difference between two int8 tensors of the
+/// same shape. Tolerance metric for float-vs-fixed-point comparisons.
+[[nodiscard]] int max_abs_diff(const Int8Tensor& a, const Int8Tensor& b);
+
+/// Fraction of elements that are exactly equal in two int8 tensors.
+[[nodiscard]] double exact_match_fraction(const Int8Tensor& a,
+                                          const Int8Tensor& b);
+
+/// Tracks top-1 agreement between two classifiers over a stream of samples.
+class AgreementMeter {
+ public:
+  void add(int prediction_a, int prediction_b) {
+    ++total_;
+    if (prediction_a == prediction_b) ++agree_;
+  }
+
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] double agreement() const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(agree_) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  std::int64_t agree_ = 0;
+  std::int64_t total_ = 0;
+};
+
+/// Tracks classification accuracy.
+class AccuracyMeter {
+ public:
+  void add(int prediction, int label) {
+    ++total_;
+    if (prediction == label) ++correct_;
+  }
+
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] double accuracy() const noexcept {
+    return total_ == 0 ? 0.0
+                       : static_cast<double>(correct_) /
+                             static_cast<double>(total_);
+  }
+
+ private:
+  std::int64_t correct_ = 0;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace edea::nn

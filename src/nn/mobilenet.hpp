@@ -1,0 +1,136 @@
+// mobilenet.hpp - MobileNetV1 for CIFAR10-sized inputs (32x32x3), the
+// workload of the paper's entire evaluation.
+//
+// Architecture (Sec. II / Sec. IV of the paper, width multiplier 1.0):
+//   stem : 3x3x3x32 standard conv, stride 1, BN, ReLU      (host-side)
+//   DSC 0..12 : thirteen depthwise-separable blocks         (accelerated)
+//               stride 2 at blocks 1, 3, 5, 11
+//   head : global average pool + FC(1024 -> 10)             (host-side)
+//
+// The class exposes a float reference network, an activation-scale
+// calibration pass, and a quantized network whose DSC blocks run the exact
+// Non-Conv fixed-point math of the accelerator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+#include "util/random.hpp"
+
+namespace edea::nn {
+
+inline constexpr int kDscLayerCount = 13;
+inline constexpr int kCifarClasses = 10;
+inline constexpr int kCifarSize = 32;
+inline constexpr int kCifarChannels = 3;
+
+/// The 13 DSC layer geometries of MobileNetV1-CIFAR10 (DESIGN.md Sec. 5).
+[[nodiscard]] std::array<DscLayerSpec, kDscLayerCount> mobilenet_dsc_specs();
+
+/// Float MobileNetV1: stem + 13 DSC blocks + head.
+class FloatMobileNet {
+ public:
+  /// Builds a randomly initialized network (deterministic in `seed`).
+  explicit FloatMobileNet(std::uint64_t seed);
+
+  /// Full forward pass: [32][32][3] image -> [10] logits.
+  [[nodiscard]] FloatTensor forward(const FloatTensor& image) const;
+
+  /// Runs the stem only: image -> [32][32][32] post-ReLU activations.
+  [[nodiscard]] FloatTensor forward_stem(const FloatTensor& image) const;
+
+  /// Runs DSC blocks, recording each block's input and intermediate
+  /// activations (for calibration). Returns the final block output.
+  [[nodiscard]] FloatTensor forward_dsc(
+      const FloatTensor& stem_out,
+      std::vector<FloatTensor>* block_inputs = nullptr,
+      std::vector<FloatTensor>* block_intermediates = nullptr) const;
+
+  /// Head: [2][2][1024] features -> [10] logits.
+  [[nodiscard]] FloatTensor forward_head(const FloatTensor& features) const;
+
+  [[nodiscard]] const std::vector<FloatDscLayer>& blocks() const noexcept {
+    return blocks_;
+  }
+  [[nodiscard]] const FloatTensor& stem_weights() const noexcept {
+    return stem_weights_;
+  }
+  [[nodiscard]] const BatchNormParams& stem_bn() const noexcept {
+    return stem_bn_;
+  }
+  [[nodiscard]] FloatTensor& fc_weights() noexcept { return fc_weights_; }
+  [[nodiscard]] FloatTensor& fc_bias() noexcept { return fc_bias_; }
+
+  /// Total parameter count (stem + DSC blocks + head), for sanity tests.
+  [[nodiscard]] std::int64_t parameter_count() const noexcept;
+
+ private:
+  FloatTensor stem_weights_;  ///< [32][3][3][3]
+  BatchNormParams stem_bn_;
+  std::vector<FloatDscLayer> blocks_;
+  FloatTensor fc_weights_;  ///< [10][1024]
+  FloatTensor fc_bias_;     ///< [10]
+};
+
+/// Calibrated per-layer activation scales: scale of each DSC block input
+/// (14 entries: block 0..12 inputs plus the final block output) and of each
+/// intermediate (13 entries).
+struct CalibrationResult {
+  QuantScale image_scale;                       ///< raw image domain
+  std::vector<QuantScale> block_input_scales;   ///< size 14
+  std::vector<QuantScale> intermediate_scales;  ///< size 13
+};
+
+/// Runs `images` through the float network and derives activation scales
+/// from the observed maxima (post-training calibration; LSQ substitute).
+[[nodiscard]] CalibrationResult calibrate(const FloatMobileNet& net,
+                                          const std::vector<FloatTensor>&
+                                              images);
+
+/// Quantized MobileNetV1. The 13 DSC blocks are int8 (the accelerator's
+/// workload); the stem is additionally available as an int8 standard conv
+/// with folded BN+ReLU+requant (same Fig. 6 arithmetic, host-side), so the
+/// only float stage left in inference is the classifier head.
+class QuantMobileNet {
+ public:
+  QuantMobileNet(const FloatMobileNet& net, const CalibrationResult& cal);
+
+  /// Quantizes a stem output into block 0's int8 input domain.
+  [[nodiscard]] Int8Tensor quantize_input(const FloatTensor& stem_out) const;
+
+  /// Quantizes a raw [0,1] image into the int8 image domain.
+  [[nodiscard]] Int8Tensor quantize_image(const FloatTensor& image) const;
+
+  /// int8 stem: 3x3 standard conv + folded BN/ReLU/requant. Produces the
+  /// block-0 input directly (an alternative to the float stem +
+  /// quantize_input path; fidelity is asserted in tests).
+  [[nodiscard]] Int8Tensor forward_stem_q(const Int8Tensor& image_q) const;
+
+  /// Runs all DSC blocks in int8. If `stats` is non-null it receives one
+  /// LayerActivationStats entry per block (zero fractions of both engine
+  /// inputs - the Fig. 11 quantities).
+  [[nodiscard]] Int8Tensor forward_dsc(
+      const Int8Tensor& block0_input,
+      std::vector<LayerActivationStats>* stats = nullptr) const;
+
+  /// Dequantizes the final block output back to float for the host head.
+  [[nodiscard]] FloatTensor dequantize_output(const Int8Tensor& out) const;
+
+  [[nodiscard]] const std::vector<QuantDscLayer>& blocks() const noexcept {
+    return blocks_;
+  }
+
+ private:
+  std::vector<QuantDscLayer> blocks_;
+  QuantScale input_scale_;
+  QuantScale output_scale_;
+  QuantScale image_scale_;
+  Int8Tensor stem_weights_q_;      ///< [32][3][3][3]
+  NonConvParams stem_nonconv_;     ///< folded stem BN/ReLU/requant
+};
+
+}  // namespace edea::nn

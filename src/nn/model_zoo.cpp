@@ -1,0 +1,139 @@
+#include "nn/model_zoo.hpp"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::nn {
+
+namespace {
+
+/// MobileNetV1 block table (base channel counts at width multiplier 1.0):
+/// {input channels, output channels, stride}. Thirteen DSC blocks.
+struct BlockRow {
+  int in_ch;
+  int out_ch;
+  int stride;
+};
+
+constexpr std::array<BlockRow, 13> kMobileNetBlocks{{
+    {32, 64, 1},
+    {64, 128, 2},
+    {128, 128, 1},
+    {128, 256, 2},
+    {256, 256, 1},
+    {256, 512, 2},
+    {512, 512, 1},
+    {512, 512, 1},
+    {512, 512, 1},
+    {512, 512, 1},
+    {512, 512, 1},
+    {512, 1024, 2},
+    {1024, 1024, 1},
+}};
+
+int scaled_channels(int base, double alpha, int round_to) {
+  const double scaled = static_cast<double>(base) * alpha;
+  const int rounded =
+      std::max(round_to,
+               static_cast<int>(std::lround(scaled / round_to)) * round_to);
+  return rounded;
+}
+
+}  // namespace
+
+std::string MobileNetVariant::name() const {
+  std::ostringstream os;
+  os << "MobileNetV1-" << width_multiplier << "x @" << input_resolution;
+  return os.str();
+}
+
+std::vector<DscLayerSpec> mobilenet_variant_specs(
+    const MobileNetVariant& variant, int channel_round) {
+  EDEA_REQUIRE(variant.width_multiplier > 0.0,
+               "width multiplier must be positive");
+  EDEA_REQUIRE(variant.input_resolution >= 4,
+               "input resolution too small for 13 DSC blocks");
+  EDEA_REQUIRE(channel_round >= 1, "channel rounding must be >= 1");
+
+  std::vector<DscLayerSpec> specs;
+  specs.reserve(kMobileNetBlocks.size());
+  int rows = variant.input_resolution;
+  for (std::size_t i = 0; i < kMobileNetBlocks.size(); ++i) {
+    const BlockRow& row = kMobileNetBlocks[i];
+    DscLayerSpec s;
+    s.index = static_cast<int>(i);
+    s.in_rows = rows;
+    s.in_cols = rows;
+    s.in_channels =
+        scaled_channels(row.in_ch, variant.width_multiplier, channel_round);
+    s.out_channels =
+        scaled_channels(row.out_ch, variant.width_multiplier, channel_round);
+    s.stride = row.stride;
+    // Spatial extents cannot shrink below 1; clamp strides once the map
+    // is already 1x1 (matches how small-input variants are deployed).
+    if (rows == 1) s.stride = 1;
+    EDEA_REQUIRE(s.out_rows() >= 1, "network shrinks to nothing");
+    specs.push_back(s);
+    rows = s.out_rows();
+  }
+  return specs;
+}
+
+std::vector<DscLayerSpec> mobilenet_imagenet_specs(double width_multiplier) {
+  // ImageNet stem: 224x224x3, stride-2 conv -> 112x112x32.
+  MobileNetVariant v;
+  v.width_multiplier = width_multiplier;
+  v.input_resolution = 112;
+  return mobilenet_variant_specs(v);
+}
+
+std::vector<DscLayerSpec> edeanet_specs() {
+  // 64x64 input stem -> 64x64x16; six DSC blocks tapering to 4x4x256.
+  struct Row {
+    int rows, in_ch, out_ch, stride;
+  };
+  constexpr std::array<Row, 6> rows{{
+      {64, 16, 32, 2},   // -> 32x32x32
+      {32, 32, 64, 1},   // -> 32x32x64
+      {32, 64, 128, 2},  // -> 16x16x128
+      {16, 128, 128, 1}, // -> 16x16x128
+      {16, 128, 256, 2}, // -> 8x8x256
+      {8, 256, 256, 2},  // -> 4x4x256
+  }};
+  std::vector<DscLayerSpec> specs;
+  specs.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    DscLayerSpec s;
+    s.index = static_cast<int>(i);
+    s.in_rows = rows[i].rows;
+    s.in_cols = rows[i].rows;
+    s.in_channels = rows[i].in_ch;
+    s.out_channels = rows[i].out_ch;
+    s.stride = rows[i].stride;
+    specs.push_back(s);
+  }
+  return specs;
+}
+
+std::vector<QuantDscLayer> make_random_quant_network(
+    const std::vector<DscLayerSpec>& specs, std::uint64_t seed) {
+  EDEA_REQUIRE(!specs.empty(), "network needs at least one layer");
+  Rng rng(seed);
+  std::vector<QuantDscLayer> layers;
+  layers.reserve(specs.size());
+  for (const DscLayerSpec& spec : specs) {
+    Rng layer_rng = rng.fork();
+    const FloatDscLayer fl = make_random_float_layer(spec, layer_rng);
+    // Fixed demo scales: chained layers share the activation domain so
+    // layer i's output scale equals layer i+1's input scale.
+    layers.push_back(quantize_layer(fl, QuantScale{0.03f},
+                                    QuantScale{0.03f}, QuantScale{0.03f}));
+  }
+  return layers;
+}
+
+}  // namespace edea::nn

@@ -1,0 +1,52 @@
+// model_zoo.hpp - generalized DSC network geometries beyond the paper's
+// MobileNetV1-CIFAR10 workload.
+//
+// The paper closes with "this dataflow is applicable to other datasets,
+// and the accelerator is also suitable for other DSC-based networks".
+// This module substantiates that: parametric MobileNetV1 variants (width
+// multiplier, input resolution - including the ImageNet-224 geometry of
+// the original MobileNets paper) plus a compact custom DSC stack, all
+// expressed as DscLayerSpec vectors that the tiler/accelerator/DSE consume
+// unchanged.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/layers.hpp"
+
+namespace edea::nn {
+
+/// Parameters of a MobileNetV1 variant.
+struct MobileNetVariant {
+  double width_multiplier = 1.0;  ///< alpha in the MobileNets paper
+  int input_resolution = 32;      ///< input spatial extent (square)
+  int input_channels = 32;        ///< stem output channels before scaling
+
+  [[nodiscard]] std::string name() const;
+};
+
+/// Builds the 13-layer DSC spec list of a MobileNetV1 variant. Channel
+/// counts are scaled by the width multiplier and rounded to multiples of
+/// `channel_round` (8 keeps the Td-alignment that gives 100 % utilization;
+/// pass 1 to study misaligned networks).
+[[nodiscard]] std::vector<DscLayerSpec> mobilenet_variant_specs(
+    const MobileNetVariant& variant, int channel_round = 8);
+
+/// The original ImageNet MobileNetV1 geometry (224x224 input, stem stride
+/// 2 -> 112x112x32 entering the first DSC block).
+[[nodiscard]] std::vector<DscLayerSpec> mobilenet_imagenet_specs(
+    double width_multiplier = 1.0);
+
+/// A compact 6-layer DSC network for 64x64 inputs (an "EdeaNet" of the
+/// kind an embedded user would deploy) - used by examples and tests as a
+/// non-MobileNet workload.
+[[nodiscard]] std::vector<DscLayerSpec> edeanet_specs();
+
+/// Builds random quantized layers for an arbitrary spec list (He-init
+/// float parameters, fixed demo calibration scales). Deterministic in
+/// `seed`.
+[[nodiscard]] std::vector<QuantDscLayer> make_random_quant_network(
+    const std::vector<DscLayerSpec>& specs, std::uint64_t seed);
+
+}  // namespace edea::nn

@@ -1,0 +1,311 @@
+#include "nn/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace edea::nn {
+
+namespace {
+
+/// Reads input(y, x, c) treating out-of-range coordinates as zero padding.
+template <typename T>
+inline T padded_read(const Tensor<T>& t, int y, int x, int c) noexcept {
+  if (y < 0 || x < 0 || y >= t.dim(0) || x >= t.dim(1)) return T{};
+  return t(y, x, c);
+}
+
+void require_hwc(const Shape& s, const char* what) {
+  EDEA_REQUIRE(s.rank() == 3, std::string(what) + " must be rank-3 (HWC)");
+}
+
+}  // namespace
+
+float BatchNormParams::effective_scale(std::size_t c) const {
+  EDEA_REQUIRE(c < channels(), "BN channel out of range");
+  return gamma[c] / std::sqrt(var[c] + epsilon);
+}
+
+float BatchNormParams::effective_shift(std::size_t c) const {
+  EDEA_REQUIRE(c < channels(), "BN channel out of range");
+  return beta[c] - gamma[c] * mean[c] / std::sqrt(var[c] + epsilon);
+}
+
+FloatTensor conv2d(const FloatTensor& input, const FloatTensor& weights,
+                   const Conv2dGeometry& geom) {
+  require_hwc(input.shape(), "conv2d input");
+  EDEA_REQUIRE(weights.rank() == 4, "conv2d weights must be [K][kh][kw][D]");
+  EDEA_REQUIRE(weights.dim(3) == input.dim(2),
+               "conv2d weight depth must match input channels");
+  EDEA_REQUIRE(weights.dim(1) == geom.kernel && weights.dim(2) == geom.kernel,
+               "conv2d weight extent must match geometry");
+
+  const int R = input.dim(0), C = input.dim(1), D = input.dim(2);
+  const int K = weights.dim(0);
+  const int N = geom.out_extent(R), M = geom.out_extent(C);
+  EDEA_REQUIRE(N > 0 && M > 0, "conv2d output would be empty");
+
+  FloatTensor out(Shape{N, M, K});
+  for (int n = 0; n < N; ++n) {
+    for (int m = 0; m < M; ++m) {
+      for (int k = 0; k < K; ++k) {
+        float acc = 0.0f;
+        for (int i = 0; i < geom.kernel; ++i) {
+          for (int j = 0; j < geom.kernel; ++j) {
+            const int y = n * geom.stride + i - geom.padding;
+            const int x = m * geom.stride + j - geom.padding;
+            if (y < 0 || x < 0 || y >= R || x >= C) continue;
+            for (int d = 0; d < D; ++d) {
+              acc += input(y, x, d) * weights(k, i, j, d);
+            }
+          }
+        }
+        out(n, m, k) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+FloatTensor depthwise_conv2d(const FloatTensor& input,
+                             const FloatTensor& weights,
+                             const Conv2dGeometry& geom) {
+  require_hwc(input.shape(), "depthwise input");
+  EDEA_REQUIRE(weights.rank() == 3, "depthwise weights must be [kh][kw][D]");
+  EDEA_REQUIRE(weights.dim(2) == input.dim(2),
+               "depthwise weight depth must match input channels");
+  EDEA_REQUIRE(weights.dim(0) == geom.kernel && weights.dim(1) == geom.kernel,
+               "depthwise weight extent must match geometry");
+
+  const int R = input.dim(0), C = input.dim(1), D = input.dim(2);
+  const int N = geom.out_extent(R), M = geom.out_extent(C);
+  EDEA_REQUIRE(N > 0 && M > 0, "depthwise output would be empty");
+
+  FloatTensor out(Shape{N, M, D});
+  for (int n = 0; n < N; ++n) {
+    for (int m = 0; m < M; ++m) {
+      for (int d = 0; d < D; ++d) {
+        float acc = 0.0f;
+        for (int i = 0; i < geom.kernel; ++i) {
+          for (int j = 0; j < geom.kernel; ++j) {
+            const int y = n * geom.stride + i - geom.padding;
+            const int x = m * geom.stride + j - geom.padding;
+            acc += padded_read(input, y, x, d) * weights(i, j, d);
+          }
+        }
+        out(n, m, d) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+FloatTensor pointwise_conv2d(const FloatTensor& input,
+                             const FloatTensor& weights) {
+  require_hwc(input.shape(), "pointwise input");
+  EDEA_REQUIRE(weights.rank() == 2, "pointwise weights must be [K][D]");
+  EDEA_REQUIRE(weights.dim(1) == input.dim(2),
+               "pointwise weight depth must match input channels");
+
+  const int N = input.dim(0), M = input.dim(1), D = input.dim(2);
+  const int K = weights.dim(0);
+  FloatTensor out(Shape{N, M, K});
+  for (int n = 0; n < N; ++n) {
+    for (int m = 0; m < M; ++m) {
+      for (int k = 0; k < K; ++k) {
+        float acc = 0.0f;
+        for (int d = 0; d < D; ++d) {
+          acc += input(n, m, d) * weights(k, d);
+        }
+        out(n, m, k) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+FloatTensor batch_norm(const FloatTensor& input, const BatchNormParams& bn) {
+  require_hwc(input.shape(), "batch_norm input");
+  EDEA_REQUIRE(bn.channels() == static_cast<std::size_t>(input.dim(2)),
+               "BN parameter count must match channels");
+  FloatTensor out(input.shape());
+  const int N = input.dim(0), M = input.dim(1), D = input.dim(2);
+  for (int d = 0; d < D; ++d) {
+    const float scale = bn.effective_scale(static_cast<std::size_t>(d));
+    const float shift = bn.effective_shift(static_cast<std::size_t>(d));
+    for (int n = 0; n < N; ++n) {
+      for (int m = 0; m < M; ++m) {
+        out(n, m, d) = scale * input(n, m, d) + shift;
+      }
+    }
+  }
+  return out;
+}
+
+FloatTensor relu(const FloatTensor& input) {
+  FloatTensor out = input;
+  out.transform([](float v) { return v > 0.0f ? v : 0.0f; });
+  return out;
+}
+
+FloatTensor global_avg_pool(const FloatTensor& input) {
+  require_hwc(input.shape(), "global_avg_pool input");
+  const int N = input.dim(0), M = input.dim(1), D = input.dim(2);
+  FloatTensor out(Shape{D});
+  const float inv = 1.0f / static_cast<float>(N * M);
+  for (int d = 0; d < D; ++d) {
+    float acc = 0.0f;
+    for (int n = 0; n < N; ++n) {
+      for (int m = 0; m < M; ++m) {
+        acc += input(n, m, d);
+      }
+    }
+    out(d) = acc * inv;
+  }
+  return out;
+}
+
+FloatTensor linear(const FloatTensor& input, const FloatTensor& weights,
+                   const FloatTensor& bias) {
+  EDEA_REQUIRE(input.rank() == 1, "linear input must be rank-1");
+  EDEA_REQUIRE(weights.rank() == 2, "linear weights must be [K][C]");
+  EDEA_REQUIRE(weights.dim(1) == input.dim(0),
+               "linear weight width must match input length");
+  EDEA_REQUIRE(bias.rank() == 1 && bias.dim(0) == weights.dim(0),
+               "linear bias length must match output length");
+  const int K = weights.dim(0), C = weights.dim(1);
+  FloatTensor out(Shape{K});
+  for (int k = 0; k < K; ++k) {
+    float acc = bias(k);
+    for (int c = 0; c < C; ++c) {
+      acc += weights(k, c) * input(c);
+    }
+    out(k) = acc;
+  }
+  return out;
+}
+
+FloatTensor softmax(const FloatTensor& logits) {
+  EDEA_REQUIRE(logits.rank() == 1, "softmax input must be rank-1");
+  FloatTensor out(logits.shape());
+  float mx = logits(0);
+  for (int i = 1; i < logits.dim(0); ++i) mx = std::max(mx, logits(i));
+  float denom = 0.0f;
+  for (int i = 0; i < logits.dim(0); ++i) {
+    out(i) = std::exp(logits(i) - mx);
+    denom += out(i);
+  }
+  for (int i = 0; i < logits.dim(0); ++i) out(i) /= denom;
+  return out;
+}
+
+int argmax(const FloatTensor& logits) {
+  EDEA_REQUIRE(logits.rank() == 1 && logits.dim(0) > 0,
+               "argmax input must be non-empty rank-1");
+  int best = 0;
+  for (int i = 1; i < logits.dim(0); ++i) {
+    if (logits(i) > logits(best)) best = i;
+  }
+  return best;
+}
+
+Int32Tensor depthwise_conv2d_q(const Int8Tensor& input,
+                               const Int8Tensor& weights,
+                               const Conv2dGeometry& geom) {
+  require_hwc(input.shape(), "depthwise_q input");
+  EDEA_REQUIRE(weights.rank() == 3, "depthwise_q weights must be [kh][kw][D]");
+  EDEA_REQUIRE(weights.dim(2) == input.dim(2),
+               "depthwise_q weight depth must match input channels");
+
+  const int R = input.dim(0), C = input.dim(1), D = input.dim(2);
+  const int N = geom.out_extent(R), M = geom.out_extent(C);
+  EDEA_REQUIRE(N > 0 && M > 0, "depthwise_q output would be empty");
+
+  Int32Tensor out(Shape{N, M, D});
+  for (int n = 0; n < N; ++n) {
+    for (int m = 0; m < M; ++m) {
+      for (int d = 0; d < D; ++d) {
+        std::int32_t acc = 0;
+        for (int i = 0; i < geom.kernel; ++i) {
+          for (int j = 0; j < geom.kernel; ++j) {
+            const int y = n * geom.stride + i - geom.padding;
+            const int x = m * geom.stride + j - geom.padding;
+            const std::int32_t a = padded_read(input, y, x, d);
+            acc += a * static_cast<std::int32_t>(weights(i, j, d));
+          }
+        }
+        out(n, m, d) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Int32Tensor pointwise_conv2d_q(const Int8Tensor& input,
+                               const Int8Tensor& weights) {
+  require_hwc(input.shape(), "pointwise_q input");
+  EDEA_REQUIRE(weights.rank() == 2, "pointwise_q weights must be [K][D]");
+  EDEA_REQUIRE(weights.dim(1) == input.dim(2),
+               "pointwise_q weight depth must match input channels");
+  const int N = input.dim(0), M = input.dim(1), D = input.dim(2);
+  const int K = weights.dim(0);
+  Int32Tensor out(Shape{N, M, K});
+  for (int n = 0; n < N; ++n) {
+    for (int m = 0; m < M; ++m) {
+      for (int k = 0; k < K; ++k) {
+        std::int32_t acc = 0;
+        for (int d = 0; d < D; ++d) {
+          acc += static_cast<std::int32_t>(input(n, m, d)) *
+                 static_cast<std::int32_t>(weights(k, d));
+        }
+        out(n, m, k) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+Int32Tensor conv2d_q(const Int8Tensor& input, const Int8Tensor& weights,
+                     const Conv2dGeometry& geom) {
+  require_hwc(input.shape(), "conv2d_q input");
+  EDEA_REQUIRE(weights.rank() == 4, "conv2d_q weights must be [K][kh][kw][D]");
+  EDEA_REQUIRE(weights.dim(3) == input.dim(2),
+               "conv2d_q weight depth must match input channels");
+
+  const int R = input.dim(0), C = input.dim(1), D = input.dim(2);
+  const int K = weights.dim(0);
+  const int N = geom.out_extent(R), M = geom.out_extent(C);
+  Int32Tensor out(Shape{N, M, K});
+  for (int n = 0; n < N; ++n) {
+    for (int m = 0; m < M; ++m) {
+      for (int k = 0; k < K; ++k) {
+        std::int32_t acc = 0;
+        for (int i = 0; i < geom.kernel; ++i) {
+          for (int j = 0; j < geom.kernel; ++j) {
+            const int y = n * geom.stride + i - geom.padding;
+            const int x = m * geom.stride + j - geom.padding;
+            if (y < 0 || x < 0 || y >= R || x >= C) continue;
+            for (int d = 0; d < D; ++d) {
+              acc += static_cast<std::int32_t>(input(y, x, d)) *
+                     static_cast<std::int32_t>(weights(k, i, j, d));
+            }
+          }
+        }
+        out(n, m, k) = acc;
+      }
+    }
+  }
+  return out;
+}
+
+std::int64_t max_abs_acc(const Int32Tensor& acc) {
+  std::int64_t m = 0;
+  for (const std::int32_t v : acc.storage()) {
+    const std::int64_t a = std::abs(static_cast<std::int64_t>(v));
+    if (a > m) m = a;
+  }
+  return m;
+}
+
+}  // namespace edea::nn

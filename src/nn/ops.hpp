@@ -1,0 +1,109 @@
+// ops.hpp - reference implementations of every operator the paper's stack
+// needs: standard / depthwise / pointwise convolution (float and int8),
+// batch normalization, ReLU, pooling, fully-connected and softmax.
+//
+// These are the golden models. They are written for clarity and
+// bit-reproducibility, not speed; the accelerator simulator in src/core is
+// validated against them element by element.
+#pragma once
+
+#include <cstdint>
+
+#include "nn/tensor.hpp"
+
+namespace edea::nn {
+
+/// Convolution geometry shared by the float and integer paths.
+struct Conv2dGeometry {
+  int kernel = 3;   ///< square kernel extent (paper uses 3x3 DWC kernels)
+  int stride = 1;   ///< 1 or 2 in MobileNetV1
+  int padding = 1;  ///< symmetric zero padding
+
+  /// Output spatial extent for an input extent `in`.
+  [[nodiscard]] int out_extent(int in) const noexcept {
+    return (in + 2 * padding - kernel) / stride + 1;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Float reference path (pre-quantization model).
+// ---------------------------------------------------------------------------
+
+/// Standard convolution. input: [R][C][D], weights: [K][kh][kw][D],
+/// output: [N][M][K].
+[[nodiscard]] FloatTensor conv2d(const FloatTensor& input,
+                                 const FloatTensor& weights,
+                                 const Conv2dGeometry& geom);
+
+/// Depthwise convolution. input: [R][C][D], weights: [kh][kw][D],
+/// output: [N][M][D].
+[[nodiscard]] FloatTensor depthwise_conv2d(const FloatTensor& input,
+                                           const FloatTensor& weights,
+                                           const Conv2dGeometry& geom);
+
+/// Pointwise (1x1) convolution. input: [N][M][D], weights: [K][D],
+/// output: [N][M][K].
+[[nodiscard]] FloatTensor pointwise_conv2d(const FloatTensor& input,
+                                           const FloatTensor& weights);
+
+/// Per-channel batch-normalization parameters (inference form).
+struct BatchNormParams {
+  std::vector<float> gamma;  ///< scale
+  std::vector<float> beta;   ///< shift
+  std::vector<float> mean;   ///< running mean (mu)
+  std::vector<float> var;    ///< running variance (sigma^2)
+  float epsilon = 1e-5f;
+
+  [[nodiscard]] std::size_t channels() const noexcept { return gamma.size(); }
+
+  /// Effective affine form: y = scale[c]*x + shift[c].
+  [[nodiscard]] float effective_scale(std::size_t c) const;
+  [[nodiscard]] float effective_shift(std::size_t c) const;
+};
+
+/// BatchNorm over the channel (last) axis of an HWC tensor.
+[[nodiscard]] FloatTensor batch_norm(const FloatTensor& input,
+                                     const BatchNormParams& bn);
+
+/// Elementwise max(0, x).
+[[nodiscard]] FloatTensor relu(const FloatTensor& input);
+
+/// Global average pooling: [N][M][C] -> [C].
+[[nodiscard]] FloatTensor global_avg_pool(const FloatTensor& input);
+
+/// Fully connected layer: input [C], weights [K][C], bias [K] -> [K].
+[[nodiscard]] FloatTensor linear(const FloatTensor& input,
+                                 const FloatTensor& weights,
+                                 const FloatTensor& bias);
+
+/// Numerically stable softmax over a rank-1 tensor.
+[[nodiscard]] FloatTensor softmax(const FloatTensor& logits);
+
+/// Index of the maximum logit.
+[[nodiscard]] int argmax(const FloatTensor& logits);
+
+// ---------------------------------------------------------------------------
+// Integer path (quantized operands, int32 accumulators).
+// ---------------------------------------------------------------------------
+
+/// Depthwise convolution over int8 operands producing raw int32 accumulators
+/// (pre Non-Conv). Zero padding pads with the integer 0, which represents
+/// real value 0 under symmetric quantization.
+[[nodiscard]] Int32Tensor depthwise_conv2d_q(const Int8Tensor& input,
+                                             const Int8Tensor& weights,
+                                             const Conv2dGeometry& geom);
+
+/// Pointwise convolution over int8 operands producing int32 accumulators.
+[[nodiscard]] Int32Tensor pointwise_conv2d_q(const Int8Tensor& input,
+                                             const Int8Tensor& weights);
+
+/// Standard convolution over int8 operands (used by the host-side stem).
+[[nodiscard]] Int32Tensor conv2d_q(const Int8Tensor& input,
+                                   const Int8Tensor& weights,
+                                   const Conv2dGeometry& geom);
+
+/// Largest |accumulator| in a tensor - used to validate the paper's 24-bit
+/// accumulator envelope on realistic data.
+[[nodiscard]] std::int64_t max_abs_acc(const Int32Tensor& acc);
+
+}  // namespace edea::nn

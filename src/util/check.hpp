@@ -1,0 +1,80 @@
+// check.hpp - error-handling primitives for the EDEA library.
+//
+// Follows the C++ Core Guidelines (E.*): exceptions for violated
+// preconditions on public APIs, assert-like checks that cannot be disabled
+// for invariants whose violation would silently corrupt simulation results.
+#pragma once
+
+#include <source_location>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace edea {
+
+/// Exception thrown when a precondition of a public EDEA API is violated.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Exception thrown when an internal invariant of the simulator is violated.
+/// Seeing this exception always indicates a bug in the library itself.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Exception thrown when a modeled hardware resource is exceeded
+/// (e.g. writing past an SRAM buffer's capacity or overflowing the 24-bit
+/// accumulator range the silicon provides).
+class ResourceError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(std::string_view expr,
+                                            std::string_view msg,
+                                            const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": precondition failed: ("
+     << expr << ')';
+  if (!msg.empty()) os << " - " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(std::string_view expr,
+                                         std::string_view msg,
+                                         const std::source_location& loc) {
+  std::ostringstream os;
+  os << loc.file_name() << ':' << loc.line() << ": invariant violated: ("
+     << expr << ')';
+  if (!msg.empty()) os << " - " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace edea
+
+/// Validates a precondition of a public API. Throws edea::PreconditionError.
+#define EDEA_REQUIRE(expr, msg)                                       \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::edea::detail::throw_precondition(#expr, (msg),                \
+                                         std::source_location::current()); \
+    }                                                                 \
+  } while (false)
+
+/// Validates an internal invariant. Throws edea::InvariantError.
+/// Never compiled out: a wrong simulation result is worse than a slow one.
+#define EDEA_ASSERT(expr, msg)                                        \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::edea::detail::throw_invariant(#expr, (msg),                   \
+                                      std::source_location::current()); \
+    }                                                                 \
+  } while (false)

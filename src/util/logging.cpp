@@ -1,0 +1,41 @@
+#include "util/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace edea::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kInfo};
+}  // namespace
+
+Level level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_level(Level lvl) noexcept {
+  g_level.store(lvl, std::memory_order_relaxed);
+}
+
+std::string_view level_name(Level lvl) noexcept {
+  switch (lvl) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO ";
+    case Level::kWarn:
+      return "WARN ";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF  ";
+  }
+  return "?????";
+}
+
+void write(Level lvl, std::string_view msg) {
+  if (lvl < level()) return;
+  std::fprintf(stderr, "[edea %.*s] %.*s\n",
+               static_cast<int>(level_name(lvl).size()), level_name(lvl).data(),
+               static_cast<int>(msg.size()), msg.data());
+}
+
+}  // namespace edea::log

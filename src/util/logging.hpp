@@ -1,0 +1,68 @@
+// logging.hpp - minimal leveled logger used by simulators and benches.
+//
+// The logger is deliberately tiny: a global level, timestamped lines to
+// stderr, and a stream-style macro front end. Benchmarks set the level to
+// kWarn so figure output stays clean; tests may raise it to kDebug.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace edea::log {
+
+enum class Level : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Returns the current global log level.
+Level level() noexcept;
+
+/// Sets the global log level. Thread-compatible (not thread-safe): the
+/// simulators are single-threaded by design, mirroring the single clock
+/// domain of the silicon.
+void set_level(Level lvl) noexcept;
+
+/// Converts a level to its fixed-width display name ("DEBUG", "INFO ", ...).
+std::string_view level_name(Level lvl) noexcept;
+
+/// Emits one log line (no trailing newline required) if lvl >= level().
+void write(Level lvl, std::string_view msg);
+
+namespace detail {
+
+/// RAII line builder: collects stream output, emits on destruction.
+class LineEmitter {
+ public:
+  explicit LineEmitter(Level lvl) : lvl_(lvl) {}
+  LineEmitter(const LineEmitter&) = delete;
+  LineEmitter& operator=(const LineEmitter&) = delete;
+  ~LineEmitter() { write(lvl_, os_.str()); }
+
+  template <typename T>
+  LineEmitter& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  Level lvl_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace edea::log
+
+#define EDEA_LOG(lvl)                                      \
+  if (::edea::log::level() <= (lvl))                       \
+  ::edea::log::detail::LineEmitter(lvl)
+
+#define EDEA_LOG_DEBUG EDEA_LOG(::edea::log::Level::kDebug)
+#define EDEA_LOG_INFO EDEA_LOG(::edea::log::Level::kInfo)
+#define EDEA_LOG_WARN EDEA_LOG(::edea::log::Level::kWarn)
+#define EDEA_LOG_ERROR EDEA_LOG(::edea::log::Level::kError)

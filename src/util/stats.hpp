@@ -1,0 +1,70 @@
+// stats.hpp - streaming summary statistics (Welford) used by the fidelity
+// metrics, the power-model calibration, and several property tests.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace edea {
+
+/// Single-pass mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  [[nodiscard]] std::int64_t count() const noexcept { return n_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  [[nodiscard]] double mean() const {
+    EDEA_REQUIRE(n_ > 0, "mean of empty sample");
+    return mean_;
+  }
+
+  /// Population variance (divides by n).
+  [[nodiscard]] double variance() const {
+    EDEA_REQUIRE(n_ > 0, "variance of empty sample");
+    return m2_ / static_cast<double>(n_);
+  }
+
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+
+  [[nodiscard]] double min() const {
+    EDEA_REQUIRE(n_ > 0, "min of empty sample");
+    return min_;
+  }
+
+  [[nodiscard]] double max() const {
+    EDEA_REQUIRE(n_ > 0, "max of empty sample");
+    return max_;
+  }
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Relative error |a-b| / max(|b|, eps). Used when comparing simulator
+/// output against the paper's published figures.
+inline double relative_error(double measured, double reference,
+                             double eps = 1e-12) noexcept {
+  const double denom = std::max(std::abs(reference), eps);
+  return std::abs(measured - reference) / denom;
+}
+
+}  // namespace edea

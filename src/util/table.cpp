@@ -1,0 +1,105 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace edea {
+
+namespace {
+
+/// Heuristic: cells that parse as numbers are right-aligned.
+bool looks_numeric(const std::string& cell) {
+  if (cell.empty()) return false;
+  std::size_t i = 0;
+  if (cell[i] == '-' || cell[i] == '+') ++i;
+  bool saw_digit = false;
+  for (; i < cell.size(); ++i) {
+    const char c = cell[i];
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      saw_digit = true;
+    } else if (c != '.' && c != ',' && c != '%' && c != 'e' && c != 'E' &&
+               c != '-' && c != '+' && c != 'x' && c != 'X') {
+      return false;
+    }
+  }
+  return saw_digit;
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  EDEA_REQUIRE(!headers_.empty(), "a table needs at least one column");
+  widths_.reserve(headers_.size());
+  for (const auto& h : headers_) widths_.push_back(h.size());
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  EDEA_REQUIRE(cells.size() <= headers_.size(),
+               "row has more cells than the table has columns");
+  cells.resize(headers_.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    widths_[i] = std::max(widths_[i], cells[i].size());
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::num(std::int64_t value) {
+  const bool negative = value < 0;
+  std::string digits = std::to_string(negative ? -value : value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3 + 1);
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  if (negative) out.push_back('-');
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string TextTable::percent(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+void TextTable::render(std::ostream& os) const {
+  auto emit_row = [&](const std::vector<std::string>& cells, bool header) {
+    os << '|';
+    for (std::size_t i = 0; i < headers_.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string{};
+      const auto width = static_cast<int>(widths_[i]);
+      const bool right = !header && looks_numeric(cell);
+      os << ' ' << (right ? std::right : std::left) << std::setw(width) << cell
+         << " |";
+    }
+    os << '\n';
+  };
+
+  emit_row(headers_, /*header=*/true);
+  os << '|';
+  for (const std::size_t w : widths_) {
+    os << std::string(w + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) emit_row(row, /*header=*/false);
+}
+
+void TextTable::render(std::ostream& os, const std::string& caption) const {
+  os << caption << '\n';
+  render(os);
+}
+
+}  // namespace edea

@@ -1,0 +1,52 @@
+// table.hpp - fixed-width ASCII table printer used by the bench harnesses.
+//
+// Every bench binary regenerates one table or figure of the paper; this
+// printer gives them a uniform, diffable plain-text output format. Numeric
+// cells are right-aligned, text cells left-aligned, and a caption line ties
+// the output back to the paper artifact it reproduces.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace edea {
+
+/// Column-oriented ASCII table. Rows are added as pre-formatted strings or
+/// through the typed helpers; width bookkeeping is automatic.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row. The row may have fewer cells than there are headers;
+  /// missing cells render empty. Extra cells are a precondition violation.
+  void add_row(std::vector<std::string> cells);
+
+  /// Formats a double with the given precision (fixed notation).
+  static std::string num(double value, int precision = 2);
+
+  /// Formats an integer with thousands separators ("1,234,567").
+  static std::string num(std::int64_t value);
+
+  /// Formats a ratio as a percentage string ("12.34%").
+  static std::string percent(double fraction, int precision = 2);
+
+  /// Renders the table (header, separator, rows) to the stream.
+  void render(std::ostream& os) const;
+
+  /// Renders with a caption line above the table.
+  void render(std::ostream& os, const std::string& caption) const;
+
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t column_count() const noexcept {
+    return headers_.size();
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<std::size_t> widths_;
+};
+
+}  // namespace edea

@@ -1,0 +1,306 @@
+// Integration tests for the cycle-accurate EDEA accelerator: bit-exactness
+// against the golden quantized reference, cycle-exactness against Eq. 1/2,
+// utilization, dataflow counters against Table II, and resource limits.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/accelerator.hpp"
+#include "nn/mobilenet.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::core {
+namespace {
+
+nn::DscLayerSpec spec_of(int rows, int ch, int stride, int out_ch,
+                         int index = 0) {
+  nn::DscLayerSpec s;
+  s.index = index;
+  s.in_rows = rows;
+  s.in_cols = rows;
+  s.in_channels = ch;
+  s.stride = stride;
+  s.out_channels = out_ch;
+  return s;
+}
+
+/// Builds a quantized layer with realistic scales plus a random int8 input
+/// in the post-ReLU domain.
+struct Fixture {
+  nn::QuantDscLayer layer;
+  nn::Int8Tensor input;
+};
+
+Fixture make_fixture(const nn::DscLayerSpec& spec, std::uint64_t seed,
+                     double sparsity = 0.4) {
+  Rng rng(seed);
+  const nn::FloatDscLayer fl = nn::make_random_float_layer(spec, rng);
+  Fixture fx;
+  fx.layer = nn::quantize_layer(fl, nn::QuantScale{0.02f},
+                                nn::QuantScale{0.03f}, nn::QuantScale{0.03f});
+  fx.input = nn::Int8Tensor(
+      nn::Shape{spec.in_rows, spec.in_cols, spec.in_channels});
+  for (auto& v : fx.input.storage()) {
+    v = rng.bernoulli(sparsity)
+            ? std::int8_t{0}
+            : static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  return fx;
+}
+
+TEST(Accelerator, BitExactOnSingleTileLayer) {
+  const Fixture fx = make_fixture(spec_of(8, 16, 1, 32), 1);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  EXPECT_EQ(r.output, fx.layer.forward(fx.input));
+}
+
+TEST(Accelerator, BitExactOnMultiTileLayer) {
+  const Fixture fx = make_fixture(spec_of(32, 16, 1, 32), 2);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  EXPECT_EQ(r.output, fx.layer.forward(fx.input));
+}
+
+TEST(Accelerator, BitExactWithStride2) {
+  const Fixture fx = make_fixture(spec_of(16, 24, 2, 48), 3);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  EXPECT_EQ(r.output, fx.layer.forward(fx.input));
+}
+
+TEST(Accelerator, BitExactWithRaggedChannelsAndKernels) {
+  // D = 20 (not a multiple of Td), K = 23 (not a multiple of Tk).
+  const Fixture fx = make_fixture(spec_of(8, 20, 1, 23), 4);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  EXPECT_EQ(r.output, fx.layer.forward(fx.input));
+}
+
+TEST(Accelerator, BitExactWithRaggedSpatialTiles) {
+  // 12x12 output: edge tiles of 4 rows/cols; plus odd output extent 7.
+  const Fixture fx12 = make_fixture(spec_of(12, 8, 1, 16), 5);
+  EdeaAccelerator accel;
+  EXPECT_EQ(accel.run_layer(fx12.layer, fx12.input).output,
+            fx12.layer.forward(fx12.input));
+
+  const Fixture fx7 = make_fixture(spec_of(7, 8, 1, 16), 6);
+  EXPECT_EQ(accel.run_layer(fx7.layer, fx7.input).output,
+            fx7.layer.forward(fx7.input));
+}
+
+TEST(Accelerator, BitExactOddSpatialWithStride2) {
+  const Fixture fx = make_fixture(spec_of(9, 8, 2, 16), 7);
+  EdeaAccelerator accel;
+  EXPECT_EQ(accel.run_layer(fx.layer, fx.input).output,
+            fx.layer.forward(fx.input));
+}
+
+TEST(Accelerator, CycleCountsMatchEq1Eq2) {
+  EdeaAccelerator accel;
+  const TimingModel tm(accel.config());
+  for (std::uint64_t seed = 10; seed < 14; ++seed) {
+    const auto spec = spec_of(16, 16, (seed % 2) ? 1 : 2, 32);
+    const Fixture fx = make_fixture(spec, seed);
+    const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+    const LayerTiming expected = tm.layer_timing(spec);
+    EXPECT_EQ(r.timing.total_cycles, expected.total_cycles);
+    EXPECT_EQ(r.timing.init_cycles, expected.init_cycles);
+    EXPECT_EQ(r.timing.compute_cycles, expected.compute_cycles);
+    EXPECT_EQ(r.timing.dwc_active_cycles, expected.dwc_active_cycles);
+    EXPECT_EQ(r.timing.pwc_active_cycles, expected.pwc_active_cycles);
+  }
+}
+
+TEST(Accelerator, HundredPercentLaneUtilizationOnAlignedLayers) {
+  // The paper's headline claim: every MobileNetV1 layer keeps both engines
+  // at 100% lane utilization (D % 8 == 0, K % 16 == 0, even outputs).
+  const Fixture fx = make_fixture(spec_of(8, 32, 1, 64), 20);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  EXPECT_DOUBLE_EQ(r.dwc_lane_utilization(), 1.0);
+  EXPECT_DOUBLE_EQ(r.pwc_lane_utilization(), 1.0);
+}
+
+TEST(Accelerator, UtilizationDropsOnMisalignedChannels) {
+  const Fixture fx = make_fixture(spec_of(8, 12, 1, 24), 21);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  EXPECT_LT(r.dwc_lane_utilization(), 1.0);
+  EXPECT_LT(r.pwc_lane_utilization(), 1.0);
+}
+
+TEST(Accelerator, DataflowCountersMatchTableII) {
+  // Table II (La, Tn=Tm=2) on an aligned single-tile layer:
+  //   DWC activation = Tr*Tc*D*N*M/4, DWC weight = 9*D,
+  //   PWC activation = N*M*D*K/16,    PWC weight = D*K.
+  const auto spec = spec_of(8, 16, 1, 32);
+  const Fixture fx = make_fixture(spec, 22);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+
+  const std::int64_t N = 8, M = 8, D = 16, K = 32;
+  EXPECT_EQ(r.dataflow.dwc_window_elements, 4 * 4 * D * (N * M / 4));
+  EXPECT_EQ(r.dataflow.dwc_weight_elements, 9 * D);
+  EXPECT_EQ(r.dataflow.pwc_activation_elements, N * M * D * (K / 16));
+  EXPECT_EQ(r.dataflow.pwc_weight_elements, D * K);
+}
+
+TEST(Accelerator, DataflowCountersStride2WindowIs5x5) {
+  const auto spec = spec_of(16, 8, 2, 16);  // output 8x8, single tile
+  const Fixture fx = make_fixture(spec, 23);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  EXPECT_EQ(r.dataflow.dwc_window_elements, 5 * 5 * 8 * (8 * 8 / 4));
+}
+
+TEST(Accelerator, ExternalOutputWritesEqualOfmapSize) {
+  const auto spec = spec_of(16, 16, 1, 32);
+  const Fixture fx = make_fixture(spec, 24);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  EXPECT_EQ(r.external.counter(arch::TrafficClass::kActivation).writes,
+            16 * 16 * 32);
+}
+
+TEST(Accelerator, NoIntermediateExternalTraffic) {
+  // The direct-transfer property: external activation traffic is ifmap
+  // reads + ofmap writes only; the N*M*D intermediate never leaves chip.
+  const auto spec = spec_of(8, 16, 1, 32);
+  const Fixture fx = make_fixture(spec, 25);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  const auto& act = r.external.counter(arch::TrafficClass::kActivation);
+  // Reads: per (tile, slice) the valid halo region; here 10x10 region
+  // clipped to 8x8 image (9x9 corner tiles...) - just assert it is below
+  // the padded footprint + one intermediate round trip.
+  const std::int64_t ifmap_upper = 10 * 10 * 16;
+  EXPECT_LE(act.reads, ifmap_upper);
+  // And the intermediate (8*8*16 = 1024 each way) was never written out:
+  EXPECT_EQ(act.writes, 8 * 8 * 32);  // ofmap only
+}
+
+TEST(Accelerator, IntermediateBufferCarriesAllTransfers) {
+  const auto spec = spec_of(8, 16, 1, 32);
+  const Fixture fx = make_fixture(spec, 26);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  // Every intermediate element written once per (step, slice):
+  EXPECT_EQ(r.buffers.intermediate.writes, 8 * 8 * 16);
+  // ... and read back once per kernel group (K/16 = 2):
+  EXPECT_EQ(r.buffers.intermediate.reads, 8 * 8 * 16 * 2);
+}
+
+TEST(Accelerator, NonConvOpCounts) {
+  const auto spec = spec_of(8, 16, 1, 32);
+  const Fixture fx = make_fixture(spec, 27);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  EXPECT_EQ(r.nonconv_transfer_ops, 8 * 8 * 16);   // N*M*D
+  EXPECT_EQ(r.nonconv_writeback_ops, 8 * 8 * 32);  // N*M*K
+}
+
+TEST(Accelerator, PwcInputZeroFractionMatchesReference) {
+  const auto spec = spec_of(8, 16, 1, 32);
+  const Fixture fx = make_fixture(spec, 28);
+  EdeaAccelerator accel;
+  const LayerRunResult r = accel.run_layer(fx.layer, fx.input);
+  nn::Int8Tensor intermediate;
+  (void)fx.layer.forward(fx.input, &intermediate);
+  EXPECT_NEAR(r.pwc_input_zero_fraction, intermediate.zero_fraction(), 1e-12);
+  EXPECT_NEAR(r.dwc_input_zero_fraction, fx.input.zero_fraction(), 1e-12);
+}
+
+TEST(Accelerator, RunNetworkChainsLayers) {
+  EdeaAccelerator accel;
+  Rng rng(30);
+  std::vector<nn::QuantDscLayer> layers;
+  nn::DscLayerSpec s1 = spec_of(16, 16, 1, 32, 0);
+  nn::DscLayerSpec s2 = spec_of(16, 32, 2, 64, 1);
+  for (const auto& s : {s1, s2}) {
+    const nn::FloatDscLayer fl = nn::make_random_float_layer(s, rng);
+    layers.push_back(nn::quantize_layer(fl, nn::QuantScale{0.02f},
+                                        nn::QuantScale{0.03f},
+                                        nn::QuantScale{0.03f}));
+  }
+  nn::Int8Tensor input(nn::Shape{16, 16, 16});
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  const NetworkRunResult net = accel.run_network(layers, input);
+  ASSERT_EQ(net.layers.size(), 2u);
+  EXPECT_EQ(net.output.shape(), (nn::Shape{8, 8, 64}));
+  // Chaining must equal the reference chain.
+  const nn::Int8Tensor ref = layers[1].forward(layers[0].forward(input));
+  EXPECT_EQ(net.output, ref);
+  EXPECT_EQ(net.total_cycles(), net.layers[0].timing.total_cycles +
+                                    net.layers[1].timing.total_cycles);
+}
+
+TEST(Accelerator, InputShapeMismatchThrows) {
+  const Fixture fx = make_fixture(spec_of(8, 16, 1, 32), 31);
+  EdeaAccelerator accel;
+  nn::Int8Tensor wrong(nn::Shape{8, 8, 8});
+  EXPECT_THROW((void)accel.run_layer(fx.layer, wrong), PreconditionError);
+}
+
+TEST(Accelerator, MismatchedKernelExtentThrows) {
+  // A 5x5 depthwise layer cannot be mapped onto the 3x3-wired engine.
+  nn::DscLayerSpec spec = spec_of(8, 8, 1, 16);
+  spec.kernel = 5;
+  spec.padding = 2;
+  Rng rng(99);
+  const nn::FloatDscLayer fl = nn::make_random_float_layer(spec, rng);
+  const nn::QuantDscLayer layer = nn::quantize_layer(
+      fl, nn::QuantScale{0.02f}, nn::QuantScale{0.03f},
+      nn::QuantScale{0.03f});
+  nn::Int8Tensor input(nn::Shape{8, 8, 8});
+  EdeaAccelerator accel;
+  EXPECT_THROW((void)accel.run_layer(layer, input), PreconditionError);
+}
+
+TEST(Accelerator, OversizedKernelCountIsAResourceError) {
+  // K = 2048 exceeds the modeled PWC weight buffer (8 KiB = Td * 1024).
+  const Fixture fx = make_fixture(spec_of(4, 8, 1, 2048), 32);
+  EdeaAccelerator accel;
+  EXPECT_THROW((void)accel.run_layer(fx.layer, fx.input), ResourceError);
+}
+
+TEST(Accelerator, TraceRecordsFig7Stages) {
+  const Fixture fx = make_fixture(spec_of(8, 16, 1, 32), 33);
+  EdeaAccelerator accel;
+  PipelineTrace trace;
+  accel.set_trace(&trace);
+  (void)accel.run_layer(fx.layer, fx.input);
+  accel.set_trace(nullptr);
+  ASSERT_FALSE(trace.events.empty());
+  // All Fig. 7 stage labels must appear in the first pass.
+  const std::array<const char*, 6> stages{
+      "DWC Input Ifmap & Weight", "DWC Input offline Data",
+      "DWC Engine Process",       "Non-Conv Unit Process",
+      "Write Intermediate Buffer", "PWC Engine Process"};
+  for (const char* stage : stages) {
+    bool found = false;
+    for (const auto& e : trace.events) {
+      if (e.stage == stage) found = true;
+    }
+    EXPECT_TRUE(found) << "missing stage " << stage;
+  }
+}
+
+TEST(Accelerator, AccumulatorsStayWithin24Bits) {
+  // Sec. III-C models 24-bit accumulators; realistic post-ReLU data must
+  // keep every PWC partial sum inside that envelope. Stress with dense,
+  // large-magnitude inputs on the deepest layer shape.
+  const Fixture fx = make_fixture(spec_of(4, 512, 1, 512), 34,
+                                  /*sparsity=*/0.0);
+  nn::Int8Tensor intermediate;
+  (void)fx.layer.forward(fx.input, &intermediate);
+  const nn::Int32Tensor acc = nn::pointwise_conv2d_q(intermediate,
+                                                     fx.layer.pwc_weights);
+  EXPECT_TRUE(arch::fits_signed_bits(nn::max_abs_acc(acc), 24));
+}
+
+}  // namespace
+}  // namespace edea::core

@@ -1,0 +1,158 @@
+// Tests for the synthetic CIFAR10-like dataset (src/nn/dataset.*).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dataset.hpp"
+#include "nn/metrics.hpp"
+#include "util/check.hpp"
+
+namespace edea::nn {
+namespace {
+
+TEST(SyntheticCifar, ImageShapeAndRange) {
+  SyntheticCifar data(1);
+  for (int c = 0; c < SyntheticCifar::kClasses; ++c) {
+    const LabeledImage img = data.sample(c);
+    EXPECT_EQ(img.label, c);
+    EXPECT_EQ(img.image.shape(), (Shape{32, 32, 3}));
+    for (const float v : img.image.storage()) {
+      EXPECT_GE(v, 0.0f);
+      EXPECT_LE(v, 1.0f);
+    }
+  }
+}
+
+TEST(SyntheticCifar, RejectsBadLabel) {
+  SyntheticCifar data(2);
+  EXPECT_THROW((void)data.sample(-1), PreconditionError);
+  EXPECT_THROW((void)data.sample(10), PreconditionError);
+}
+
+TEST(SyntheticCifar, DeterministicInSeed) {
+  SyntheticCifar a(42), b(42);
+  const LabeledImage ia = a.sample(5);
+  const LabeledImage ib = b.sample(5);
+  EXPECT_EQ(ia.image, ib.image);
+}
+
+TEST(SyntheticCifar, SamplesOfSameClassDiffer) {
+  // Phase/noise jitter: two draws of the same class are distinct images.
+  SyntheticCifar data(7);
+  const LabeledImage a = data.sample(3);
+  const LabeledImage b = data.sample(3);
+  EXPECT_NE(a.image, b.image);
+}
+
+TEST(SyntheticCifar, ClassesAreVisuallyDistinct) {
+  // Same-class images must correlate more strongly than cross-class ones
+  // on average - the property that makes the classifier example work.
+  SyntheticCifar data(11);
+  double same = 0.0, cross = 0.0;
+  int same_n = 0, cross_n = 0;
+  constexpr int kReps = 6;
+  std::vector<LabeledImage> imgs;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int c = 0; c < 4; ++c) imgs.push_back(data.sample(c));
+  }
+  for (std::size_t i = 0; i < imgs.size(); ++i) {
+    for (std::size_t j = i + 1; j < imgs.size(); ++j) {
+      const double cos = cosine_similarity(imgs[i].image, imgs[j].image);
+      if (imgs[i].label == imgs[j].label) {
+        same += cos;
+        ++same_n;
+      } else {
+        cross += cos;
+        ++cross_n;
+      }
+    }
+  }
+  EXPECT_GT(same / same_n, cross / cross_n + 0.05);
+}
+
+TEST(SyntheticCifar, BatchIsClassBalanced) {
+  SyntheticCifar data(13);
+  const auto batch = data.batch(30);
+  ASSERT_EQ(batch.size(), 30u);
+  std::array<int, 10> counts{};
+  for (const auto& ex : batch) {
+    counts[static_cast<std::size_t>(ex.label)]++;
+  }
+  for (const int c : counts) EXPECT_EQ(c, 3);
+}
+
+TEST(SyntheticCifar, BatchRejectsNonPositiveCount) {
+  SyntheticCifar data(17);
+  EXPECT_THROW((void)data.batch(0), PreconditionError);
+}
+
+// ------------------------------------------------------------- metrics ---
+
+TEST(Metrics, CosineSimilarityIdenticalIsOne) {
+  FloatTensor a(Shape{4}, 2.0f);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, a), 1.0);
+}
+
+TEST(Metrics, CosineSimilarityOrthogonal) {
+  FloatTensor a(Shape{2});
+  FloatTensor b(Shape{2});
+  a(0) = 1.0f;
+  b(1) = 1.0f;
+  EXPECT_NEAR(cosine_similarity(a, b), 0.0, 1e-9);
+}
+
+TEST(Metrics, CosineSimilarityZeroTensor) {
+  FloatTensor a(Shape{3}, 0.0f);
+  FloatTensor b(Shape{3}, 1.0f);
+  EXPECT_DOUBLE_EQ(cosine_similarity(a, b), 0.0);
+}
+
+TEST(Metrics, ShapeMismatchThrows) {
+  FloatTensor a(Shape{3});
+  FloatTensor b(Shape{4});
+  EXPECT_THROW((void)cosine_similarity(a, b), PreconditionError);
+  EXPECT_THROW((void)mean_abs_error(a, b), PreconditionError);
+}
+
+TEST(Metrics, MeanAbsError) {
+  FloatTensor a(Shape{2});
+  FloatTensor b(Shape{2});
+  a(0) = 1.0f;
+  a(1) = -1.0f;
+  b(0) = 2.0f;
+  b(1) = 1.0f;
+  EXPECT_DOUBLE_EQ(mean_abs_error(a, b), 1.5);
+}
+
+TEST(Metrics, MaxAbsDiffAndExactMatch) {
+  Int8Tensor a(Shape{4});
+  Int8Tensor b(Shape{4});
+  a(0) = 10;
+  b(0) = 10;
+  a(1) = -5;
+  b(1) = -8;
+  EXPECT_EQ(max_abs_diff(a, b), 3);
+  EXPECT_DOUBLE_EQ(exact_match_fraction(a, b), 0.75);
+}
+
+TEST(Metrics, AgreementMeter) {
+  AgreementMeter m;
+  m.add(1, 1);
+  m.add(2, 3);
+  m.add(0, 0);
+  m.add(5, 5);
+  EXPECT_EQ(m.total(), 4);
+  EXPECT_DOUBLE_EQ(m.agreement(), 0.75);
+}
+
+TEST(Metrics, AccuracyMeter) {
+  AccuracyMeter m;
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.0);
+  m.add(1, 1);
+  m.add(2, 0);
+  EXPECT_DOUBLE_EQ(m.accuracy(), 0.5);
+  EXPECT_EQ(m.total(), 2);
+}
+
+}  // namespace
+}  // namespace edea::nn

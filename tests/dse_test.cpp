@@ -1,0 +1,307 @@
+// Tests for the design space exploration (Sec. II): Table I cases, Table II
+// equations, Fig. 2 orderings, Fig. 3 reduction percentages (15.4%, 46.9%,
+// 34.7%), and the selection of the paper's configuration.
+#include <gtest/gtest.h>
+
+#include "core/config.hpp"
+#include "dse/explorer.hpp"
+#include "nn/mobilenet.hpp"
+#include "util/check.hpp"
+
+namespace edea::dse {
+namespace {
+
+std::vector<nn::DscLayerSpec> mobilenet_specs() {
+  const auto arr = nn::mobilenet_dsc_specs();
+  return {arr.begin(), arr.end()};
+}
+
+nn::DscLayerSpec spec_of(int rows, int ch, int stride, int out_ch) {
+  nn::DscLayerSpec s;
+  s.in_rows = rows;
+  s.in_cols = rows;
+  s.in_channels = ch;
+  s.stride = stride;
+  s.out_channels = out_ch;
+  return s;
+}
+
+// ---------------------------------------------------------------- Table I ---
+
+TEST(TableI, SixCasesAsPublished) {
+  ASSERT_EQ(kTableICases.size(), 6u);
+  EXPECT_EQ(kTableICases[0].td, 4);
+  EXPECT_EQ(kTableICases[0].tk, 4);
+  EXPECT_EQ(kTableICases[2].td, 4);
+  EXPECT_EQ(kTableICases[2].tk, 16);
+  EXPECT_EQ(kTableICases[5].td, 8);
+  EXPECT_EQ(kTableICases[5].tk, 16);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(kTableICases[i].id, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(ExplorationGroups, FourGroups) {
+  ASSERT_EQ(kExplorationGroups.size(), 4u);
+  EXPECT_EQ(loop_order_name(LoopOrder::kLa), "La");
+  EXPECT_EQ(loop_order_name(LoopOrder::kLb), "Lb");
+}
+
+// --------------------------------------------------------- PE array sizes ---
+
+TEST(PeArraySize, TableIIEquations) {
+  // DWC = Td*H*W*Tn*Tm, PWC = Td*Tk*Tn*Tm.
+  const PeArraySize s = pe_array_size(TilingCase{6, 8, 16}, 2, 2);
+  EXPECT_EQ(s.dwc, 288);
+  EXPECT_EQ(s.pwc, 512);
+  EXPECT_EQ(s.total(), 800);  // the fabricated configuration
+}
+
+TEST(PeArraySize, LinearInTilingParameters) {
+  // Fig. 2a: "linear relationship with the tiling size Tn, Tm, Td, Tk".
+  const PeArraySize base = pe_array_size(TilingCase{1, 4, 4}, 1, 1);
+  EXPECT_EQ(pe_array_size(TilingCase{1, 8, 4}, 1, 1).total(),
+            2 * base.total());
+  EXPECT_EQ(pe_array_size(TilingCase{1, 4, 4}, 2, 2).total(),
+            4 * base.total());
+  const PeArraySize tk2 = pe_array_size(TilingCase{1, 4, 8}, 1, 1);
+  EXPECT_EQ(tk2.pwc, 2 * base.pwc);
+  EXPECT_EQ(tk2.dwc, base.dwc);
+}
+
+TEST(PeArraySize, MaximumIs800AcrossTheSweep) {
+  std::int64_t mx = 0;
+  for (const auto& g : kExplorationGroups) {
+    for (const auto& c : kTableICases) {
+      mx = std::max(mx, pe_array_size(c, g.tn, g.tn).total());
+    }
+  }
+  EXPECT_EQ(mx, 800);  // Fig. 2a's y-axis tops out at 800
+}
+
+// ----------------------------------------------------- Table II accesses ---
+
+TEST(LayerAccess, TableIIEquationsForLaTn2) {
+  // Layer 6 (4x4x512 s1 -> 512), La, Tn=Tm=2, Case 6:
+  const nn::DscLayerSpec spec = spec_of(4, 512, 1, 512);
+  const AccessCount a =
+      layer_access(spec, LoopOrder::kLa, 2, 2, TilingCase{6, 8, 16});
+  // DWC activation: Tr*Tc*D*NM/(TnTm) = 4*4*512*(16/4).
+  EXPECT_EQ(a.dwc_activation, 4LL * 4 * 512 * 4);
+  // DWC weight: H*W*D.
+  EXPECT_EQ(a.dwc_weight, 9LL * 512);
+  // PWC activation: N*M*D*K/Tk.
+  EXPECT_EQ(a.pwc_activation, 16LL * 512 * 32);
+  // PWC weight: D*K.
+  EXPECT_EQ(a.pwc_weight, 512LL * 512);
+}
+
+TEST(LayerAccess, StrideTwoUsesLargerWindow) {
+  const nn::DscLayerSpec s2 = spec_of(8, 64, 2, 64);
+  const AccessCount a =
+      layer_access(s2, LoopOrder::kLa, 2, 2, TilingCase{6, 8, 16});
+  // Tr = Tc = (2-1)*2+3 = 5; spatial tiles = (4/2)^2 = 4.
+  EXPECT_EQ(a.dwc_activation, 5LL * 5 * 4 * 64);
+}
+
+TEST(LayerAccess, LaHasHigherActivationLbHigherWeight) {
+  // The paper's Fig. 2b observation, for every case and both tile sizes.
+  const auto specs = mobilenet_specs();
+  for (const auto& tcase : kTableICases) {
+    for (const int tn : {1, 2}) {
+      const AccessCount la =
+          network_access(specs, LoopOrder::kLa, tn, tn, tcase);
+      const AccessCount lb =
+          network_access(specs, LoopOrder::kLb, tn, tn, tcase);
+      EXPECT_GE(la.activation(), lb.activation())
+          << "case " << tcase.id << " tn " << tn;
+      EXPECT_GE(lb.weight(), la.weight())
+          << "case " << tcase.id << " tn " << tn;
+    }
+  }
+}
+
+TEST(LayerAccess, WeightAccessDominatesForMobileNetUnderLa) {
+  // "For the MobileNetV1 architecture, weight access count significantly
+  // outweighs activation access count" - under the weight-minimal order
+  // La this shows up as weights being the larger share for the deep
+  // layers; network-wide Lb weight traffic dwarfs everything.
+  const auto specs = mobilenet_specs();
+  const AccessCount lb =
+      network_access(specs, LoopOrder::kLb, 2, 2, TilingCase{6, 8, 16});
+  EXPECT_GT(lb.weight(), lb.activation());
+  // Deep layers (K = D = 512...1024): weights outweigh activations even
+  // under La.
+  const AccessCount deep = layer_access(spec_of(2, 1024, 1, 1024),
+                                        LoopOrder::kLa, 2, 2,
+                                        TilingCase{6, 8, 16});
+  EXPECT_GT(deep.weight(), deep.activation());
+}
+
+TEST(LayerAccess, LargerTkReducesLaActivationTraffic) {
+  const auto specs = mobilenet_specs();
+  const AccessCount tk4 =
+      network_access(specs, LoopOrder::kLa, 2, 2, TilingCase{4, 8, 4});
+  const AccessCount tk16 =
+      network_access(specs, LoopOrder::kLa, 2, 2, TilingCase{6, 8, 16});
+  EXPECT_GT(tk4.activation(), tk16.activation());
+}
+
+TEST(LayerAccess, AccumulationOperator) {
+  AccessCount a;
+  a.dwc_activation = 1;
+  a.pwc_weight = 2;
+  AccessCount b;
+  b.dwc_weight = 3;
+  b.pwc_activation = 4;
+  a += b;
+  EXPECT_EQ(a.total(), 10);
+  EXPECT_EQ(a.activation(), 5);
+  EXPECT_EQ(a.weight(), 5);
+}
+
+// ---------------------------------------------------------------- explorer ---
+
+TEST(Explorer, SelectsThePaperConfiguration) {
+  // "Overall, loop order La with Tn=Tm=2, in Case6 (Td=8, Tk=16) achieves
+  // the lowest access count being our preferred choice."
+  Explorer explorer(mobilenet_specs());
+  const ExplorationResult r = explorer.explore();
+  EXPECT_EQ(r.points.size(), 24u);
+  const DesignPoint& best = r.best();
+  EXPECT_EQ(best.group.order, LoopOrder::kLa);
+  EXPECT_EQ(best.group.tn, 2);
+  EXPECT_EQ(best.tcase.id, 6);
+  EXPECT_EQ(best.pe.total(), 800);
+}
+
+TEST(Explorer, BestPointHasMinimalAccessCount) {
+  Explorer explorer(mobilenet_specs());
+  const ExplorationResult r = explorer.explore();
+  for (const DesignPoint& p : r.points) {
+    EXPECT_GE(p.access.total(), r.best().access.total());
+  }
+}
+
+TEST(Explorer, LabelIsHumanReadable) {
+  Explorer explorer(mobilenet_specs());
+  const ExplorationResult r = explorer.explore();
+  EXPECT_NE(r.best().label().find("La"), std::string::npos);
+  EXPECT_NE(r.best().label().find("Case6"), std::string::npos);
+}
+
+TEST(Explorer, RejectsEmptyNetwork) {
+  EXPECT_THROW(Explorer({}), PreconditionError);
+}
+
+// ---------------------------------------------------- model monotonicity ---
+
+TEST(LayerAccess, MonotoneInOutputChannels) {
+  // More kernels -> strictly more PWC traffic, identical DWC traffic.
+  const TilingCase c6{6, 8, 16};
+  const AccessCount k64 =
+      layer_access(spec_of(8, 64, 1, 64), LoopOrder::kLa, 2, 2, c6);
+  const AccessCount k256 =
+      layer_access(spec_of(8, 64, 1, 256), LoopOrder::kLa, 2, 2, c6);
+  EXPECT_GT(k256.pwc_activation, k64.pwc_activation);
+  EXPECT_GT(k256.pwc_weight, k64.pwc_weight);
+  EXPECT_EQ(k256.dwc_activation, k64.dwc_activation);
+  EXPECT_EQ(k256.dwc_weight, k64.dwc_weight);
+}
+
+TEST(LayerAccess, MonotoneInSpatialExtent) {
+  const TilingCase c6{6, 8, 16};
+  const AccessCount small =
+      layer_access(spec_of(8, 64, 1, 64), LoopOrder::kLa, 2, 2, c6);
+  const AccessCount large =
+      layer_access(spec_of(16, 64, 1, 64), LoopOrder::kLa, 2, 2, c6);
+  EXPECT_GT(large.activation(), small.activation());
+  // Weight-stationary La: weights are independent of the spatial extent.
+  EXPECT_EQ(large.weight(), small.weight());
+}
+
+TEST(LayerAccess, MonotoneInInputChannels) {
+  const TilingCase c6{6, 8, 16};
+  const AccessCount d64 =
+      layer_access(spec_of(8, 64, 1, 64), LoopOrder::kLa, 2, 2, c6);
+  const AccessCount d128 =
+      layer_access(spec_of(8, 128, 1, 64), LoopOrder::kLa, 2, 2, c6);
+  EXPECT_GT(d128.total(), d64.total());
+}
+
+TEST(LayerAccess, DwcSideIdenticalAcrossOrders) {
+  // Both orders consume the same windows; they differ in residency only.
+  const TilingCase c6{6, 8, 16};
+  for (const int stride : {1, 2}) {
+    const auto spec = spec_of(16, 32, stride, 64);
+    const AccessCount la = layer_access(spec, LoopOrder::kLa, 2, 2, c6);
+    const AccessCount lb = layer_access(spec, LoopOrder::kLb, 2, 2, c6);
+    EXPECT_EQ(la.dwc_activation, lb.dwc_activation) << "stride " << stride;
+  }
+}
+
+TEST(PeArraySize, ConsistentWithEdeaConfigCounts) {
+  // The DSE PE model and the engine structural counts must agree for any
+  // (Td, Tk, Tn, Tm) - they describe the same silicon.
+  for (const auto& tcase : kTableICases) {
+    for (const int tn : {1, 2}) {
+      const PeArraySize pe = pe_array_size(tcase, tn, tn);
+      core::EdeaConfig cfg;
+      cfg.td = tcase.td;
+      cfg.tk = tcase.tk;
+      cfg.tn = tn;
+      cfg.tm = tn;
+      cfg.max_tile_out = 8;  // keep valid; irrelevant to MAC counts
+      EXPECT_EQ(pe.dwc, cfg.dwc_mac_count());
+      EXPECT_EQ(pe.pwc, cfg.pwc_mac_count());
+    }
+  }
+}
+
+// -------------------------------------------------------- Fig. 3 analysis ---
+
+TEST(IntermediateAccess, PerLayerModel) {
+  // Layer 2 of MobileNetV1 (16x16x128 s1 -> 128): the paper's 46.9% peak.
+  const IntermediateAccessAnalysis a =
+      intermediate_access(spec_of(16, 128, 1, 128));
+  EXPECT_EQ(a.dwc_input, 18LL * 18 * 128);
+  EXPECT_EQ(a.intermediate, 2LL * 16 * 16 * 128);
+  EXPECT_EQ(a.pwc_output, 16LL * 16 * 128);
+  EXPECT_NEAR(a.reduction(), 0.469, 0.0005);
+}
+
+TEST(IntermediateAccess, Layer11IsTheMinimum15_4Percent) {
+  const IntermediateAccessAnalysis a =
+      intermediate_access(spec_of(4, 512, 2, 1024));
+  EXPECT_NEAR(a.reduction(), 0.154, 0.0005);
+}
+
+TEST(IntermediateAccess, MobileNetRangeMatchesPaper) {
+  // "an access count reduction ranging from 15.4% to 46.9%".
+  double lo = 1.0, hi = 0.0;
+  for (const auto& spec : mobilenet_specs()) {
+    const double red = intermediate_access(spec).reduction();
+    lo = std::min(lo, red);
+    hi = std::max(hi, red);
+  }
+  EXPECT_NEAR(lo, 0.154, 0.0005);
+  EXPECT_NEAR(hi, 0.469, 0.0005);
+}
+
+TEST(IntermediateAccess, TotalReductionIs34_7Percent) {
+  // "with a total access reduction of 34.7%".
+  const IntermediateAccessTotals t =
+      intermediate_access_totals(mobilenet_specs());
+  EXPECT_NEAR(t.reduction(), 0.347, 0.0015);
+}
+
+TEST(IntermediateAccess, StreamingNeverIncreasesAccesses) {
+  for (const auto& spec : mobilenet_specs()) {
+    const IntermediateAccessAnalysis a = intermediate_access(spec);
+    EXPECT_LT(a.streaming_total(), a.baseline_total());
+    EXPECT_EQ(a.baseline_total() - a.streaming_total(), a.intermediate);
+  }
+}
+
+}  // namespace
+}  // namespace edea::dse

@@ -1,0 +1,131 @@
+// Tests for the event-level energy model (src/model/energy_model.*).
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "model/energy_model.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::model {
+namespace {
+
+core::LayerRunResult run_sample_layer(double sparsity, std::uint64_t seed) {
+  nn::DscLayerSpec spec;
+  spec.in_rows = spec.in_cols = 8;
+  spec.in_channels = 32;
+  spec.out_channels = 64;
+  Rng rng(seed);
+  const nn::FloatDscLayer fl = nn::make_random_float_layer(spec, rng);
+  const nn::QuantDscLayer layer = nn::quantize_layer(
+      fl, nn::QuantScale{0.02f}, nn::QuantScale{0.03f},
+      nn::QuantScale{0.03f});
+  nn::Int8Tensor input(nn::Shape{8, 8, 32});
+  for (auto& v : input.storage()) {
+    v = rng.bernoulli(sparsity)
+            ? std::int8_t{0}
+            : static_cast<std::int8_t>(rng.uniform_int(1, 127));
+  }
+  core::EdeaAccelerator accel;
+  return accel.run_layer(layer, input);
+}
+
+TEST(EnergyModel, DefaultParamsAreOrdered) {
+  const EnergyParams p{};
+  // Memory-hierarchy sanity: external >> SRAM, gated MAC << active MAC.
+  EXPECT_GT(p.external_access_pj, 10 * p.sram_access_pj);
+  EXPECT_LT(p.mac_gated_pj, p.mac_pj / 2);
+}
+
+TEST(EnergyModel, RejectsInvalidParams) {
+  EnergyParams p;
+  p.mac_pj = -1.0;
+  EXPECT_THROW(EnergyModel{p}, PreconditionError);
+  EnergyParams q;
+  q.mac_gated_pj = q.mac_pj * 2;
+  EXPECT_THROW(EnergyModel{q}, PreconditionError);
+}
+
+TEST(EnergyModel, AccountsAllComponents) {
+  const auto r = run_sample_layer(0.4, 1);
+  const EnergyModel m;
+  const EnergyBreakdown e = m.account(r);
+  EXPECT_GT(e.dwc_mac_pj, 0.0);
+  EXPECT_GT(e.pwc_mac_pj, 0.0);
+  EXPECT_GT(e.nonconv_pj, 0.0);
+  EXPECT_GT(e.sram_pj, 0.0);
+  EXPECT_GT(e.external_pj, 0.0);
+  EXPECT_DOUBLE_EQ(e.total_pj(), e.on_chip_pj() + e.external_pj);
+}
+
+TEST(EnergyModel, SparserInputsCostLess) {
+  // Zero-operand gating: the same layer at higher input sparsity must burn
+  // less MAC energy (Fig. 11's mechanism, bottom-up).
+  const auto dense = run_sample_layer(0.0, 2);
+  const auto sparse = run_sample_layer(0.9, 2);
+  const EnergyModel m;
+  EXPECT_GT(m.account(dense).dwc_mac_pj, m.account(sparse).dwc_mac_pj);
+  EXPECT_GT(m.account(dense).pwc_mac_pj, m.account(sparse).pwc_mac_pj);
+}
+
+TEST(EnergyModel, PwcDominatesMacEnergy) {
+  // The PWC engine does ~8x the MACs of the DWC engine on this layer
+  // (K=64 vs 9 taps) - its energy share must reflect that.
+  const auto r = run_sample_layer(0.3, 3);
+  const EnergyModel m;
+  const EnergyBreakdown e = m.account(r);
+  EXPECT_GT(e.pwc_mac_pj, 3.0 * e.dwc_mac_pj);
+}
+
+TEST(EnergyModel, OnChipPowerIsFiniteAndPositive) {
+  const auto r = run_sample_layer(0.4, 4);
+  const EnergyModel m;
+  const double mw = m.on_chip_power_mw(r, 1.0);
+  EXPECT_GT(mw, 0.0);
+  EXPECT_LT(mw, 10000.0);
+}
+
+TEST(EnergyModel, CalibrationHitsTheTarget) {
+  const auto r = run_sample_layer(0.4, 5);
+  const EnergyModel base;
+  const double target = 2.0 * base.account(r).on_chip_pj();
+  const EnergyModel cal = base.calibrated_to(r, target);
+  EXPECT_NEAR(cal.account(r).on_chip_pj(), target, target * 1e-9);
+  // External energy must be untouched by calibration.
+  EXPECT_DOUBLE_EQ(cal.account(r).external_pj, base.account(r).external_pj);
+}
+
+TEST(EnergyModel, CalibrationRejectsBadTargets) {
+  const auto r = run_sample_layer(0.4, 6);
+  const EnergyModel m;
+  EXPECT_THROW((void)m.calibrated_to(r, 0.0), PreconditionError);
+  EXPECT_THROW((void)m.calibrated_to(r, -5.0), PreconditionError);
+}
+
+TEST(EnergyModel, BreakdownAccumulates) {
+  EnergyBreakdown a;
+  a.sram_pj = 1.0;
+  a.external_pj = 2.0;
+  EnergyBreakdown b;
+  b.sram_pj = 3.0;
+  b.pwc_mac_pj = 4.0;
+  a += b;
+  EXPECT_DOUBLE_EQ(a.sram_pj, 4.0);
+  EXPECT_DOUBLE_EQ(a.pwc_mac_pj, 4.0);
+  EXPECT_DOUBLE_EQ(a.total_pj(), 10.0);
+}
+
+TEST(EnergyModel, ExternalDominatesWithoutStreaming) {
+  // With default event energies, the external round trip the paper
+  // eliminates would be a first-order energy item: external pJ per element
+  // is ~170x an SRAM access.
+  const auto r = run_sample_layer(0.4, 7);
+  const EnergyModel m;
+  const EnergyBreakdown e = m.account(r);
+  // Even in streaming mode, external traffic (ifmap + weights + ofmap) is
+  // a visible share:
+  EXPECT_GT(e.external_pj, 0.1 * e.total_pj());
+}
+
+}  // namespace
+}  // namespace edea::model

@@ -1,0 +1,140 @@
+// Tests for the Q8.16 fixed-point arithmetic of the Non-Conv unit
+// (Sec. III-C: 24-bit k/b, 8 integer + 16 fractional bits).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/fixed_point.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::arch {
+namespace {
+
+TEST(Q8_16, EncodesExactValues) {
+  EXPECT_EQ(Q8_16::from_double(1.0).raw(), 65536);
+  EXPECT_EQ(Q8_16::from_double(0.5).raw(), 32768);
+  EXPECT_EQ(Q8_16::from_double(-1.0).raw(), -65536);
+  EXPECT_EQ(Q8_16::from_double(0.0).raw(), 0);
+}
+
+TEST(Q8_16, RangeIsPlusMinus128) {
+  EXPECT_NO_THROW(Q8_16::from_double(127.9999));
+  EXPECT_NO_THROW(Q8_16::from_double(-128.0));
+  EXPECT_THROW(Q8_16::from_double(128.0), PreconditionError);
+  EXPECT_THROW(Q8_16::from_double(-128.001), PreconditionError);
+}
+
+TEST(Q8_16, SaturatingEncodeClampsInsteadOfThrowing) {
+  EXPECT_EQ(Q8_16::from_double_saturating(500.0).raw(), Q8_16::kMaxRaw);
+  EXPECT_EQ(Q8_16::from_double_saturating(-500.0).raw(), Q8_16::kMinRaw);
+  EXPECT_EQ(Q8_16::from_double_saturating(1.0).raw(), 65536);
+}
+
+TEST(Q8_16, RoundTripErrorBounded) {
+  Rng rng(101);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(-127.9, 127.9);
+    const double back = Q8_16::from_double(v).to_double();
+    EXPECT_NEAR(back, v, Q8_16::quantization_step() / 2.0 + 1e-12);
+  }
+}
+
+TEST(Q8_16, RawRangeValidation) {
+  EXPECT_NO_THROW(Q8_16::from_raw(Q8_16::kMaxRaw));
+  EXPECT_NO_THROW(Q8_16::from_raw(Q8_16::kMinRaw));
+  EXPECT_THROW(Q8_16::from_raw(Q8_16::kMaxRaw + 1), PreconditionError);
+  EXPECT_THROW(Q8_16::from_raw(Q8_16::kMinRaw - 1), PreconditionError);
+}
+
+TEST(Q8_16, TwentyFourBitEnvelope) {
+  // 24 bits total: raw must fit signed 24-bit.
+  EXPECT_TRUE(fits_signed_bits(Q8_16::kMaxRaw, 24));
+  EXPECT_TRUE(fits_signed_bits(Q8_16::kMinRaw, 24));
+  EXPECT_FALSE(fits_signed_bits(Q8_16::kMaxRaw + 1, 24));
+}
+
+// ------------------------------------------------------- nonconv_affine ---
+
+TEST(NonConvAffine, IdentityOnUnitScale) {
+  const Q8_16 k = Q8_16::from_double(1.0);
+  const Q8_16 b = Q8_16::from_double(0.0);
+  for (int acc = 0; acc <= 127; ++acc) {
+    EXPECT_EQ(nonconv_affine(acc, k, b), acc);
+  }
+}
+
+TEST(NonConvAffine, ReluClampsNegative) {
+  const Q8_16 k = Q8_16::from_double(1.0);
+  const Q8_16 b = Q8_16::from_double(0.0);
+  EXPECT_EQ(nonconv_affine(-5, k, b), 0);
+  EXPECT_EQ(nonconv_affine(-100000, k, b), 0);
+}
+
+TEST(NonConvAffine, SaturatesAtInt8Max) {
+  const Q8_16 k = Q8_16::from_double(1.0);
+  const Q8_16 b = Q8_16::from_double(0.0);
+  EXPECT_EQ(nonconv_affine(128, k, b), 127);
+  EXPECT_EQ(nonconv_affine(1 << 20, k, b), 127);
+}
+
+TEST(NonConvAffine, AppliesScaleAndBias) {
+  const Q8_16 k = Q8_16::from_double(0.5);
+  const Q8_16 b = Q8_16::from_double(3.0);
+  EXPECT_EQ(nonconv_affine(10, k, b), 8);   // 0.5*10 + 3
+  EXPECT_EQ(nonconv_affine(100, k, b), 53); // 0.5*100 + 3
+}
+
+TEST(NonConvAffine, RoundsHalfUp) {
+  const Q8_16 k = Q8_16::from_double(0.25);
+  const Q8_16 b = Q8_16::from_double(0.0);
+  // 0.25 * 2 = 0.5 -> rounds up to 1 (hardware add-then-truncate).
+  EXPECT_EQ(nonconv_affine(2, k, b), 1);
+  // 0.25 * 1 = 0.25 -> 0.
+  EXPECT_EQ(nonconv_affine(1, k, b), 0);
+  // Negative halves floor toward zero after the +0.5 offset:
+  // 0.25 * -2 = -0.5 -> -0.5+0.5 = 0 -> clamped 0 anyway with ReLU.
+  EXPECT_EQ(nonconv_affine(-2, k, b), 0);
+}
+
+TEST(NonConvAffine, CustomClampRange) {
+  const Q8_16 k = Q8_16::from_double(1.0);
+  const Q8_16 b = Q8_16::from_double(0.0);
+  // Without ReLU (symmetric clamp), negatives survive.
+  EXPECT_EQ(nonconv_affine(-5, k, b, -128, 127), -5);
+  EXPECT_EQ(nonconv_affine(-1000, k, b, -128, 127), -128);
+}
+
+TEST(NonConvAffine, MatchesFloatReferenceWithinOneLsb) {
+  Rng rng(202);
+  int exact = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const double kf = rng.uniform(-2.0, 2.0);
+    const double bf = rng.uniform(-8.0, 8.0);
+    const auto acc = static_cast<std::int32_t>(rng.uniform_int(-150000,
+                                                               150000));
+    const Q8_16 k = Q8_16::from_double(kf);
+    const Q8_16 b = Q8_16::from_double(bf);
+    const std::int32_t fixed = nonconv_affine(acc, k, b);
+    const double yf = kf * acc + bf;
+    const auto ref = static_cast<std::int32_t>(
+        std::clamp(std::nearbyint(yf), 0.0, 127.0));
+    EXPECT_LE(std::abs(fixed - ref), 1) << "k=" << kf << " b=" << bf
+                                        << " acc=" << acc;
+    if (fixed == ref) ++exact;
+  }
+  // The fixed-point path should agree exactly almost always; the <=1 LSB
+  // cases come from k's encoding error amplified by large accumulators.
+  EXPECT_GT(exact, trials * 95 / 100);
+}
+
+TEST(FitsSignedBits, Boundaries) {
+  EXPECT_TRUE(fits_signed_bits(8388607, 24));
+  EXPECT_FALSE(fits_signed_bits(8388608, 24));
+  EXPECT_TRUE(fits_signed_bits(-8388608, 24));
+  EXPECT_FALSE(fits_signed_bits(-8388609, 24));
+}
+
+}  // namespace
+}  // namespace edea::arch

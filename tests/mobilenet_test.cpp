@@ -1,0 +1,217 @@
+// Tests for the MobileNetV1-CIFAR10 builder (src/nn/mobilenet.*): the layer
+// table the whole paper evaluation rests on, calibration, and quantized
+// end-to-end inference fidelity.
+#include <gtest/gtest.h>
+
+#include "nn/dataset.hpp"
+#include "nn/metrics.hpp"
+#include "nn/mobilenet.hpp"
+#include "util/check.hpp"
+
+namespace edea::nn {
+namespace {
+
+TEST(MobileNetSpecs, ThirteenLayers) {
+  const auto specs = mobilenet_dsc_specs();
+  EXPECT_EQ(specs.size(), 13u);
+  for (int i = 0; i < kDscLayerCount; ++i) {
+    EXPECT_EQ(specs[static_cast<std::size_t>(i)].index, i);
+  }
+}
+
+TEST(MobileNetSpecs, StrideTwoAtLayers1_3_5_11) {
+  // Sec. IV-A: "layers 1, 3, 5 and 11 exhibit a reduced number of MAC
+  // operations due to the stride of 2".
+  const auto specs = mobilenet_dsc_specs();
+  for (int i = 0; i < kDscLayerCount; ++i) {
+    const bool expect_stride2 = (i == 1 || i == 3 || i == 5 || i == 11);
+    EXPECT_EQ(specs[static_cast<std::size_t>(i)].stride,
+              expect_stride2 ? 2 : 1)
+        << "layer " << i;
+  }
+}
+
+TEST(MobileNetSpecs, ChannelProgression) {
+  const auto specs = mobilenet_dsc_specs();
+  EXPECT_EQ(specs[0].in_channels, 32);
+  EXPECT_EQ(specs[0].out_channels, 64);
+  EXPECT_EQ(specs[6].in_channels, 512);
+  EXPECT_EQ(specs[12].in_channels, 1024);
+  EXPECT_EQ(specs[12].out_channels, 1024);
+}
+
+TEST(MobileNetSpecs, LayersChainGeometrically) {
+  // Each layer's output must equal the next layer's input.
+  const auto specs = mobilenet_dsc_specs();
+  for (std::size_t i = 0; i + 1 < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].out_rows(), specs[i + 1].in_rows) << "layer " << i;
+    EXPECT_EQ(specs[i].out_cols(), specs[i + 1].in_cols) << "layer " << i;
+    EXPECT_EQ(specs[i].out_channels, specs[i + 1].in_channels)
+        << "layer " << i;
+  }
+}
+
+TEST(MobileNetSpecs, LatersLayersHaveIfmapSizeTwo) {
+  // Sec. II: "later layers such as layers 11 and 12 with an ifmap size
+  // of 2" - layer 12's input and layer 11's output are 2x2.
+  const auto specs = mobilenet_dsc_specs();
+  EXPECT_EQ(specs[11].out_rows(), 2);
+  EXPECT_EQ(specs[12].in_rows, 2);
+}
+
+TEST(MobileNetSpecs, ChannelsAreMultiplesOfTilingSizes) {
+  // The 100% utilization claim requires D % 8 == 0 and K % 16 == 0.
+  for (const auto& s : mobilenet_dsc_specs()) {
+    EXPECT_EQ(s.in_channels % 8, 0) << s.to_string();
+    EXPECT_EQ(s.out_channels % 16, 0) << s.to_string();
+  }
+}
+
+TEST(FloatMobileNet, ForwardShapes) {
+  const FloatMobileNet net(1234);
+  SyntheticCifar data(1);
+  const LabeledImage img = data.sample(0);
+  const FloatTensor stem = net.forward_stem(img.image);
+  EXPECT_EQ(stem.shape(), (Shape{32, 32, 32}));
+  const FloatTensor features = net.forward_dsc(stem);
+  EXPECT_EQ(features.shape(), (Shape{2, 2, 1024}));
+  const FloatTensor logits = net.forward_head(features);
+  EXPECT_EQ(logits.shape(), (Shape{10}));
+}
+
+TEST(FloatMobileNet, DeterministicInSeed) {
+  const FloatMobileNet a(77), b(77);
+  SyntheticCifar data(2);
+  const LabeledImage img = data.sample(3);
+  const FloatTensor la = a.forward(img.image);
+  const FloatTensor lb = b.forward(img.image);
+  EXPECT_EQ(la, lb);
+}
+
+TEST(FloatMobileNet, ParameterCountMatchesArchitecture) {
+  // Hand-computed for the CIFAR10 variant:
+  // stem: 32*3*3*3 + 4*32 = 992
+  // DSC blocks: sum(9*D + D*K + 4*(D+K))
+  // head: 10*1024 + 10 = 10250
+  const FloatMobileNet net(5);
+  std::int64_t expected = 32 * 3 * 3 * 3 + 4 * 32;
+  for (const auto& s : mobilenet_dsc_specs()) {
+    expected += 9LL * s.in_channels +
+                std::int64_t{s.in_channels} * s.out_channels +
+                4LL * (s.in_channels + s.out_channels);
+  }
+  expected += 10 * 1024 + 10;
+  EXPECT_EQ(net.parameter_count(), expected);
+  // Ballpark: MobileNetV1 at width 1.0 has ~3.2M conv parameters.
+  EXPECT_GT(net.parameter_count(), 3000000);
+  EXPECT_LT(net.parameter_count(), 3500000);
+}
+
+TEST(Calibrate, ProducesPositiveScales) {
+  const FloatMobileNet net(42);
+  SyntheticCifar data(3);
+  std::vector<FloatTensor> images;
+  for (int i = 0; i < 3; ++i) images.push_back(data.sample(i).image);
+  const CalibrationResult cal = calibrate(net, images);
+  ASSERT_EQ(cal.block_input_scales.size(), 14u);
+  ASSERT_EQ(cal.intermediate_scales.size(), 13u);
+  for (const auto& s : cal.block_input_scales) EXPECT_GT(s.scale, 0.0f);
+  for (const auto& s : cal.intermediate_scales) EXPECT_GT(s.scale, 0.0f);
+}
+
+TEST(Calibrate, EmptyBatchThrows) {
+  const FloatMobileNet net(42);
+  EXPECT_THROW((void)calibrate(net, {}), PreconditionError);
+}
+
+class QuantMobileNetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    net_ = std::make_unique<FloatMobileNet>(2025);
+    SyntheticCifar data(4);
+    for (int i = 0; i < 4; ++i) {
+      images_.push_back(data.sample(i % 10).image);
+    }
+    cal_ = calibrate(*net_, images_);
+    qnet_ = std::make_unique<QuantMobileNet>(*net_, cal_);
+  }
+
+  std::unique_ptr<FloatMobileNet> net_;
+  std::vector<FloatTensor> images_;
+  CalibrationResult cal_;
+  std::unique_ptr<QuantMobileNet> qnet_;
+};
+
+TEST_F(QuantMobileNetTest, ThirteenQuantizedBlocks) {
+  EXPECT_EQ(qnet_->blocks().size(), 13u);
+}
+
+TEST_F(QuantMobileNetTest, EndToEndShapes) {
+  const FloatTensor stem = net_->forward_stem(images_[0]);
+  const Int8Tensor q_in = qnet_->quantize_input(stem);
+  EXPECT_EQ(q_in.shape(), (Shape{32, 32, 32}));
+  const Int8Tensor q_out = qnet_->forward_dsc(q_in);
+  EXPECT_EQ(q_out.shape(), (Shape{2, 2, 1024}));
+}
+
+TEST_F(QuantMobileNetTest, QuantizedFeaturesTrackFloat) {
+  const FloatTensor stem = net_->forward_stem(images_[0]);
+  const FloatTensor float_features = net_->forward_dsc(stem);
+  const Int8Tensor q_out = qnet_->forward_dsc(qnet_->quantize_input(stem));
+  const FloatTensor deq = qnet_->dequantize_output(q_out);
+  // 13 layers of int8 accumulate error, but direction must survive.
+  EXPECT_GT(cosine_similarity(deq, float_features), 0.85);
+}
+
+TEST_F(QuantMobileNetTest, Int8StemShapesAndRange) {
+  const Int8Tensor img_q = qnet_->quantize_image(images_[0]);
+  EXPECT_EQ(img_q.shape(), (Shape{32, 32, 3}));
+  const Int8Tensor stem_q = qnet_->forward_stem_q(img_q);
+  EXPECT_EQ(stem_q.shape(), (Shape{32, 32, 32}));
+  for (const auto v : stem_q.storage()) {
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 127);
+  }
+}
+
+TEST_F(QuantMobileNetTest, Int8StemTracksFloatStem) {
+  // The int8 stem (conv2d_q + folded Non-Conv) must land close to the
+  // float stem quantized into the same domain: at most 1 LSB elementwise
+  // beyond quantization noise, >90% exact.
+  const Int8Tensor img_q = qnet_->quantize_image(images_[1]);
+  const Int8Tensor stem_q = qnet_->forward_stem_q(img_q);
+  const Int8Tensor stem_ref =
+      qnet_->quantize_input(net_->forward_stem(images_[1]));
+  EXPECT_LE(max_abs_diff(stem_q, stem_ref), 2);
+  EXPECT_GT(exact_match_fraction(stem_q, stem_ref), 0.9);
+}
+
+TEST_F(QuantMobileNetTest, FullyIntegerInferencePath) {
+  // image -> int8 stem -> int8 DSC stack: features must still track the
+  // float network's direction.
+  const Int8Tensor img_q = qnet_->quantize_image(images_[2]);
+  const Int8Tensor features_q =
+      qnet_->forward_dsc(qnet_->forward_stem_q(img_q));
+  const FloatTensor features_f =
+      net_->forward_dsc(net_->forward_stem(images_[2]));
+  const FloatTensor deq = qnet_->dequantize_output(features_q);
+  EXPECT_GT(cosine_similarity(deq, features_f), 0.8);
+}
+
+TEST_F(QuantMobileNetTest, ActivationStatsCollected) {
+  const FloatTensor stem = net_->forward_stem(images_[0]);
+  std::vector<LayerActivationStats> stats;
+  (void)qnet_->forward_dsc(qnet_->quantize_input(stem), &stats);
+  ASSERT_EQ(stats.size(), 13u);
+  for (const auto& s : stats) {
+    EXPECT_GE(s.dwc_input_zero_fraction, 0.0);
+    EXPECT_LE(s.dwc_input_zero_fraction, 1.0);
+    EXPECT_GE(s.pwc_input_zero_fraction, 0.0);
+    EXPECT_LE(s.pwc_input_zero_fraction, 1.0);
+  }
+  // ReLU networks are sparse: the deep layers must show substantial zeros.
+  EXPECT_GT(stats[12].dwc_input_zero_fraction, 0.2);
+}
+
+}  // namespace
+}  // namespace edea::nn

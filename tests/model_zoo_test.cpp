@@ -1,0 +1,166 @@
+// Tests for the model zoo (src/nn/model_zoo.*): variant geometry, width
+// scaling, chaining, and accelerator compatibility - the paper's closing
+// claim that the design "is also suitable for other DSC-based networks".
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/tiler.hpp"
+#include "nn/mobilenet.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::nn {
+namespace {
+
+TEST(ModelZoo, DefaultVariantMatchesPaperTable) {
+  MobileNetVariant v;  // 1.0x @ 32
+  const auto specs = mobilenet_variant_specs(v);
+  const auto paper = mobilenet_dsc_specs();
+  ASSERT_EQ(specs.size(), paper.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].in_rows, paper[i].in_rows) << i;
+    EXPECT_EQ(specs[i].in_channels, paper[i].in_channels) << i;
+    EXPECT_EQ(specs[i].out_channels, paper[i].out_channels) << i;
+    EXPECT_EQ(specs[i].stride, paper[i].stride) << i;
+  }
+}
+
+TEST(ModelZoo, WidthMultiplierScalesChannels) {
+  MobileNetVariant half;
+  half.width_multiplier = 0.5;
+  const auto specs = mobilenet_variant_specs(half);
+  EXPECT_EQ(specs[0].in_channels, 16);
+  EXPECT_EQ(specs[0].out_channels, 32);
+  EXPECT_EQ(specs[12].out_channels, 512);
+}
+
+TEST(ModelZoo, ChannelRoundingKeepsTdAlignment) {
+  MobileNetVariant v;
+  v.width_multiplier = 0.75;
+  const auto specs = mobilenet_variant_specs(v, /*channel_round=*/8);
+  for (const auto& s : specs) {
+    EXPECT_EQ(s.in_channels % 8, 0) << s.to_string();
+    EXPECT_EQ(s.out_channels % 8, 0) << s.to_string();
+  }
+}
+
+TEST(ModelZoo, VariantsChainGeometrically) {
+  for (const double alpha : {0.25, 0.5, 0.75, 1.0}) {
+    MobileNetVariant v;
+    v.width_multiplier = alpha;
+    const auto specs = mobilenet_variant_specs(v);
+    for (std::size_t i = 0; i + 1 < specs.size(); ++i) {
+      EXPECT_EQ(specs[i].out_rows(), specs[i + 1].in_rows);
+      EXPECT_EQ(specs[i].out_channels, specs[i + 1].in_channels);
+    }
+  }
+}
+
+TEST(ModelZoo, ImageNetGeometry) {
+  const auto specs = mobilenet_imagenet_specs();
+  EXPECT_EQ(specs[0].in_rows, 112);  // after the stride-2 stem
+  EXPECT_EQ(specs[12].in_rows, 7);   // the classic 7x7x1024 tail
+  EXPECT_EQ(specs[12].out_channels, 1024);
+}
+
+TEST(ModelZoo, EdeaNetChainsAndEndsAt4x4x256) {
+  const auto specs = edeanet_specs();
+  ASSERT_EQ(specs.size(), 6u);
+  for (std::size_t i = 0; i + 1 < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].out_rows(), specs[i + 1].in_rows);
+    EXPECT_EQ(specs[i].out_channels, specs[i + 1].in_channels);
+  }
+  EXPECT_EQ(specs.back().out_rows(), 4);
+  EXPECT_EQ(specs.back().out_channels, 256);
+}
+
+TEST(ModelZoo, RejectsBadParameters) {
+  MobileNetVariant v;
+  v.width_multiplier = 0.0;
+  EXPECT_THROW((void)mobilenet_variant_specs(v), PreconditionError);
+  v.width_multiplier = 1.0;
+  v.input_resolution = 2;
+  EXPECT_THROW((void)mobilenet_variant_specs(v), PreconditionError);
+}
+
+TEST(ModelZoo, RandomQuantNetworkIsDeterministic) {
+  const auto specs = edeanet_specs();
+  const auto a = make_random_quant_network(specs, 42);
+  const auto b = make_random_quant_network(specs, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dwc_weights, b[i].dwc_weights);
+    EXPECT_EQ(a[i].pwc_weights, b[i].pwc_weights);
+  }
+  const auto c = make_random_quant_network(specs, 43);
+  EXPECT_NE(a[0].dwc_weights, c[0].dwc_weights);
+}
+
+// ------------------------ accelerator compatibility (the paper's claim) ---
+
+TEST(ModelZoo, AcceleratorRunsEdeaNetBitExact) {
+  const auto layers = make_random_quant_network(edeanet_specs(), 7);
+  core::EdeaAccelerator accel;
+  Rng rng(9);
+  Int8Tensor input(Shape{64, 64, 16});
+  for (auto& v : input.storage()) {
+    v = rng.bernoulli(0.4) ? std::int8_t{0}
+                           : static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  const core::NetworkRunResult run = accel.run_network(layers, input);
+  Int8Tensor ref = input;
+  for (const auto& l : layers) ref = l.forward(ref);
+  EXPECT_EQ(run.output, ref);
+  // Utilization stays 100%: every EdeaNet channel count is Td/Tk aligned.
+  for (const auto& r : run.layers) {
+    EXPECT_DOUBLE_EQ(r.dwc_lane_utilization(), 1.0) << r.spec.to_string();
+    EXPECT_DOUBLE_EQ(r.pwc_lane_utilization(), 1.0) << r.spec.to_string();
+  }
+}
+
+TEST(ModelZoo, AcceleratorRunsQuarterWidthMobileNet) {
+  MobileNetVariant v;
+  v.width_multiplier = 0.25;
+  const auto specs = mobilenet_variant_specs(v);
+  const auto layers = make_random_quant_network(specs, 11);
+  core::EdeaAccelerator accel;
+  Rng rng(13);
+  Int8Tensor input(Shape{32, 32, specs[0].in_channels});
+  for (auto& v8 : input.storage()) {
+    v8 = static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  const core::NetworkRunResult run = accel.run_network(layers, input);
+  Int8Tensor ref = input;
+  for (const auto& l : layers) ref = l.forward(ref);
+  EXPECT_EQ(run.output, ref);
+}
+
+TEST(ModelZoo, EveryVariantLayerFitsTheModeledBuffers) {
+  // The fixed silicon buffers must hold every layer of every supported
+  // CIFAR-scale variant (K <= 1024 is the modeled PWC weight buffer bound).
+  const core::EdeaConfig cfg = core::EdeaConfig::paper();
+  for (const double alpha : {0.25, 0.5, 0.75, 1.0}) {
+    MobileNetVariant v;
+    v.width_multiplier = alpha;
+    for (const auto& spec : mobilenet_variant_specs(v)) {
+      const core::Tiler tiler(cfg, spec);
+      EXPECT_LE(tiler.max_tile_input_bytes(), cfg.dwc_ifmap_buffer_bytes())
+          << spec.to_string();
+      EXPECT_LE(std::int64_t{spec.out_channels} * cfg.td,
+                cfg.pwc_weight_buffer_bytes())
+          << spec.to_string();
+    }
+  }
+}
+
+TEST(ModelZoo, ImageNetVariantNeedsMoreTiles) {
+  // 112x112 feature maps split into many 8x8-output buffer tiles - Eq. 2
+  // at scale. Cross-check one layer's tile count.
+  const auto specs = mobilenet_imagenet_specs();
+  const core::Tiler tiler(core::EdeaConfig::paper(), specs[0]);
+  EXPECT_EQ(tiler.tiles().size(), 14u * 14u);  // 112/8 squared
+}
+
+}  // namespace
+}  // namespace edea::nn

@@ -1,0 +1,353 @@
+// Tests for the golden operator library (src/nn/ops.*): float and integer
+// convolutions, BN, ReLU, pooling, FC. Includes the core DSC identity:
+// depthwise + pointwise == standard convolution with factorized kernels.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/fixed_point.hpp"
+#include "nn/ops.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::nn {
+namespace {
+
+FloatTensor random_tensor(Shape shape, Rng& rng, double stddev = 1.0) {
+  FloatTensor t(shape);
+  for (auto& v : t.storage()) {
+    v = static_cast<float>(rng.normal(0.0, stddev));
+  }
+  return t;
+}
+
+// ------------------------------------------------------------ depthwise ---
+
+TEST(DepthwiseConv, IdentityKernelPassesThrough) {
+  // A 3x3 kernel with 1 at the center reproduces the input (stride 1).
+  FloatTensor input(Shape{4, 4, 2});
+  Rng rng(1);
+  for (auto& v : input.storage()) v = static_cast<float>(rng.uniform());
+  FloatTensor kernel(Shape{3, 3, 2});
+  kernel(1, 1, 0) = 1.0f;
+  kernel(1, 1, 1) = 1.0f;
+
+  const FloatTensor out = depthwise_conv2d(input, kernel, {3, 1, 1});
+  ASSERT_EQ(out.shape(), input.shape());
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      for (int c = 0; c < 2; ++c) {
+        EXPECT_FLOAT_EQ(out(i, j, c), input(i, j, c));
+      }
+    }
+  }
+}
+
+TEST(DepthwiseConv, ChannelsAreIndependent) {
+  Rng rng(2);
+  FloatTensor input = random_tensor(Shape{6, 6, 3}, rng);
+  FloatTensor kernel = random_tensor(Shape{3, 3, 3}, rng);
+  const FloatTensor out = depthwise_conv2d(input, kernel, {3, 1, 1});
+
+  // Zeroing channel 2 of the input must not affect channels 0/1.
+  FloatTensor input2 = input;
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) input2(i, j, 2) = 0.0f;
+  }
+  const FloatTensor out2 = depthwise_conv2d(input2, kernel, {3, 1, 1});
+  for (int i = 0; i < 6; ++i) {
+    for (int j = 0; j < 6; ++j) {
+      EXPECT_FLOAT_EQ(out(i, j, 0), out2(i, j, 0));
+      EXPECT_FLOAT_EQ(out(i, j, 1), out2(i, j, 1));
+    }
+  }
+}
+
+TEST(DepthwiseConv, Stride2HalvesSpatialExtent) {
+  Rng rng(3);
+  FloatTensor input = random_tensor(Shape{8, 8, 4}, rng);
+  FloatTensor kernel = random_tensor(Shape{3, 3, 4}, rng);
+  const FloatTensor out = depthwise_conv2d(input, kernel, {3, 2, 1});
+  EXPECT_EQ(out.shape(), (Shape{4, 4, 4}));
+}
+
+TEST(DepthwiseConv, ZeroPaddingAtBorders) {
+  // All-ones input and all-ones kernel: interior output = 9, corner = 4.
+  FloatTensor input(Shape{5, 5, 1}, 1.0f);
+  FloatTensor kernel(Shape{3, 3, 1}, 1.0f);
+  const FloatTensor out = depthwise_conv2d(input, kernel, {3, 1, 1});
+  EXPECT_FLOAT_EQ(out(2, 2, 0), 9.0f);
+  EXPECT_FLOAT_EQ(out(0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out(0, 2, 0), 6.0f);
+}
+
+TEST(DepthwiseConv, RejectsMismatchedChannels) {
+  FloatTensor input(Shape{4, 4, 2});
+  FloatTensor kernel(Shape{3, 3, 3});
+  EXPECT_THROW((void)depthwise_conv2d(input, kernel, {3, 1, 1}),
+               PreconditionError);
+}
+
+// ------------------------------------------------------------ pointwise ---
+
+TEST(PointwiseConv, ComputesChannelMix) {
+  FloatTensor input(Shape{1, 1, 3});
+  input(0, 0, 0) = 1.0f;
+  input(0, 0, 1) = 2.0f;
+  input(0, 0, 2) = 3.0f;
+  FloatTensor weights(Shape{2, 3});
+  weights(0, 0) = 1.0f;
+  weights(0, 1) = 0.0f;
+  weights(0, 2) = -1.0f;
+  weights(1, 0) = 0.5f;
+  weights(1, 1) = 0.5f;
+  weights(1, 2) = 0.5f;
+  const FloatTensor out = pointwise_conv2d(input, weights);
+  EXPECT_FLOAT_EQ(out(0, 0, 0), -2.0f);
+  EXPECT_FLOAT_EQ(out(0, 0, 1), 3.0f);
+}
+
+TEST(PointwiseConv, IsSpatiallyLocal) {
+  Rng rng(4);
+  FloatTensor input = random_tensor(Shape{3, 3, 4}, rng);
+  FloatTensor weights = random_tensor(Shape{2, 4}, rng);
+  const FloatTensor out = pointwise_conv2d(input, weights);
+  // Changing pixel (0,0) must only change output pixel (0,0).
+  FloatTensor input2 = input;
+  input2(0, 0, 1) += 1.0f;
+  const FloatTensor out2 = pointwise_conv2d(input2, weights);
+  EXPECT_NE(out(0, 0, 0), out2(0, 0, 0));
+  EXPECT_FLOAT_EQ(out(1, 1, 0), out2(1, 1, 0));
+  EXPECT_FLOAT_EQ(out(2, 2, 1), out2(2, 2, 1));
+}
+
+// --------------------------------------------- DSC factorization identity ---
+
+TEST(DscIdentity, DepthwisePlusPointwiseEqualsFactorizedStandardConv) {
+  // A standard conv whose kernel factorizes as W[k][i][j][d] =
+  // pw[k][d] * dw[i][j][d] equals DWC followed by PWC. This is the
+  // algebraic foundation of the paper's whole workload.
+  Rng rng(5);
+  const int D = 3, K = 4;
+  FloatTensor input = random_tensor(Shape{6, 6, D}, rng);
+  FloatTensor dw = random_tensor(Shape{3, 3, D}, rng);
+  FloatTensor pw = random_tensor(Shape{K, D}, rng);
+
+  FloatTensor full(Shape{K, 3, 3, D});
+  for (int k = 0; k < K; ++k) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) {
+        for (int d = 0; d < D; ++d) {
+          full(k, i, j, d) = pw(k, d) * dw(i, j, d);
+        }
+      }
+    }
+  }
+
+  const FloatTensor via_dsc =
+      pointwise_conv2d(depthwise_conv2d(input, dw, {3, 1, 1}), pw);
+  const FloatTensor via_std = conv2d(input, full, {3, 1, 1});
+  ASSERT_EQ(via_dsc.shape(), via_std.shape());
+  for (std::size_t i = 0; i < via_dsc.size(); ++i) {
+    EXPECT_NEAR(via_dsc.data()[i], via_std.data()[i], 1e-3f);
+  }
+}
+
+// ------------------------------------------------------------------- BN ---
+
+TEST(BatchNorm, EffectiveAffineForm) {
+  BatchNormParams bn;
+  bn.gamma = {2.0f};
+  bn.beta = {1.0f};
+  bn.mean = {3.0f};
+  bn.var = {4.0f};
+  bn.epsilon = 0.0f;
+  // scale = 2/sqrt(4) = 1, shift = 1 - 2*3/2 = -2.
+  EXPECT_FLOAT_EQ(bn.effective_scale(0), 1.0f);
+  EXPECT_FLOAT_EQ(bn.effective_shift(0), -2.0f);
+
+  FloatTensor x(Shape{1, 1, 1});
+  x(0, 0, 0) = 5.0f;
+  const FloatTensor y = batch_norm(x, bn);
+  EXPECT_FLOAT_EQ(y(0, 0, 0), 3.0f);
+}
+
+TEST(BatchNorm, MatchesDefinitionElementwise) {
+  Rng rng(6);
+  const int C = 5;
+  FloatTensor x = random_tensor(Shape{2, 2, C}, rng);
+  BatchNormParams bn;
+  for (int c = 0; c < C; ++c) {
+    bn.gamma.push_back(static_cast<float>(rng.uniform(0.5, 1.5)));
+    bn.beta.push_back(static_cast<float>(rng.normal(0.0, 0.3)));
+    bn.mean.push_back(static_cast<float>(rng.normal(0.0, 0.3)));
+    bn.var.push_back(static_cast<float>(rng.uniform(0.5, 2.0)));
+  }
+  const FloatTensor y = batch_norm(x, bn);
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      for (int c = 0; c < C; ++c) {
+        const auto cc = static_cast<std::size_t>(c);
+        const float expected =
+            bn.gamma[cc] * (x(i, j, c) - bn.mean[cc]) /
+                std::sqrt(bn.var[cc] + bn.epsilon) +
+            bn.beta[cc];
+        EXPECT_NEAR(y(i, j, c), expected, 1e-5f);
+      }
+    }
+  }
+}
+
+TEST(Relu, ClampsNegatives) {
+  FloatTensor x(Shape{3});
+  x(0) = -1.0f;
+  x(1) = 0.0f;
+  x(2) = 2.0f;
+  const FloatTensor y = relu(x);
+  EXPECT_FLOAT_EQ(y(0), 0.0f);
+  EXPECT_FLOAT_EQ(y(1), 0.0f);
+  EXPECT_FLOAT_EQ(y(2), 2.0f);
+}
+
+// ------------------------------------------------------- pooling and FC ---
+
+TEST(GlobalAvgPool, AveragesEachChannel) {
+  FloatTensor x(Shape{2, 2, 2});
+  x(0, 0, 0) = 1.0f;
+  x(0, 1, 0) = 2.0f;
+  x(1, 0, 0) = 3.0f;
+  x(1, 1, 0) = 4.0f;
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) x(i, j, 1) = 10.0f;
+  }
+  const FloatTensor y = global_avg_pool(x);
+  EXPECT_FLOAT_EQ(y(0), 2.5f);
+  EXPECT_FLOAT_EQ(y(1), 10.0f);
+}
+
+TEST(Linear, MatrixVectorPlusBias) {
+  FloatTensor x(Shape{2});
+  x(0) = 1.0f;
+  x(1) = 2.0f;
+  FloatTensor w(Shape{2, 2});
+  w(0, 0) = 1.0f;
+  w(0, 1) = 1.0f;
+  w(1, 0) = -1.0f;
+  w(1, 1) = 1.0f;
+  FloatTensor b(Shape{2});
+  b(0) = 0.5f;
+  b(1) = -0.5f;
+  const FloatTensor y = linear(x, w, b);
+  EXPECT_FLOAT_EQ(y(0), 3.5f);
+  EXPECT_FLOAT_EQ(y(1), 0.5f);
+}
+
+TEST(Softmax, SumsToOneAndOrdersPreserved) {
+  FloatTensor x(Shape{3});
+  x(0) = 1.0f;
+  x(1) = 3.0f;
+  x(2) = 2.0f;
+  const FloatTensor p = softmax(x);
+  EXPECT_NEAR(p(0) + p(1) + p(2), 1.0f, 1e-6f);
+  EXPECT_GT(p(1), p(2));
+  EXPECT_GT(p(2), p(0));
+  EXPECT_EQ(argmax(x), 1);
+}
+
+TEST(Softmax, StableForLargeLogits) {
+  FloatTensor x(Shape{2});
+  x(0) = 1000.0f;
+  x(1) = 999.0f;
+  const FloatTensor p = softmax(x);
+  EXPECT_FALSE(std::isnan(p(0)));
+  EXPECT_GT(p(0), p(1));
+}
+
+// ------------------------------------------------------ integer variants ---
+
+TEST(IntegerConv, DepthwiseMatchesFloatOnIntegerData) {
+  // With integer-valued float inputs, the int8 path must agree exactly.
+  Rng rng(7);
+  const int D = 4;
+  Int8Tensor input_q(Shape{5, 5, D});
+  Int8Tensor kernel_q(Shape{3, 3, D});
+  FloatTensor input_f(Shape{5, 5, D});
+  FloatTensor kernel_f(Shape{3, 3, D});
+  for (std::size_t i = 0; i < input_q.size(); ++i) {
+    const auto v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    input_q.storage()[i] = v;
+    input_f.storage()[i] = static_cast<float>(v);
+  }
+  for (std::size_t i = 0; i < kernel_q.size(); ++i) {
+    const auto v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    kernel_q.storage()[i] = v;
+    kernel_f.storage()[i] = static_cast<float>(v);
+  }
+  for (const int stride : {1, 2}) {
+    const Int32Tensor out_q =
+        depthwise_conv2d_q(input_q, kernel_q, {3, stride, 1});
+    const FloatTensor out_f =
+        depthwise_conv2d(input_f, kernel_f, {3, stride, 1});
+    ASSERT_EQ(out_q.shape(), out_f.shape());
+    for (std::size_t i = 0; i < out_q.size(); ++i) {
+      EXPECT_FLOAT_EQ(static_cast<float>(out_q.storage()[i]),
+                      out_f.storage()[i]);
+    }
+  }
+}
+
+TEST(IntegerConv, PointwiseMatchesFloatOnIntegerData) {
+  Rng rng(8);
+  const int D = 8, K = 5;
+  Int8Tensor input_q(Shape{3, 3, D});
+  Int8Tensor w_q(Shape{K, D});
+  FloatTensor input_f(Shape{3, 3, D});
+  FloatTensor w_f(Shape{K, D});
+  for (std::size_t i = 0; i < input_q.size(); ++i) {
+    const auto v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    input_q.storage()[i] = v;
+    input_f.storage()[i] = static_cast<float>(v);
+  }
+  for (std::size_t i = 0; i < w_q.size(); ++i) {
+    const auto v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    w_q.storage()[i] = v;
+    w_f.storage()[i] = static_cast<float>(v);
+  }
+  const Int32Tensor out_q = pointwise_conv2d_q(input_q, w_q);
+  const FloatTensor out_f = pointwise_conv2d(input_f, w_f);
+  for (std::size_t i = 0; i < out_q.size(); ++i) {
+    EXPECT_FLOAT_EQ(static_cast<float>(out_q.storage()[i]),
+                    out_f.storage()[i]);
+  }
+}
+
+TEST(IntegerConv, DepthwiseAccumulatorStaysWithin24Bits) {
+  // Worst-case 3x3 depthwise accumulation: 9 * 127 * (-128) - well inside
+  // the silicon's 24-bit accumulator (Sec. III-C / Fig. 6).
+  Int8Tensor input(Shape{3, 3, 1}, static_cast<std::int8_t>(-128));
+  Int8Tensor kernel(Shape{3, 3, 1}, static_cast<std::int8_t>(127));
+  const Int32Tensor out = depthwise_conv2d_q(input, kernel, {3, 1, 1});
+  EXPECT_TRUE(arch::fits_signed_bits(max_abs_acc(out), 24));
+}
+
+TEST(IntegerConv, MaxAbsAcc) {
+  Int32Tensor t(Shape{2, 1, 1});
+  t(0, 0, 0) = -500;
+  t(1, 0, 0) = 200;
+  EXPECT_EQ(max_abs_acc(t), 500);
+}
+
+TEST(Conv2dStandard, KnownSmallCase) {
+  FloatTensor input(Shape{3, 3, 1});
+  float v = 1.0f;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < 3; ++j) input(i, j, 0) = v++;
+  }
+  FloatTensor w(Shape{1, 3, 3, 1}, 1.0f);
+  const FloatTensor out = conv2d(input, w, {3, 1, 1});
+  // Center output = sum of all inputs = 45.
+  EXPECT_FLOAT_EQ(out(1, 1, 0), 45.0f);
+}
+
+}  // namespace
+}  // namespace edea::nn

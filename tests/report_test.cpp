@@ -1,0 +1,116 @@
+// Tests for the profiling report module (src/model/report.*).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/accelerator.hpp"
+#include "model/report.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::model {
+namespace {
+
+core::NetworkRunResult sample_run() {
+  const auto layers = nn::make_random_quant_network(nn::edeanet_specs(), 21);
+  Rng rng(22);
+  nn::Int8Tensor input(nn::Shape{64, 64, 16});
+  for (auto& v : input.storage()) {
+    v = rng.bernoulli(0.4) ? std::int8_t{0}
+                           : static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  core::EdeaAccelerator accel;
+  return accel.run_network(layers, input);
+}
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    run_ = new core::NetworkRunResult(sample_run());
+  }
+  static void TearDownTestSuite() {
+    delete run_;
+    run_ = nullptr;
+  }
+  static core::NetworkRunResult* run_;
+};
+
+core::NetworkRunResult* ReportTest::run_ = nullptr;
+
+TEST_F(ReportTest, SummaryTotalsAreConsistent) {
+  const PowerModel power = PowerModel::paper_calibrated();
+  const EnergyModel energy;
+  const NetworkSummary s = summarize(*run_, power, energy);
+
+  std::int64_t macs = 0, cycles = 0;
+  for (const auto& r : run_->layers) {
+    macs += r.spec.total_macs();
+    cycles += r.timing.total_cycles;
+  }
+  EXPECT_EQ(s.total_macs, macs);
+  EXPECT_EQ(s.total_cycles, cycles);
+  EXPECT_NEAR(s.total_time_us, static_cast<double>(cycles) / 1000.0, 1e-9);
+  EXPECT_NEAR(s.average_gops, run_->average_throughput_gops(1.0), 1e-9);
+  EXPECT_GT(s.average_power_mw, 0.0);
+  EXPECT_GT(s.average_efficiency_tops_w, 0.0);
+  EXPECT_TRUE(s.all_layers_bit_envelope_ok);
+}
+
+TEST_F(ReportTest, EfficiencyConsistentWithPowerAndTime) {
+  // efficiency == ops / (avg_power * time), in TOPS/W = ops/pJ.
+  const PowerModel power = PowerModel::paper_calibrated();
+  const EnergyModel energy;
+  const NetworkSummary s = summarize(*run_, power, energy);
+  const double pj = s.average_power_mw *
+                    static_cast<double>(s.total_cycles);
+  EXPECT_NEAR(s.average_efficiency_tops_w,
+              static_cast<double>(run_->total_ops()) / pj, 1e-6);
+}
+
+TEST_F(ReportTest, RendersAllSections) {
+  const PowerModel power = PowerModel::paper_calibrated();
+  const EnergyModel energy;
+  std::ostringstream os;
+  render_network_report(os, *run_, power, energy);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("per-layer profile"), std::string::npos);
+  EXPECT_NE(text.find("external traffic"), std::string::npos);
+  EXPECT_NE(text.find("energy"), std::string::npos);
+  EXPECT_NE(text.find("network totals"), std::string::npos);
+  EXPECT_NE(text.find("respected"), std::string::npos);
+}
+
+TEST_F(ReportTest, SectionsCanBeDisabled) {
+  const PowerModel power = PowerModel::paper_calibrated();
+  const EnergyModel energy;
+  ReportOptions opt;
+  opt.per_layer = false;
+  opt.traffic = false;
+  opt.power = false;
+  std::ostringstream os;
+  render_network_report(os, *run_, power, energy, opt);
+  const std::string text = os.str();
+  EXPECT_EQ(text.find("per-layer profile"), std::string::npos);
+  EXPECT_EQ(text.find("external traffic"), std::string::npos);
+  EXPECT_NE(text.find("network totals"), std::string::npos);
+}
+
+TEST_F(ReportTest, ClockScalesTime) {
+  const PowerModel power = PowerModel::paper_calibrated();
+  const EnergyModel energy;
+  const NetworkSummary at1 = summarize(*run_, power, energy, 1.0);
+  const NetworkSummary at2 = summarize(*run_, power, energy, 2.0);
+  EXPECT_NEAR(at1.total_time_us, 2.0 * at2.total_time_us, 1e-9);
+  EXPECT_NEAR(2.0 * at1.average_gops, at2.average_gops, 1e-6);
+}
+
+TEST(Report, RejectsEmptyRun) {
+  const PowerModel power = PowerModel::paper_calibrated();
+  const EnergyModel energy;
+  core::NetworkRunResult empty;
+  EXPECT_THROW((void)summarize(empty, power, energy), PreconditionError);
+}
+
+}  // namespace
+}  // namespace edea::model

@@ -1,0 +1,157 @@
+// Tests for quantized-network serialization (src/nn/serialize.*):
+// round-trip fidelity, format validation, corruption handling.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "nn/mobilenet.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/serialize.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::nn {
+namespace {
+
+std::vector<QuantDscLayer> small_network(std::uint64_t seed) {
+  std::vector<DscLayerSpec> specs;
+  DscLayerSpec a;
+  a.index = 0;
+  a.in_rows = a.in_cols = 8;
+  a.in_channels = 16;
+  a.out_channels = 32;
+  specs.push_back(a);
+  DscLayerSpec b;
+  b.index = 1;
+  b.in_rows = b.in_cols = 8;
+  b.in_channels = 32;
+  b.stride = 2;
+  b.out_channels = 48;
+  specs.push_back(b);
+  return make_random_quant_network(specs, seed);
+}
+
+TEST(Serialize, RoundTripPreservesEverything) {
+  const auto original = small_network(1);
+  std::stringstream ss;
+  save_network(ss, original);
+  const auto loaded = load_network(ss);
+
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    const auto& a = original[i];
+    const auto& b = loaded[i];
+    EXPECT_EQ(a.spec.index, b.spec.index);
+    EXPECT_EQ(a.spec.in_rows, b.spec.in_rows);
+    EXPECT_EQ(a.spec.in_channels, b.spec.in_channels);
+    EXPECT_EQ(a.spec.stride, b.spec.stride);
+    EXPECT_EQ(a.spec.out_channels, b.spec.out_channels);
+    EXPECT_EQ(a.dwc_weights, b.dwc_weights);
+    EXPECT_EQ(a.pwc_weights, b.pwc_weights);
+    EXPECT_FLOAT_EQ(a.input_scale.scale, b.input_scale.scale);
+    EXPECT_FLOAT_EQ(a.intermediate_scale.scale, b.intermediate_scale.scale);
+    EXPECT_FLOAT_EQ(a.output_scale.scale, b.output_scale.scale);
+    ASSERT_EQ(a.nonconv1.channel_count(), b.nonconv1.channel_count());
+    for (std::size_t c = 0; c < a.nonconv1.channel_count(); ++c) {
+      EXPECT_EQ(a.nonconv1.channels[c].k.raw(),
+                b.nonconv1.channels[c].k.raw());
+      EXPECT_EQ(a.nonconv1.channels[c].b.raw(),
+                b.nonconv1.channels[c].b.raw());
+      EXPECT_FLOAT_EQ(a.nonconv1.k_float[c], b.nonconv1.k_float[c]);
+    }
+  }
+}
+
+TEST(Serialize, RoundTripPreservesForwardBehaviour) {
+  // The loaded network must compute bit-identical outputs - the property
+  // that actually matters for deployment.
+  const auto original = small_network(2);
+  std::stringstream ss;
+  save_network(ss, original);
+  const auto loaded = load_network(ss);
+
+  Rng rng(3);
+  Int8Tensor input(Shape{8, 8, 16});
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  const Int8Tensor ref = original[1].forward(original[0].forward(input));
+  const Int8Tensor got = loaded[1].forward(loaded[0].forward(input));
+  EXPECT_EQ(ref, got);
+}
+
+TEST(Serialize, SerializedSizeMatchesStream) {
+  const auto net = small_network(4);
+  std::stringstream ss;
+  save_network(ss, net);
+  EXPECT_EQ(static_cast<std::int64_t>(ss.str().size()),
+            serialized_size(net));
+}
+
+TEST(Serialize, RejectsEmptyNetwork) {
+  std::stringstream ss;
+  EXPECT_THROW(save_network(ss, {}), PreconditionError);
+}
+
+TEST(Serialize, RejectsBadMagic) {
+  std::stringstream ss;
+  ss.write("NOPE", 4);
+  ss.write("\0\0\0\0\0\0\0\0", 8);
+  EXPECT_THROW((void)load_network(ss), PreconditionError);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  const auto net = small_network(5);
+  std::stringstream ss;
+  save_network(ss, net);
+  const std::string full = ss.str();
+  for (const std::size_t cut :
+       {std::size_t{3}, std::size_t{11}, full.size() / 2, full.size() - 1}) {
+    std::stringstream truncated(full.substr(0, cut));
+    EXPECT_THROW((void)load_network(truncated), PreconditionError)
+        << "cut at " << cut;
+  }
+}
+
+TEST(Serialize, RejectsCorruptedNonConvRaw) {
+  // Flip a Non-Conv raw value past the 24-bit envelope: Q8_16::from_raw
+  // must reject the stream.
+  const auto net = small_network(6);
+  std::stringstream ss;
+  save_network(ss, net);
+  std::string bytes = ss.str();
+  // The first Non-Conv record sits after header + spec + scales + weights.
+  const std::size_t nonconv_offset = 12 + 8 * 4 + 3 * 4 + 4 +
+                                     net[0].dwc_weights.size() + 4 +
+                                     net[0].pwc_weights.size() + 4;
+  // Break the sign-extension byte of k's stored int32: any value there
+  // other than 0x00/0xFF puts the raw pattern outside signed 24 bits.
+  bytes[nonconv_offset + 3] = '\x01';
+  std::stringstream corrupted(bytes);
+  EXPECT_THROW((void)load_network(corrupted), PreconditionError);
+}
+
+TEST(Serialize, FileRoundTrip) {
+  const auto net = small_network(7);
+  const std::string path = "/tmp/edea_serialize_test.bin";
+  save_network_file(path, net);
+  const auto loaded = load_network_file(path);
+  ASSERT_EQ(loaded.size(), net.size());
+  EXPECT_EQ(loaded[0].dwc_weights, net[0].dwc_weights);
+  EXPECT_THROW((void)load_network_file("/nonexistent/dir/x.bin"),
+               PreconditionError);
+}
+
+TEST(Serialize, MobileNetSizeIsReasonable) {
+  // ~3.2M int8 conv parameters + Non-Conv records: the blob must stay in
+  // the low megabytes (it is what the silicon's external memory holds).
+  const auto specs_arr = mobilenet_dsc_specs();
+  const std::vector<DscLayerSpec> specs(specs_arr.begin(), specs_arr.end());
+  const auto net = make_random_quant_network(specs, 8);
+  const std::int64_t bytes = serialized_size(net);
+  EXPECT_GT(bytes, 3'000'000);
+  EXPECT_LT(bytes, 4'500'000);
+}
+
+}  // namespace
+}  // namespace edea::nn
