@@ -12,7 +12,7 @@
 int main() {
   using namespace edea;
 
-  const bench::MobileNetRun run = bench::run_mobilenet_on_accelerator();
+  const bench::MobileNetRun& run = bench::run_mobilenet_on_accelerator();
 
   std::cout << "=== External bandwidth demand per layer (1 GHz clock, "
                "1 byte/element) ===\n";

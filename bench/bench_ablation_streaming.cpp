@@ -12,7 +12,7 @@
 int main() {
   using namespace edea;
 
-  bench::MobileNetRun run = bench::run_mobilenet_on_accelerator();
+  const bench::MobileNetRun& run = bench::run_mobilenet_on_accelerator();
   baseline::SerializedDscAccelerator serial;
 
   // Reconstruct the chain input for the baseline run.

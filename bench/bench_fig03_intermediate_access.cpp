@@ -50,7 +50,7 @@ int main() {
   std::cout << "\n=== Fig. 3 (simulated): external activation traffic, "
                "EDEA vs serialized baseline ===\n";
   {
-    bench::MobileNetRun run = bench::run_mobilenet_on_accelerator();
+    const bench::MobileNetRun& run = bench::run_mobilenet_on_accelerator();
     baseline::SerializedDscAccelerator serial;
     // Re-run the same quantized layers through the baseline.
     nn::Int8Tensor x = run.result.layers.front().output;  // placeholder

@@ -9,7 +9,7 @@
 int main() {
   using namespace edea;
 
-  const bench::MobileNetRun run = bench::run_mobilenet_on_accelerator();
+  const bench::MobileNetRun& run = bench::run_mobilenet_on_accelerator();
 
   std::cout << "=== Fig. 10: MAC operations and latency per layer ===\n";
   TextTable t({"layer", "ifmap", "stride", "MACs", "latency (ns)",

@@ -12,7 +12,7 @@
 int main() {
   using namespace edea;
 
-  const bench::MobileNetRun run = bench::run_mobilenet_on_accelerator();
+  const bench::MobileNetRun& run = bench::run_mobilenet_on_accelerator();
   const model::PowerModel pm = model::PowerModel::paper_calibrated();
   const auto cal_points = model::paper_calibrated_operating_points();
 

@@ -12,7 +12,7 @@
 int main() {
   using namespace edea;
 
-  const bench::MobileNetRun run = bench::run_mobilenet_on_accelerator();
+  const bench::MobileNetRun& run = bench::run_mobilenet_on_accelerator();
 
   std::cout << "=== Fig. 13: throughput per layer (GOPS @ 1 GHz) ===\n";
   TextTable t({"layer", "simulated", "paper", "rel. error"});

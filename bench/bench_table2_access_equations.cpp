@@ -13,7 +13,7 @@
 int main() {
   using namespace edea;
 
-  const bench::MobileNetRun run = bench::run_mobilenet_on_accelerator();
+  const bench::MobileNetRun& run = bench::run_mobilenet_on_accelerator();
   const dse::TilingCase case6{6, 8, 16};
 
   std::cout << "=== Table II check: analytic vs simulated operand "

@@ -15,7 +15,7 @@ int main() {
   using namespace edea;
 
   // Derive the simulated row.
-  const bench::MobileNetRun run = bench::run_mobilenet_on_accelerator();
+  const bench::MobileNetRun& run = bench::run_mobilenet_on_accelerator();
   const model::PowerModel pm = model::PowerModel::paper_calibrated();
   const auto points = model::paper_calibrated_operating_points();
 

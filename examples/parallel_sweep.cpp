@@ -1,0 +1,179 @@
+// parallel_sweep - the parallel simulation runtime end to end:
+//   1. sweeps (network x accelerator config) jobs through core::SweepRunner
+//      serially and in parallel, verifying the outcomes are bit-identical,
+//   2. repeats the Sec. II design space exploration serially and in
+//      parallel with the same check,
+//   3. reports wall-clock times and the parallel speedup on this machine.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sweep_runner.hpp"
+#include "dse/explorer.hpp"
+#include "nn/mobilenet.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/random.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+edea::nn::Int8Tensor random_input(const edea::nn::DscLayerSpec& spec,
+                                  std::uint64_t seed) {
+  edea::Rng rng(seed);
+  edea::nn::Int8Tensor input(
+      edea::nn::Shape{spec.in_rows, spec.in_cols, spec.in_channels});
+  for (auto& v : input.storage()) {
+    v = rng.bernoulli(0.4) ? std::int8_t{0}
+                           : static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  return input;
+}
+
+bool identical(const std::vector<edea::core::SweepOutcome>& a,
+               const std::vector<edea::core::SweepOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].ok != b[i].ok || a[i].error != b[i].error) return false;
+    if (!a[i].ok) continue;
+    if (a[i].result.total_cycles() != b[i].result.total_cycles()) return false;
+    if (a[i].result.output.storage() != b[i].result.output.storage()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  using namespace edea;
+
+  // --- workloads: three DSC networks from the model zoo ---------------------
+  struct Workload {
+    std::string name;
+    std::vector<nn::QuantDscLayer> layers;
+    nn::Int8Tensor input;
+  };
+  std::vector<Workload> workloads;
+  {
+    const auto mobilenet = nn::mobilenet_dsc_specs();
+    const std::vector<nn::DscLayerSpec> specs(mobilenet.begin(),
+                                              mobilenet.end());
+    workloads.push_back({"mobilenet-cifar",
+                         nn::make_random_quant_network(specs, 11),
+                         random_input(specs.front(), 11)});
+  }
+  {
+    const auto specs = nn::edeanet_specs();
+    workloads.push_back({"edeanet-64",
+                         nn::make_random_quant_network(specs, 22),
+                         random_input(specs.front(), 22)});
+  }
+  {
+    const auto specs = nn::mobilenet_variant_specs(
+        nn::MobileNetVariant{0.5, 32, 32});
+    workloads.push_back({"mobilenet-0.5x",
+                         nn::make_random_quant_network(specs, 33),
+                         random_input(specs.front(), 33)});
+  }
+
+  // --- accelerator configs: the paper point plus scaled engines -------------
+  struct Variant {
+    std::string name;
+    int td, tk;
+  };
+  const std::vector<Variant> variants = {
+      {"paper", 8, 16},
+      {"2x-kernels", 8, 32},
+      {"2x-channels", 16, 16},
+      {"4x", 16, 32},
+  };
+
+  std::vector<core::SweepJob> jobs;
+  for (const Workload& w : workloads) {
+    for (const Variant& v : variants) {
+      core::SweepJob job;
+      job.name = w.name + "/" + v.name;
+      job.config.td = v.td;
+      job.config.tk = v.tk;
+      job.layers = &w.layers;
+      job.input = &w.input;
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  std::cout << "=== Parallel sweep: " << jobs.size() << " jobs ("
+            << workloads.size() << " networks x " << variants.size()
+            << " configs), " << std::thread::hardware_concurrency()
+            << " hardware threads ===\n";
+
+  const auto serial_start = Clock::now();
+  const auto serial =
+      core::SweepRunner(core::SweepRunner::Options{1}).run(jobs);
+  const double serial_s = seconds_since(serial_start);
+
+  const auto parallel_start = Clock::now();
+  const auto parallel = core::SweepRunner().run(jobs);
+  const double parallel_s = seconds_since(parallel_start);
+
+  {
+    TextTable t({"job", "status", "cycles", "GOPS"});
+    for (const core::SweepOutcome& o : parallel) {
+      t.add_row({o.name, o.ok ? "ok" : "infeasible",
+                 o.ok ? TextTable::num(o.result.total_cycles()) : "-",
+                 o.ok ? TextTable::num(o.result.average_throughput_gops(
+                            o.config.clock_ghz))
+                      : "-"});
+    }
+    t.render(std::cout);
+  }
+
+  const bool sweep_identical = identical(serial, parallel);
+  std::cout << "\nserial   " << serial_s << " s\n"
+            << "parallel " << parallel_s << " s  ("
+            << (parallel_s > 0.0 ? serial_s / parallel_s : 0.0)
+            << "x speedup)\n"
+            << "bit-identical to serial: "
+            << (sweep_identical ? "yes" : "NO - BUG") << "\n";
+
+  // --- the Sec. II DSE, serial vs parallel ---------------------------------
+  bool dse_identical = true;
+  {
+    const auto mobilenet = nn::mobilenet_dsc_specs();
+    dse::Explorer explorer(
+        std::vector<nn::DscLayerSpec>(mobilenet.begin(), mobilenet.end()));
+
+    const auto dse_serial_start = Clock::now();
+    const dse::ExplorationResult s = explorer.explore(/*parallelism=*/1);
+    const double dse_serial_s = seconds_since(dse_serial_start);
+
+    const auto dse_parallel_start = Clock::now();
+    const dse::ExplorationResult p = explorer.explore();
+    const double dse_parallel_s = seconds_since(dse_parallel_start);
+
+    bool same = s.best_index == p.best_index &&
+                s.points.size() == p.points.size();
+    for (std::size_t i = 0; same && i < s.points.size(); ++i) {
+      same = s.points[i].access.total() == p.points[i].access.total() &&
+             s.points[i].pe.total() == p.points[i].pe.total();
+    }
+    std::cout << "\n=== DSE (" << s.points.size() << " design points) ===\n"
+              << "selected: " << p.best().label() << "\n"
+              << "serial   " << dse_serial_s << " s\n"
+              << "parallel " << dse_parallel_s << " s\n"
+              << "identical to serial: " << (same ? "yes" : "NO - BUG")
+              << "\n";
+    dse_identical = same;
+  }
+
+  // Nonzero exit on any mismatch so CI's determinism smoke actually gates.
+  return sweep_identical && dse_identical ? 0 : 1;
+}

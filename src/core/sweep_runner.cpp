@@ -1,0 +1,54 @@
+#include "core/sweep_runner.hpp"
+
+#include <exception>
+
+#include "core/accelerator.hpp"
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace edea::core {
+
+namespace {
+
+/// Runs one job on a fresh accelerator; never throws - failures become
+/// part of the outcome so one infeasible configuration cannot take down
+/// the other jobs of a sweep.
+SweepOutcome evaluate(const SweepJob& job) {
+  SweepOutcome out;
+  out.name = job.name;
+  out.config = job.config;
+  try {
+    EdeaAccelerator accel(job.config);
+    out.result = accel.run_network(*job.layers, *job.input);
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  return out;
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(Options options) : options_(options) {
+  EDEA_REQUIRE(options_.parallelism >= 0,
+               "parallelism must be 0 (auto), 1 (serial), or a thread count");
+}
+
+std::vector<SweepOutcome> SweepRunner::run(
+    const std::vector<SweepJob>& jobs) const {
+  for (const SweepJob& job : jobs) {
+    EDEA_REQUIRE(job.layers != nullptr && job.input != nullptr,
+                 "sweep job '" + job.name + "' must reference a network");
+  }
+
+  std::vector<SweepOutcome> outcomes(jobs.size());
+  util::run_indexed(options_.parallelism,
+                    static_cast<std::int64_t>(jobs.size()),
+                    [&jobs, &outcomes](std::int64_t i) {
+                      outcomes[static_cast<std::size_t>(i)] =
+                          evaluate(jobs[static_cast<std::size_t>(i)]);
+                    });
+  return outcomes;
+}
+
+}  // namespace edea::core

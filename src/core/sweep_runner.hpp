@@ -1,0 +1,70 @@
+// sweep_runner.hpp - concurrent evaluation of independent simulation jobs.
+//
+// A sweep is a list of (network, accelerator config) pairs - the shape of
+// every design-space study in the paper (Sec. II DSE, Sec. III-B scaling)
+// and of the reproduction benches. Jobs are independent by construction:
+// each one gets its own EdeaAccelerator instance (the accelerator carries
+// per-run SRAM and counter state and must never be shared across threads),
+// while the quantized layers and input tensors are read-only and may be
+// shared freely. Results come back in job order regardless of scheduling,
+// so a parallel sweep is bit-identical to a serial one.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/run_result.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+
+namespace edea::util {
+class ThreadPool;
+}
+
+namespace edea::core {
+
+/// One simulation job: run `layers` on an accelerator built from `config`,
+/// starting from `input`. The pointed-to network and tensor must outlive
+/// the sweep; they are never written.
+struct SweepJob {
+  std::string name;
+  EdeaConfig config = EdeaConfig::paper();
+  const std::vector<nn::QuantDscLayer>* layers = nullptr;
+  const nn::Int8Tensor* input = nullptr;
+};
+
+/// Result of one job. A job whose configuration cannot map the network
+/// (ResourceError, PreconditionError, ...) reports the failure in `error`
+/// instead of aborting the sweep - infeasible points are data in a DSE.
+struct SweepOutcome {
+  std::string name;
+  EdeaConfig config;
+  bool ok = false;
+  std::string error;
+  NetworkRunResult result;
+};
+
+/// Execution policy of a SweepRunner.
+struct SweepOptions {
+  /// Worker parallelism: 0 = use the shared pool (hardware concurrency),
+  /// 1 = run strictly serially on the calling thread (the reference path),
+  /// n > 1 = use a dedicated pool of n threads.
+  int parallelism = 0;
+};
+
+class SweepRunner {
+ public:
+  using Options = SweepOptions;
+
+  explicit SweepRunner(Options options = Options());
+
+  /// Evaluates every job; outcome i corresponds to jobs[i].
+  [[nodiscard]] std::vector<SweepOutcome> run(
+      const std::vector<SweepJob>& jobs) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace edea::core

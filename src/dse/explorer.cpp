@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace edea::dse {
 
@@ -18,21 +19,26 @@ Explorer::Explorer(std::vector<nn::DscLayerSpec> specs)
   EDEA_REQUIRE(!specs_.empty(), "explorer needs at least one layer");
 }
 
-ExplorationResult Explorer::explore() const {
+ExplorationResult Explorer::explore(int parallelism) const {
   ExplorationResult result;
-  result.points.reserve(kExplorationGroups.size() * kTableICases.size());
+  const std::size_t n = kExplorationGroups.size() * kTableICases.size();
+  result.points.resize(n);
 
-  for (const ExplorationGroup& group : kExplorationGroups) {
-    for (const TilingCase& tcase : kTableICases) {
-      DesignPoint p;
-      p.group = group;
-      p.tcase = tcase;
-      p.pe = pe_array_size(tcase, group.tn, group.tn);
-      p.access = network_access(specs_, group.order, group.tn, group.tn,
-                                tcase);
-      result.points.push_back(p);
-    }
-  }
+  // Each design point is a pure function of (specs, group, case); writing
+  // by flat sweep index keeps parallel output bit-identical to serial.
+  const auto evaluate = [this, &result](std::int64_t i) {
+    const ExplorationGroup& group =
+        kExplorationGroups[static_cast<std::size_t>(i) / kTableICases.size()];
+    const TilingCase& tcase =
+        kTableICases[static_cast<std::size_t>(i) % kTableICases.size()];
+    DesignPoint& p = result.points[static_cast<std::size_t>(i)];
+    p.group = group;
+    p.tcase = tcase;
+    p.pe = pe_array_size(tcase, group.tn, group.tn);
+    p.access = network_access(specs_, group.order, group.tn, group.tn, tcase);
+  };
+
+  util::run_indexed(parallelism, static_cast<std::int64_t>(n), evaluate);
 
   for (std::size_t i = 1; i < result.points.size(); ++i) {
     const DesignPoint& cand = result.points[i];

@@ -39,7 +39,14 @@ class Explorer {
   explicit Explorer(std::vector<nn::DscLayerSpec> specs);
 
   /// Evaluates all groups x cases on the configured network.
-  [[nodiscard]] ExplorationResult explore() const;
+  ///
+  /// `parallelism` selects the execution strategy: 0 (default) evaluates
+  /// the design points on the shared thread pool, 1 runs strictly serially
+  /// on the calling thread, n > 1 uses n pool threads. Every strategy
+  /// produces the identical ExplorationResult: points are written by index
+  /// in sweep order and the best-point selection runs serially after the
+  /// sweep, so scheduling can never influence the outcome.
+  [[nodiscard]] ExplorationResult explore(int parallelism = 0) const;
 
   [[nodiscard]] const std::vector<nn::DscLayerSpec>& specs() const noexcept {
     return specs_;

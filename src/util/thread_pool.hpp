@@ -1,0 +1,231 @@
+// thread_pool.hpp - the parallel simulation runtime.
+//
+// A fixed-size pool of worker threads plus a `parallel_for` helper used by
+// the DSE explorer and the sweep runner. Design constraints, in order:
+//   1. determinism: callers write results by index, so scheduling order can
+//      never change an outcome - parallel runs are bit-identical to serial,
+//   2. no deadlock under nesting: `parallel_for` makes the calling thread
+//      participate in its own range, so a task running on the pool may
+//      itself issue a `parallel_for` (or submit) and still make progress
+//      even when every worker is busy,
+//   3. exception transparency: the first exception thrown by an iteration
+//      cancels the remaining range and is rethrown on the caller.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace edea::util {
+
+class ThreadPool {
+ public:
+  /// Starts `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (itself clamped to at least 1).
+  explicit ThreadPool(unsigned threads = 0) {
+    if (threads == 0) {
+      threads = std::thread::hardware_concurrency();
+      if (threads == 0) threads = 1;
+    }
+    workers_.reserve(threads);
+    for (unsigned i = 0; i < threads; ++i) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread& w : workers_) w.join();
+  }
+
+  [[nodiscard]] unsigned size() const noexcept {
+    return static_cast<unsigned>(workers_.size());
+  }
+
+  /// Enqueues a callable; returns a future for its result. Safe to call
+  /// from inside a pool task (the task is queued, never run inline), but a
+  /// task that *blocks* on a nested future can starve a fully busy pool -
+  /// prefer `parallel_for`, whose caller helps drain its own range.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    std::packaged_task<R()> task(std::forward<F>(f));
+    std::future<R> future = task.get_future();
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      EDEA_REQUIRE(!stop_, "submit on a stopped ThreadPool");
+      queue_.emplace_back(std::move(task));
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// The lazily constructed process-wide pool (hardware concurrency).
+  [[nodiscard]] static ThreadPool& shared() {
+    static ThreadPool pool;
+    return pool;
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::packaged_task<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ && drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task();
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+namespace detail {
+
+/// Shared state of one parallel_for: an index dispenser plus completion
+/// accounting. Iterations claim indices from `next`; `done` counts
+/// completed iterations so the caller can wait for stragglers it did not
+/// execute itself.
+struct ParallelForState {
+  std::atomic<std::int64_t> next{0};
+  std::int64_t end = 0;
+  std::atomic<std::int64_t> done{0};
+  std::mutex mutex;
+  std::condition_variable all_done;
+  std::exception_ptr error;  // first failure, guarded by `mutex`
+
+  void finish(std::int64_t count) {
+    if (done.fetch_add(count, std::memory_order_acq_rel) + count >= end) {
+      const std::lock_guard<std::mutex> lock(mutex);
+      all_done.notify_all();
+    }
+  }
+
+  void record_error(std::exception_ptr e) {
+    const std::lock_guard<std::mutex> lock(mutex);
+    if (!error) error = e;
+  }
+};
+
+/// Claims and runs iterations until the range (or an error) exhausts it.
+/// Returns the number of iterations this thread accounted for: ones it ran
+/// (a failed iteration still counts as finished work) plus, on error, the
+/// unclaimed tail it cancelled - every index in [0, end) is accounted for
+/// exactly once, so the caller's completion wait always terminates.
+template <typename Fn>
+std::int64_t drain_parallel_for(ParallelForState& state, const Fn& fn) {
+  std::int64_t finished = 0;
+  for (;;) {
+    const std::int64_t i =
+        state.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= state.end) break;
+    try {
+      fn(i);
+    } catch (...) {
+      state.record_error(std::current_exception());
+      // Cancel the rest of the range. The exchange atomically claims the
+      // unclaimed tail [prev, end), which this thread credits as finished;
+      // iterations other threads already claimed are credited by them.
+      const std::int64_t prev =
+          state.next.exchange(state.end, std::memory_order_relaxed);
+      if (prev < state.end) finished += state.end - prev;
+    }
+    ++finished;
+  }
+  return finished;
+}
+
+}  // namespace detail
+
+/// Runs fn(i) for every i in [begin, end), distributing iterations over
+/// `pool` (default: ThreadPool::shared()). The calling thread participates,
+/// so nested use from inside a pool task cannot deadlock. Iterations must
+/// be independent; any determinism must come from writing results by index.
+/// The first exception thrown by an iteration is rethrown here after every
+/// claimed iteration has finished; remaining iterations are cancelled.
+template <typename Fn>
+void parallel_for(std::int64_t begin, std::int64_t end, const Fn& fn,
+                  ThreadPool* pool = nullptr) {
+  const std::int64_t n = end - begin;
+  if (n <= 0) return;  // empty (or inverted) range: no-op, touch nothing
+  if (n == 1) {
+    fn(begin);
+    return;
+  }
+
+  if (pool == nullptr) pool = &ThreadPool::shared();
+  auto state = std::make_shared<detail::ParallelForState>();
+  state->end = n;
+  const auto indexed = [&fn, begin](std::int64_t i) { fn(begin + i); };
+
+  // One helper task per worker, at most one per iteration beyond the one
+  // the caller will run. Futures are intentionally dropped: completion is
+  // tracked through the state's `done` counter, and tasks own the state
+  // via shared_ptr, so returning early is safe.
+  const std::int64_t helpers =
+      std::min<std::int64_t>(pool->size(), n - 1);
+  for (std::int64_t h = 0; h < helpers; ++h) {
+    auto future = pool->submit([state, indexed] {
+      state->finish(detail::drain_parallel_for(*state, indexed));
+    });
+    (void)future;
+  }
+
+  state->finish(detail::drain_parallel_for(*state, indexed));
+
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->all_done.wait(lock, [&state] {
+    return state->done.load(std::memory_order_acquire) >= state->end;
+  });
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+/// Runs fn(i) for i in [0, n) under a parallelism policy shared by the
+/// sweep-style APIs: 0 = the shared pool, 1 = strictly serial on the
+/// calling thread (the reference path), k > 1 = a dedicated k-thread pool.
+/// Serial and parallel strategies are interchangeable for any fn that
+/// writes results only by index.
+template <typename Fn>
+void run_indexed(int parallelism, std::int64_t n, const Fn& fn) {
+  EDEA_REQUIRE(parallelism >= 0,
+               "parallelism must be 0 (auto), 1 (serial), or a thread count");
+  if (parallelism == 1) {
+    for (std::int64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  if (parallelism > 1) {
+    ThreadPool pool(static_cast<unsigned>(parallelism));
+    parallel_for(0, n, fn, &pool);
+    return;
+  }
+  parallel_for(0, n, fn);
+}
+
+}  // namespace edea::util

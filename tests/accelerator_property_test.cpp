@@ -23,9 +23,17 @@ struct Geometry {
 };
 
 std::string geometry_name(const Geometry& g) {
-  return "r" + std::to_string(g.rows) + "_d" + std::to_string(g.channels) +
-         "_s" + std::to_string(g.stride) + "_k" +
-         std::to_string(g.out_channels);
+  // Built with appends: the temporary-chain form trips GCC 12's spurious
+  // -Wrestrict at -O3 (PR105651).
+  std::string name = "r";
+  name += std::to_string(g.rows);
+  name += "_d";
+  name += std::to_string(g.channels);
+  name += "_s";
+  name += std::to_string(g.stride);
+  name += "_k";
+  name += std::to_string(g.out_channels);
+  return name;
 }
 
 class AcceleratorGeometrySweep

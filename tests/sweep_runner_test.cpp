@@ -1,0 +1,187 @@
+// sweep_runner_test - determinism and robustness of the parallel sweep
+// runtime: parallel execution must be bit-identical to the serial
+// reference, infeasible configurations must surface as per-job errors, and
+// the Sec. II explorer must produce byte-identical results on every
+// execution strategy.
+#include "core/sweep_runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "dse/explorer.hpp"
+#include "nn/mobilenet.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::core {
+namespace {
+
+/// A small two-layer DSC network (fast enough to simulate many times).
+std::vector<nn::DscLayerSpec> tiny_specs() {
+  nn::DscLayerSpec a;
+  a.index = 0;
+  a.in_rows = 8;
+  a.in_cols = 8;
+  a.in_channels = 16;
+  a.out_channels = 32;
+  nn::DscLayerSpec b;
+  b.index = 1;
+  b.in_rows = 8;
+  b.in_cols = 8;
+  b.in_channels = 32;
+  b.stride = 2;
+  b.out_channels = 32;
+  return {a, b};
+}
+
+nn::Int8Tensor tiny_input(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Int8Tensor input(nn::Shape{8, 8, 16});
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-64, 64));
+  }
+  return input;
+}
+
+std::vector<SweepJob> make_jobs(const std::vector<nn::QuantDscLayer>& layers,
+                                const nn::Int8Tensor& input) {
+  const int tds[] = {8, 8, 16};
+  const int tks[] = {16, 32, 16};
+  std::vector<SweepJob> jobs;
+  for (int i = 0; i < 3; ++i) {
+    SweepJob job;
+    job.name = "job" + std::to_string(i);
+    job.config.td = tds[i];
+    job.config.tk = tks[i];
+    job.layers = &layers;
+    job.input = &input;
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+void expect_identical(const std::vector<SweepOutcome>& a,
+                      const std::vector<SweepOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE("outcome " + std::to_string(i));
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].ok, b[i].ok);
+    EXPECT_EQ(a[i].error, b[i].error);
+    if (!a[i].ok) continue;
+    ASSERT_EQ(a[i].result.layers.size(), b[i].result.layers.size());
+    EXPECT_EQ(a[i].result.total_cycles(), b[i].result.total_cycles());
+    // Byte-identical outputs, not just matching statistics.
+    EXPECT_EQ(a[i].result.output.storage(), b[i].result.output.storage());
+    for (std::size_t l = 0; l < a[i].result.layers.size(); ++l) {
+      const LayerRunResult& la = a[i].result.layers[l];
+      const LayerRunResult& lb = b[i].result.layers[l];
+      EXPECT_EQ(la.output.storage(), lb.output.storage());
+      EXPECT_EQ(la.timing.total_cycles, lb.timing.total_cycles);
+      EXPECT_EQ(la.max_abs_psum, lb.max_abs_psum);
+      EXPECT_EQ(la.dataflow.dwc_window_elements,
+                lb.dataflow.dwc_window_elements);
+      EXPECT_EQ(la.dataflow.pwc_activation_elements,
+                lb.dataflow.pwc_activation_elements);
+    }
+  }
+}
+
+TEST(SweepRunnerTest, ParallelMatchesSerialBitExactly) {
+  const auto layers = nn::make_random_quant_network(tiny_specs(), 77);
+  const nn::Int8Tensor input = tiny_input(78);
+  const auto jobs = make_jobs(layers, input);
+
+  const auto serial = SweepRunner(SweepRunner::Options{1}).run(jobs);
+  ASSERT_EQ(serial.size(), jobs.size());
+  for (const SweepOutcome& o : serial) {
+    EXPECT_TRUE(o.ok) << o.name << ": " << o.error;
+  }
+
+  // Shared pool and a dedicated 3-thread pool must both reproduce it.
+  expect_identical(serial, SweepRunner().run(jobs));
+  expect_identical(serial, SweepRunner(SweepRunner::Options{3}).run(jobs));
+}
+
+TEST(SweepRunnerTest, RepeatedParallelRunsAreStable) {
+  const auto layers = nn::make_random_quant_network(tiny_specs(), 5);
+  const nn::Int8Tensor input = tiny_input(6);
+  const auto jobs = make_jobs(layers, input);
+
+  const auto first = SweepRunner().run(jobs);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    expect_identical(first, SweepRunner().run(jobs));
+  }
+}
+
+TEST(SweepRunnerTest, InfeasibleJobReportsErrorWithoutAbortingSweep) {
+  const auto layers = nn::make_random_quant_network(tiny_specs(), 9);
+  const nn::Int8Tensor input = tiny_input(10);
+
+  auto jobs = make_jobs(layers, input);
+  // 5x5 engines cannot map 3x3 layers: run_layer rejects the job.
+  jobs[1].config.kernel = 5;
+
+  const auto outcomes = SweepRunner().run(jobs);
+  EXPECT_TRUE(outcomes[0].ok);
+  EXPECT_FALSE(outcomes[1].ok);
+  EXPECT_NE(outcomes[1].error.find("kernel"), std::string::npos);
+  EXPECT_TRUE(outcomes[2].ok);
+}
+
+TEST(SweepRunnerTest, NullNetworkIsAPreconditionError) {
+  SweepJob job;
+  job.name = "dangling";
+  EXPECT_THROW(SweepRunner().run({job}), PreconditionError);
+}
+
+TEST(SweepRunnerTest, EmptyJobListYieldsEmptyOutcomes) {
+  EXPECT_TRUE(SweepRunner().run({}).empty());
+}
+
+// --- Explorer determinism across execution strategies ----------------------
+
+TEST(ExplorerParallelTest, ParallelExploreIsByteIdenticalToSerial) {
+  const auto specs = nn::mobilenet_dsc_specs();
+  const dse::Explorer explorer(
+      std::vector<nn::DscLayerSpec>(specs.begin(), specs.end()));
+
+  const dse::ExplorationResult serial = explorer.explore(/*parallelism=*/1);
+  ASSERT_EQ(serial.points.size(), 24u);
+
+  for (const int parallelism : {0, 2, 4}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(parallelism));
+    const dse::ExplorationResult parallel = explorer.explore(parallelism);
+    ASSERT_EQ(parallel.points.size(), serial.points.size());
+    EXPECT_EQ(parallel.best_index, serial.best_index);
+    for (std::size_t i = 0; i < serial.points.size(); ++i) {
+      const dse::DesignPoint& s = serial.points[i];
+      const dse::DesignPoint& p = parallel.points[i];
+      // Byte-level comparison of the POD payload: scheduling must not be
+      // able to perturb even padding-adjacent state.
+      EXPECT_EQ(std::memcmp(&s.pe, &p.pe, sizeof(s.pe)), 0);
+      EXPECT_EQ(std::memcmp(&s.access, &p.access, sizeof(s.access)), 0);
+      EXPECT_EQ(s.group.tn, p.group.tn);
+      EXPECT_EQ(s.group.order, p.group.order);
+      EXPECT_EQ(s.tcase.id, p.tcase.id);
+      EXPECT_EQ(s.label(), p.label());
+    }
+  }
+}
+
+TEST(ExplorerParallelTest, SelectsThePaperDesignPointInParallel) {
+  const auto specs = nn::mobilenet_dsc_specs();
+  const dse::Explorer explorer(
+      std::vector<nn::DscLayerSpec>(specs.begin(), specs.end()));
+  const dse::ExplorationResult result = explorer.explore();
+  const dse::DesignPoint& best = result.best();
+  EXPECT_EQ(best.group.order, dse::LoopOrder::kLa);
+  EXPECT_EQ(best.group.tn, 2);
+  EXPECT_EQ(best.tcase.id, 6);
+}
+
+}  // namespace
+}  // namespace edea::core

@@ -1,0 +1,139 @@
+// thread_pool_test - the parallel runtime's contract: correct results
+// written by index, clean behavior on empty ranges, exception propagation
+// with cancellation, and progress under nesting (tasks that submit or
+// parallelize from inside the pool).
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace edea::util {
+namespace {
+
+TEST(ThreadPoolTest, DefaultSizeIsAtLeastOne) {
+  EXPECT_GE(ThreadPool::shared().size(), 1u);
+  ThreadPool one(1);
+  EXPECT_EQ(one.size(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 6 * 7; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+  // The worker survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, NestedSubmitMakesProgress) {
+  ThreadPool pool(2);
+  auto outer = pool.submit([&pool] {
+    auto inner = pool.submit([] { return 10; });
+    return inner.get() + 1;
+  });
+  EXPECT_EQ(outer.get(), 11);
+}
+
+TEST(ParallelForTest, ComputesEveryIndexExactlyOnce) {
+  constexpr std::int64_t kN = 1000;
+  std::vector<int> hits(kN, 0);
+  parallel_for(0, kN, [&hits](std::int64_t i) {
+    hits[static_cast<std::size_t>(i)] += 1;
+  });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), kN);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, RespectsNonZeroBegin) {
+  std::vector<std::int64_t> values(8, -1);
+  parallel_for(3, 11, [&values](std::int64_t i) {
+    values[static_cast<std::size_t>(i - 3)] = i * i;
+  });
+  for (std::int64_t i = 3; i < 11; ++i) {
+    EXPECT_EQ(values[static_cast<std::size_t>(i - 3)], i * i);
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeInvokesNothing) {
+  std::atomic<int> calls{0};
+  parallel_for(5, 5, [&calls](std::int64_t) { ++calls; });
+  parallel_for(7, 3, [&calls](std::int64_t) { ++calls; });  // inverted
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, SingleIterationRunsOnCaller) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  parallel_for(0, 1, [&ran_on](std::int64_t) {
+    ran_on = std::this_thread::get_id();
+  });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ParallelForTest, PropagatesFirstExceptionAndCancelsTail) {
+  ThreadPool pool(4);
+  std::atomic<std::int64_t> ran{0};
+  EXPECT_THROW(
+      parallel_for(
+          0, 100000,
+          [&ran](std::int64_t i) {
+            ++ran;
+            if (i == 3) throw std::runtime_error("iteration failed");
+          },
+          &pool),
+      std::runtime_error);
+  // Cancellation: nowhere near the full range should have run.
+  EXPECT_LT(ran.load(), 100000);
+  // The pool is intact afterwards.
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ParallelForTest, PreconditionErrorsCrossThreads) {
+  EXPECT_THROW(parallel_for(0, 64,
+                            [](std::int64_t) {
+                              EDEA_REQUIRE(false, "always fails");
+                            }),
+               PreconditionError);
+}
+
+TEST(ParallelForTest, NestedParallelForDoesNotDeadlock) {
+  // Every outer iteration issues an inner parallel_for on the same pool;
+  // caller participation guarantees progress even with one worker.
+  ThreadPool pool(1);
+  std::atomic<std::int64_t> total{0};
+  parallel_for(
+      0, 8,
+      [&total, &pool](std::int64_t) {
+        parallel_for(0, 16, [&total](std::int64_t) { ++total; }, &pool);
+      },
+      &pool);
+  EXPECT_EQ(total.load(), 8 * 16);
+}
+
+TEST(ParallelForTest, DeterministicWhenWritingByIndex) {
+  constexpr std::int64_t kN = 513;
+  std::vector<std::int64_t> reference(kN);
+  for (std::int64_t i = 0; i < kN; ++i) reference[i] = i * 31 + 7;
+
+  for (int repeat = 0; repeat < 5; ++repeat) {
+    std::vector<std::int64_t> out(kN, 0);
+    parallel_for(0, kN, [&out](std::int64_t i) {
+      out[static_cast<std::size_t>(i)] = i * 31 + 7;
+    });
+    EXPECT_EQ(out, reference);
+  }
+}
+
+}  // namespace
+}  // namespace edea::util
