@@ -8,9 +8,11 @@
 #pragma once
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace edea::core {
 
@@ -107,11 +109,32 @@ struct EdeaConfig {
   }
 
   [[nodiscard]] std::string to_string() const {
+    std::ostringstream clk;
+    clk << clock_ghz;  // default precision: "1", "0.8", ...
     return "EdeaConfig{Tn=" + std::to_string(tn) + ",Tm=" + std::to_string(tm) +
            ",Td=" + std::to_string(td) + ",Tk=" + std::to_string(tk) +
            ",k=" + std::to_string(kernel) +
            ",init=" + std::to_string(init_cycles) +
-           ",tile=" + std::to_string(max_tile_out) + "}";
+           ",tile=" + std::to_string(max_tile_out) +
+           ",clk=" + clk.str() + "GHz}";
+  }
+
+  /// Two configurations are equal iff every parameter matches; the
+  /// simulation service relies on this as the exact (collision-free) part
+  /// of its cache key.
+  friend bool operator==(const EdeaConfig&, const EdeaConfig&) = default;
+
+  /// Deterministic content hash over every parameter, consistent with
+  /// operator== (required by hash-map users of the pair). Fields are fed
+  /// individually (never the whole struct) so padding bytes between the
+  /// int block and `clock_ghz` can't leak into the digest; -0.0
+  /// canonicalizes to 0.0 because the two compare equal.
+  [[nodiscard]] std::uint64_t hash() const noexcept {
+    util::Fnv1a64 h;
+    h.pod(tn).pod(tm).pod(td).pod(tk).pod(kernel);
+    h.pod(init_cycles).pod(max_tile_out);
+    h.pod(clock_ghz == 0.0 ? 0.0 : clock_ghz);
+    return h.digest();
   }
 };
 

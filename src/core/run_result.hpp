@@ -12,6 +12,7 @@
 #include "core/timing.hpp"
 #include "nn/layers.hpp"
 #include "nn/tensor.hpp"
+#include "util/hash.hpp"
 
 namespace edea::core {
 
@@ -129,6 +130,20 @@ struct LayerRunResult {
   }
 };
 
+/// Compact digest of a network run - what a simulation client needs to
+/// display or compare without shipping per-layer tensors: headline
+/// counters plus a content hash of the final output, so two runs can be
+/// checked for bit-identity from one line of text.
+struct RunSummary {
+  std::size_t layer_count = 0;
+  std::int64_t total_cycles = 0;
+  std::int64_t total_ops = 0;
+  double average_gops = 0.0;
+  std::uint64_t output_hash = 0;  ///< FNV-1a over the final int8 output
+
+  friend bool operator==(const RunSummary&, const RunSummary&) = default;
+};
+
 /// Aggregate over a whole network run.
 struct NetworkRunResult {
   std::vector<LayerRunResult> layers;
@@ -148,6 +163,17 @@ struct NetworkRunResult {
   [[nodiscard]] double average_throughput_gops(double clock_ghz) const {
     const double ns = static_cast<double>(total_cycles()) / clock_ghz;
     return ns == 0.0 ? 0.0 : static_cast<double>(total_ops()) / ns;
+  }
+
+  /// Digests the run into a RunSummary (see above).
+  [[nodiscard]] RunSummary summary(double clock_ghz) const {
+    RunSummary s;
+    s.layer_count = layers.size();
+    s.total_cycles = total_cycles();
+    s.total_ops = total_ops();
+    s.average_gops = average_throughput_gops(clock_ghz);
+    s.output_hash = util::Fnv1a64().span(output.storage()).digest();
+    return s;
   }
 };
 

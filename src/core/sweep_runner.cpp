@@ -4,16 +4,14 @@
 
 #include "core/accelerator.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 #include "util/thread_pool.hpp"
 
 namespace edea::core {
 
-namespace {
-
-/// Runs one job on a fresh accelerator; never throws - failures become
-/// part of the outcome so one infeasible configuration cannot take down
-/// the other jobs of a sweep.
-SweepOutcome evaluate(const SweepJob& job) {
+SweepOutcome evaluate_job(const SweepJob& job) {
+  EDEA_REQUIRE(job.layers != nullptr && job.input != nullptr,
+               "sweep job '" + job.name + "' must reference a network");
   SweepOutcome out;
   out.name = job.name;
   out.config = job.config;
@@ -27,11 +25,34 @@ SweepOutcome evaluate(const SweepJob& job) {
   return out;
 }
 
-}  // namespace
+std::uint64_t network_fingerprint(const std::vector<nn::QuantDscLayer>& layers,
+                                  const nn::Int8Tensor& input) {
+  util::Fnv1a64 h;
+  h.pod(static_cast<std::uint64_t>(layers.size()));
+  for (const nn::QuantDscLayer& layer : layers) {
+    // DscLayerSpec is a packed block of ints - safe to hash wholesale.
+    h.pod(layer.spec);
+    h.span(layer.dwc_weights.storage());
+    h.span(layer.pwc_weights.storage());
+    h.pod(layer.input_scale.scale);
+    h.pod(layer.intermediate_scale.scale);
+    h.pod(layer.output_scale.scale);
+    // The fixed-point channel parameters (raw Q8.16 pairs) are what the
+    // datapath consumes; the retained float values are analysis-only and
+    // deliberately excluded.
+    h.span(layer.nonconv1.channels);
+    h.span(layer.nonconv2.channels);
+  }
+  h.pod(static_cast<std::uint64_t>(input.rank()));
+  for (std::size_t axis = 0; axis < input.rank(); ++axis) {
+    h.pod(input.dim(axis));
+  }
+  h.span(input.storage());
+  return h.digest();
+}
 
 SweepRunner::SweepRunner(Options options) : options_(options) {
-  EDEA_REQUIRE(options_.parallelism >= 0,
-               "parallelism must be 0 (auto), 1 (serial), or a thread count");
+  options_.validate();
 }
 
 std::vector<SweepOutcome> SweepRunner::run(
@@ -46,7 +67,7 @@ std::vector<SweepOutcome> SweepRunner::run(
                     static_cast<std::int64_t>(jobs.size()),
                     [&jobs, &outcomes](std::int64_t i) {
                       outcomes[static_cast<std::size_t>(i)] =
-                          evaluate(jobs[static_cast<std::size_t>(i)]);
+                          evaluate_job(jobs[static_cast<std::size_t>(i)]);
                     });
   return outcomes;
 }

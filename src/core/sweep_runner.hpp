@@ -43,15 +43,44 @@ struct SweepOutcome {
   bool ok = false;
   std::string error;
   NetworkRunResult result;
+  /// True iff this outcome was served from a memoizing cache rather than
+  /// simulated. Always false from SweepRunner itself; the simulation
+  /// service (src/service) sets it on cache hits.
+  bool cache_hit = false;
 };
 
 /// Execution policy of a SweepRunner.
 struct SweepOptions {
   /// Worker parallelism: 0 = use the shared pool (hardware concurrency),
   /// 1 = run strictly serially on the calling thread (the reference path),
-  /// n > 1 = use a dedicated pool of n threads.
+  /// n > 1 = use a dedicated pool of n threads. Negative values are a
+  /// precondition violation - there is no "negative thread count" to clamp
+  /// to, and silently coercing would mask caller arithmetic bugs.
   int parallelism = 0;
+
+  void validate() const {
+    EDEA_REQUIRE(
+        parallelism >= 0,
+        "parallelism must be 0 (auto), 1 (serial), or a thread count");
+  }
 };
+
+/// Runs one job on a fresh accelerator. Never propagates simulation
+/// failures: an infeasible configuration (ResourceError, ...) comes back
+/// with ok == false and the failure text in `error`, so callers that fan
+/// jobs out (SweepRunner, the simulation service) can treat infeasible
+/// points as data. Null network/input pointers are still a hard
+/// PreconditionError - that is a caller bug, not a design point.
+[[nodiscard]] SweepOutcome evaluate_job(const SweepJob& job);
+
+/// Order-sensitive 64-bit fingerprint of a simulation workload: the layer
+/// geometries, quantized weights, activation scales, folded Non-Conv
+/// parameters, and the input tensor - everything that determines a run's
+/// output besides the accelerator configuration. Two workloads with equal
+/// fingerprints are (up to hash collision) the same computation, which is
+/// what the simulation service keys its result cache on.
+[[nodiscard]] std::uint64_t network_fingerprint(
+    const std::vector<nn::QuantDscLayer>& layers, const nn::Int8Tensor& input);
 
 class SweepRunner {
  public:

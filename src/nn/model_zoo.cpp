@@ -4,6 +4,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "nn/mobilenet.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
 
@@ -117,6 +118,64 @@ std::vector<DscLayerSpec> edeanet_specs() {
     specs.push_back(s);
   }
   return specs;
+}
+
+namespace {
+
+/// The name registry: one row per servable network. Builders are plain
+/// function pointers so the table stays constexpr-friendly and additions
+/// are one line.
+struct ZooRow {
+  const char* name;
+  std::vector<DscLayerSpec> (*build)();
+};
+
+std::vector<DscLayerSpec> build_mobilenet_cifar() {
+  const auto specs = mobilenet_dsc_specs();
+  return std::vector<DscLayerSpec>(specs.begin(), specs.end());
+}
+
+std::vector<DscLayerSpec> build_mobilenet_half() {
+  return mobilenet_variant_specs(MobileNetVariant{0.5, 32, 32});
+}
+
+std::vector<DscLayerSpec> build_mobilenet_quarter() {
+  return mobilenet_variant_specs(MobileNetVariant{0.25, 32, 32});
+}
+
+std::vector<DscLayerSpec> build_mobilenet_imagenet() {
+  return mobilenet_imagenet_specs();
+}
+
+constexpr std::array<ZooRow, 5> kZoo{{
+    {"mobilenet-cifar", &build_mobilenet_cifar},
+    {"mobilenet-0.5x", &build_mobilenet_half},
+    {"mobilenet-0.25x", &build_mobilenet_quarter},
+    {"mobilenet-imagenet", &build_mobilenet_imagenet},
+    {"edeanet-64", &edeanet_specs},
+}};
+
+}  // namespace
+
+std::vector<std::string> zoo_network_names() {
+  std::vector<std::string> names;
+  names.reserve(kZoo.size());
+  for (const ZooRow& row : kZoo) names.emplace_back(row.name);
+  return names;
+}
+
+std::vector<DscLayerSpec> zoo_specs(const std::string& name) {
+  for (const ZooRow& row : kZoo) {
+    if (name == row.name) return row.build();
+  }
+  std::string known;
+  for (const ZooRow& row : kZoo) {
+    if (!known.empty()) known += ", ";
+    known += row.name;
+  }
+  EDEA_REQUIRE(false, "unknown zoo network '" + name + "' (known: " + known +
+                          ")");
+  return {};  // unreachable
 }
 
 std::vector<QuantDscLayer> make_random_quant_network(

@@ -49,4 +49,18 @@ struct MobileNetVariant {
 [[nodiscard]] std::vector<QuantDscLayer> make_random_quant_network(
     const std::vector<DscLayerSpec>& specs, std::uint64_t seed);
 
+// --- lookup by name --------------------------------------------------------
+//
+// The simulation service's text protocol names workloads; these functions
+// are the registry behind those names. Every entry resolves to the same
+// spec list the direct builders above produce.
+
+/// Stable list of every network name the zoo can resolve.
+[[nodiscard]] std::vector<std::string> zoo_network_names();
+
+/// Resolves a zoo network by name (e.g. "mobilenet-cifar", "edeanet-64",
+/// "mobilenet-0.5x"). Throws PreconditionError for unknown names, listing
+/// the valid ones in the message.
+[[nodiscard]] std::vector<DscLayerSpec> zoo_specs(const std::string& name);
+
 }  // namespace edea::nn

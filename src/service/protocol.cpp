@@ -1,0 +1,171 @@
+#include "service/protocol.hpp"
+
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <vector>
+
+namespace edea::service {
+
+namespace {
+
+/// Splits on runs of whitespace.
+std::vector<std::string> tokenize(const std::string& line) {
+  std::istringstream is(line);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(std::move(token));
+  return tokens;
+}
+
+ParsedLine malformed(std::string message) {
+  ParsedLine p;
+  p.kind = ParsedLine::Kind::kError;
+  p.error = std::move(message);
+  return p;
+}
+
+bool parse_int(const std::string& text, int* out) {
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(text, &consumed);
+    if (consumed != text.size()) return false;
+    *out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  try {
+    std::size_t consumed = 0;
+    const unsigned long long value = std::stoull(text, &consumed);
+    if (consumed != text.size() || text.front() == '-') return false;
+    *out = static_cast<std::uint64_t>(value);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool parse_double(const std::string& text, double* out) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    // Reject "nan"/"inf": a non-finite value in a cache key is poison
+    // (NaN is unequal to itself) and means nothing physically anyway.
+    if (consumed != text.size() || !std::isfinite(value)) return false;
+    *out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+/// Applies one key=value override to a request. Returns an error message,
+/// empty on success.
+std::string apply_override(Request& request, const std::string& key,
+                           const std::string& value) {
+  if (key == "seed") {
+    if (!parse_u64(value, &request.seed)) return "bad seed '" + value + "'";
+    return "";
+  }
+  if (key == "clock_ghz") {
+    if (!parse_double(value, &request.config.clock_ghz)) {
+      return "bad clock_ghz '" + value + "'";
+    }
+    return "";
+  }
+  int* field = nullptr;
+  core::EdeaConfig& c = request.config;
+  if (key == "tn") field = &c.tn;
+  else if (key == "tm") field = &c.tm;
+  else if (key == "td") field = &c.td;
+  else if (key == "tk") field = &c.tk;
+  else if (key == "kernel") field = &c.kernel;
+  else if (key == "init_cycles") field = &c.init_cycles;
+  else if (key == "max_tile_out") field = &c.max_tile_out;
+  if (field == nullptr) return "unknown key '" + key + "'";
+  if (!parse_int(value, field)) {
+    return "bad value '" + value + "' for key '" + key + "'";
+  }
+  return "";
+}
+
+std::string format_gops(double gops) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(2) << gops;
+  return os.str();
+}
+
+std::string format_hex64(std::uint64_t v) {
+  std::ostringstream os;
+  os << "0x" << std::hex << std::setw(16) << std::setfill('0') << v;
+  return os.str();
+}
+
+}  // namespace
+
+std::string Request::job_name() const {
+  return network + "@" + std::to_string(seed);
+}
+
+ParsedLine parse_request_line(const std::string& line) {
+  const std::vector<std::string> tokens = tokenize(line);
+  ParsedLine parsed;
+  if (tokens.empty() || tokens.front().front() == '#') {
+    return parsed;  // kEmpty
+  }
+
+  const std::string& verb = tokens.front();
+  if (verb == "stats") {
+    if (tokens.size() != 1) return malformed("stats takes no arguments");
+    parsed.kind = ParsedLine::Kind::kStats;
+    return parsed;
+  }
+  if (verb != "run") {
+    return malformed("unknown verb '" + verb + "' (expected run|stats|#)");
+  }
+  if (tokens.size() < 2) {
+    return malformed("run needs a network name");
+  }
+
+  parsed.kind = ParsedLine::Kind::kRun;
+  parsed.request.network = tokens[1];
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const std::string& token = tokens[i];
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+      return malformed("expected key=value, got '" + token + "'");
+    }
+    const std::string err = apply_override(
+        parsed.request, token.substr(0, eq), token.substr(eq + 1));
+    if (!err.empty()) return malformed(err);
+  }
+  return parsed;
+}
+
+std::string format_outcome_line(const core::SweepOutcome& outcome) {
+  const std::string cache = outcome.cache_hit ? "hit" : "miss";
+  if (!outcome.ok) {
+    return "error " + outcome.name + " " + outcome.config.to_string() +
+           " cache=" + cache + " msg=" + outcome.error;
+  }
+  const core::RunSummary s = outcome.result.summary(outcome.config.clock_ghz);
+  return "ok " + outcome.name + " " + outcome.config.to_string() +
+         " cycles=" + std::to_string(s.total_cycles) +
+         " ops=" + std::to_string(s.total_ops) +
+         " gops=" + format_gops(s.average_gops) +
+         " layers=" + std::to_string(s.layer_count) +
+         " out=" + format_hex64(s.output_hash) + " cache=" + cache;
+}
+
+std::string format_stats_line(const CacheStats& stats) {
+  return "stats hits=" + std::to_string(stats.hits) +
+         " misses=" + std::to_string(stats.misses) +
+         " evictions=" + std::to_string(stats.evictions) +
+         " entries=" + std::to_string(stats.entries);
+}
+
+}  // namespace edea::service

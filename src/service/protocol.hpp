@@ -1,0 +1,69 @@
+// protocol.hpp - the line-oriented text protocol of the simulation service.
+//
+// One request per line, one response per line - drivable from a file, a
+// pipe, or (later) a socket, with no framing beyond '\n'. Grammar:
+//
+//   run <network> [key=value ...]     submit a simulation request
+//   stats                             report cache counters
+//   # anything                        comment (ignored, like blank lines)
+//
+// <network> is a model-zoo name (nn::zoo_specs). Recognized keys:
+//   seed       workload seed (weights + input), default 1
+//   tn tm td tk kernel init_cycles max_tile_out   EdeaConfig overrides
+//   clock_ghz  clock in GHz
+//
+// Responses (one per `run`, in request order; <network>@<seed> is the
+// request's job_name(), <config> is EdeaConfig::to_string()):
+//   ok <network>@<seed> <config> cycles=<n> ops=<n> gops=<x> layers=<n>
+//      out=<hex64> cache=hit|miss
+//   error <network>@<seed> <config> cache=hit|miss msg=<text>
+//
+// The parser validates shape only (tokens, numbers, known keys); whether a
+// configuration can map a network is the simulation's verdict, reported in
+// the outcome line - infeasible points are data, not protocol errors.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/config.hpp"
+#include "core/sweep_runner.hpp"
+#include "service/simulation_service.hpp"
+
+namespace edea::service {
+
+/// A parsed `run` request.
+struct Request {
+  std::string network;             ///< model-zoo name (unresolved)
+  std::uint64_t seed = 1;          ///< synthetic weight/input seed
+  core::EdeaConfig config;         ///< paper defaults + line overrides
+
+  /// Canonical job name: "<network>@<seed>" - what outcome lines echo.
+  [[nodiscard]] std::string job_name() const;
+};
+
+/// Result of parsing one protocol line.
+struct ParsedLine {
+  enum class Kind {
+    kEmpty,  ///< blank line or comment - nothing to do
+    kRun,    ///< `request` holds a simulation request
+    kStats,  ///< client asked for cache counters
+    kError,  ///< malformed line - `error` explains
+  };
+  Kind kind = Kind::kEmpty;
+  Request request;
+  std::string error;
+};
+
+/// Parses one request line. Never throws: malformed input is a kError
+/// result (a service must survive bad clients).
+[[nodiscard]] ParsedLine parse_request_line(const std::string& line);
+
+/// Formats the response line for one completed request.
+[[nodiscard]] std::string format_outcome_line(
+    const core::SweepOutcome& outcome);
+
+/// Formats the `stats` response line.
+[[nodiscard]] std::string format_stats_line(const CacheStats& stats);
+
+}  // namespace edea::service

@@ -1,0 +1,222 @@
+#include "service/simulation_service.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/thread_pool.hpp"
+
+namespace edea::service {
+
+SimulationService::SimulationService(Options options)
+    : options_(options),
+      owned_pool_(options.worker_threads > 0
+                      ? std::make_unique<util::ThreadPool>(
+                            options.worker_threads)
+                      : nullptr),
+      pool_(owned_pool_ ? owned_pool_.get() : &util::ThreadPool::shared()) {}
+
+SimulationService::~SimulationService() { wait_idle(); }
+
+void SimulationService::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+CacheStats SimulationService::cache_stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  CacheStats snapshot = stats_;
+  snapshot.entries = cache_.size();
+  return snapshot;
+}
+
+std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
+  EDEA_REQUIRE(job.layers != nullptr && job.input != nullptr,
+               "service request '" + job.name + "' must reference a network");
+  // A NaN in the key would make it unequal to itself and strand the cache
+  // entry (NaN != NaN); reject at the boundary instead.
+  EDEA_REQUIRE(std::isfinite(job.config.clock_ghz),
+               "service request '" + job.name + "' has a non-finite clock");
+
+  // The fingerprint walks the whole workload - keep it outside the lock.
+  const Key key{core::network_fingerprint(*job.layers, *job.input),
+                job.config};
+
+  std::promise<core::SweepOutcome> promise;
+  std::future<core::SweepOutcome> future = promise.get_future();
+
+  if (options_.cache_capacity == 0) {
+    // Memoization disabled: every submission simulates independently.
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.misses;
+      ++in_flight_;
+    }
+    try {
+      auto task = pool_->submit(
+          [this, job = std::move(job),
+           promise = std::move(promise)]() mutable {
+            try {
+              promise.set_value(core::evaluate_job(job));
+            } catch (...) {
+              promise.set_exception(std::current_exception());
+            }
+            const std::lock_guard<std::mutex> lock(mutex_);
+            --in_flight_;
+            if (in_flight_ == 0) idle_cv_.notify_all();
+          });
+      (void)task;  // completion is observed through the client future
+    } catch (...) {
+      // Enqueueing failed: the task will never run, so the in-flight
+      // count must be unwound here or wait_idle() deadlocks.
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) idle_cv_.notify_all();
+      throw;
+    }
+    return future;
+  }
+
+  bool launch = false;
+  std::shared_ptr<const core::SweepOutcome> cached;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      Entry& entry = it->second;
+      if (!entry.ready) {
+        // Coalesce onto the in-flight simulation.
+        entry.waiters.push_back(Waiter{std::move(promise), job.name, true});
+        return future;
+      }
+      lru_.splice(lru_.begin(), lru_, entry.lru);  // touch
+      cached = entry.outcome;  // the deep copy happens outside the lock
+    } else {
+      ++stats_.misses;
+      ++in_flight_;
+      Entry entry;
+      entry.waiters.push_back(Waiter{std::move(promise), job.name, false});
+      cache_.emplace(key, std::move(entry));
+      launch = true;
+    }
+  }
+
+  if (cached) {
+    core::SweepOutcome out = *cached;
+    out.name = std::move(job.name);
+    out.cache_hit = true;
+    promise.set_value(std::move(out));
+    return future;
+  }
+
+  if (launch) {
+    try {
+      auto task = pool_->submit([this, key, job = std::move(job)] {
+        // Any escape here (evaluate_job never throws simulation failures,
+        // but allocation can fail) must still resolve the waiters' futures
+        // and the in-flight count - a dropped exception would hang clients.
+        try {
+          complete(key, core::evaluate_job(job));
+        } catch (...) {
+          abandon(key, std::current_exception());
+        }
+      });
+      (void)task;  // completion is observed through the client futures
+    } catch (...) {
+      // Enqueueing failed: no task will ever complete this entry. Drop it
+      // and deliver the failure to anyone who already coalesced onto it,
+      // then surface the error to this caller too.
+      abandon(key, std::current_exception());
+      throw;
+    }
+  }
+  return future;
+}
+
+void SimulationService::complete(const Key& key, core::SweepOutcome outcome) {
+  // Allocations come before any state mutation: if one throws, the entry
+  // is still cleanly pending and the caller's abandon() path takes over
+  // without losing waiters.
+  const auto stored =
+      std::make_shared<const core::SweepOutcome>(std::move(outcome));
+  std::vector<Waiter> waiters;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    EDEA_ASSERT(it != cache_.end() && !it->second.ready,
+                "service completed a request with no pending cache entry");
+    Entry& entry = it->second;
+    lru_.push_front(key);  // the only throwing op under the lock
+    entry.lru = lru_.begin();
+    entry.outcome = stored;
+    entry.ready = true;
+    waiters = std::move(entry.waiters);
+    entry.waiters.clear();
+    // Evict least-recently-used completed results beyond capacity.
+    // In-flight entries are never in lru_, so they are pinned, and the
+    // just-inserted front entry survives (capacity here is >= 1).
+    while (lru_.size() > options_.cache_capacity) {
+      const Key victim = lru_.back();
+      lru_.pop_back();
+      cache_.erase(victim);
+      ++stats_.evictions;
+    }
+    --in_flight_;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
+  // Fulfill outside the lock: set_value may run waiter continuations
+  // (future::get in another thread) that immediately resubmit. A copy
+  // failure for one waiter must not strand the others.
+  for (Waiter& w : waiters) {
+    try {
+      core::SweepOutcome out = *stored;
+      out.name = std::move(w.name);
+      out.cache_hit = w.hit;
+      w.promise.set_value(std::move(out));
+    } catch (...) {
+      w.promise.set_exception(std::current_exception());
+    }
+  }
+}
+
+void SimulationService::abandon(const Key& key, std::exception_ptr error) {
+  std::vector<Waiter> waiters;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end() && !it->second.ready) {
+      waiters = std::move(it->second.waiters);
+      cache_.erase(it);  // pending entries are never in lru_
+    }
+    --in_flight_;
+    if (in_flight_ == 0) idle_cv_.notify_all();
+  }
+  for (Waiter& w : waiters) {
+    w.promise.set_exception(error);
+  }
+}
+
+std::vector<std::future<core::SweepOutcome>> SimulationService::submit_batch(
+    std::vector<core::SweepJob> jobs) {
+  std::vector<std::future<core::SweepOutcome>> futures;
+  futures.reserve(jobs.size());
+  for (core::SweepJob& job : jobs) {
+    futures.push_back(submit(std::move(job)));
+  }
+  return futures;
+}
+
+std::vector<core::SweepOutcome> SimulationService::serve(
+    std::vector<core::SweepJob> jobs) {
+  std::vector<std::future<core::SweepOutcome>> futures =
+      submit_batch(std::move(jobs));
+  std::vector<core::SweepOutcome> outcomes;
+  outcomes.reserve(futures.size());
+  for (std::future<core::SweepOutcome>& f : futures) {
+    outcomes.push_back(f.get());
+  }
+  return outcomes;
+}
+
+}  // namespace edea::service

@@ -1,0 +1,164 @@
+// simulation_service.hpp - a long-running simulation front end over the
+// sweep runtime.
+//
+// Design-space studies are embarrassingly request-parallel: every request
+// is an independent (network, accelerator config) simulation. The service
+// accepts such requests asynchronously, runs them on a util::ThreadPool,
+// and memoizes completed results in a bounded LRU cache keyed by
+// (network fingerprint, EdeaConfig) - in DSE refinement the same points
+// are revisited constantly, and a revisit should cost a hash lookup, not
+// a simulation.
+//
+// Concurrency contract:
+//   - submit()/submit_batch()/serve()/cache_stats() are thread-safe; many
+//     client threads may hammer one service instance,
+//   - identical requests in flight are coalesced: the second submitter
+//     waits on the first simulation instead of launching a duplicate
+//     (and is accounted as a cache hit),
+//   - results are bit-identical to a serial core::SweepRunner run of the
+//     same jobs - the cache returns stored outcomes verbatim (only `name`
+//     and `cache_hit` are rewritten per request),
+//   - the destructor drains in-flight work before returning, so a service
+//     never outlives its tasks.
+//
+// Lifetime contract: like SweepJob everywhere else, the pointed-to layers
+// and input tensor must stay alive until the request's future is ready.
+// Do not call future.get() from inside a task running on the same pool -
+// a fully busy pool of blocked waiters cannot make progress.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/sweep_runner.hpp"
+#include "util/hash.hpp"
+
+namespace edea::util {
+class ThreadPool;
+}
+
+namespace edea::service {
+
+/// Counters of the memoizing result cache. `hits + misses` equals the
+/// number of submissions; every submission increments exactly one of the
+/// two under the service lock, so the counters are exact even under
+/// concurrent submission.
+struct CacheStats {
+  std::uint64_t hits = 0;        ///< served from cache (or coalesced)
+  std::uint64_t misses = 0;      ///< required a fresh simulation
+  std::uint64_t evictions = 0;   ///< completed results dropped by the LRU
+  std::size_t entries = 0;       ///< resident entries (ready + in flight)
+
+  friend bool operator==(const CacheStats&, const CacheStats&) = default;
+};
+
+/// Configuration of a SimulationService.
+struct ServiceOptions {
+  /// 0 = run requests on the process-wide ThreadPool::shared();
+  /// n > 0 = own a dedicated pool of n workers.
+  unsigned worker_threads = 0;
+
+  /// Maximum number of *completed* results the cache retains (LRU beyond
+  /// that). 0 disables memoization entirely: every submission simulates,
+  /// and identical in-flight requests are not coalesced.
+  std::size_t cache_capacity = 256;
+};
+
+class SimulationService {
+ public:
+  using Options = ServiceOptions;
+
+  explicit SimulationService(Options options = Options());
+  ~SimulationService();
+
+  SimulationService(const SimulationService&) = delete;
+  SimulationService& operator=(const SimulationService&) = delete;
+
+  /// Submits one request. The returned future resolves to the job's
+  /// outcome: a cache hit resolves immediately (cache_hit = true), a miss
+  /// resolves when its simulation finishes on the pool. Throws
+  /// PreconditionError if the job references no network.
+  [[nodiscard]] std::future<core::SweepOutcome> submit(core::SweepJob job);
+
+  /// Submits a batch; future i corresponds to jobs[i]. All requests are
+  /// in flight concurrently before this returns.
+  [[nodiscard]] std::vector<std::future<core::SweepOutcome>> submit_batch(
+      std::vector<core::SweepJob> jobs);
+
+  /// Convenience blocking batch: submit everything, wait for everything.
+  /// Outcome i corresponds to jobs[i], exactly like SweepRunner::run.
+  [[nodiscard]] std::vector<core::SweepOutcome> serve(
+      std::vector<core::SweepJob> jobs);
+
+  /// Snapshot of the cache counters.
+  [[nodiscard]] CacheStats cache_stats() const;
+
+  /// Blocks until no request is in flight (futures may still be pending
+  /// delivery to their waiters, but all simulations have finished).
+  void wait_idle();
+
+ private:
+  /// Cache key: the workload fingerprint plus the exact configuration.
+  /// The fingerprint is a content hash (collisions possible in principle),
+  /// the config is compared field-by-field, and the map's equality uses
+  /// both - a collision across different configs can never alias.
+  struct Key {
+    std::uint64_t fingerprint = 0;
+    core::EdeaConfig config;
+
+    friend bool operator==(const Key&, const Key&) = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const noexcept {
+      util::Fnv1a64 h;
+      h.pod(k.fingerprint).pod(k.config.hash());
+      return static_cast<std::size_t>(h.digest());
+    }
+  };
+
+  /// A client waiting on an entry that is still simulating.
+  struct Waiter {
+    std::promise<core::SweepOutcome> promise;
+    std::string name;  ///< the waiter's own job name
+    bool hit = false;  ///< whether this waiter was accounted as a hit
+  };
+
+  struct Entry {
+    bool ready = false;
+    /// Valid once ready. Shared (immutable) so hit paths can copy the
+    /// outcome for their client *outside* the service lock.
+    std::shared_ptr<const core::SweepOutcome> outcome;
+    std::vector<Waiter> waiters;      ///< pending clients while simulating
+    std::list<Key>::iterator lru;     ///< position in lru_ (ready only)
+  };
+
+  /// Marks `key` complete, stores the outcome, applies LRU eviction, and
+  /// fulfills every waiter. Runs on the pool at the end of each task.
+  void complete(const Key& key, core::SweepOutcome outcome);
+
+  /// Failure path of a pool task (e.g. out-of-memory while storing the
+  /// outcome): drops the pending entry so a resubmission retries, and
+  /// delivers the exception to every waiter instead of leaving their
+  /// futures hanging.
+  void abandon(const Key& key, std::exception_ptr error);
+
+  Options options_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;  ///< when worker_threads > 0
+  util::ThreadPool* pool_;                        ///< never null
+
+  mutable std::mutex mutex_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  std::unordered_map<Key, Entry, KeyHash> cache_;
+  std::list<Key> lru_;  ///< ready entries, most recently used first
+  CacheStats stats_;
+};
+
+}  // namespace edea::service

@@ -1,0 +1,69 @@
+// hash.hpp - deterministic 64-bit content hashing (FNV-1a).
+//
+// Used wherever the library needs a stable identity for simulation inputs
+// or outputs: the simulation service memoizes results under a
+// (network fingerprint, config hash) key, and run summaries carry an
+// output hash so two runs can be compared bit-for-bit from one integer.
+// FNV-1a is not cryptographic; collisions are guarded against by also
+// comparing the full key where correctness depends on it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace edea::util {
+
+/// Incremental FNV-1a 64-bit hasher. Feed bytes / trivially copyable
+/// values / vectors, then read `digest()`. Every `span` feed mixes the
+/// element count first, so adjacent containers cannot alias each other's
+/// byte streams.
+class Fnv1a64 {
+ public:
+  static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr std::uint64_t kPrime = 1099511628211ull;
+
+  Fnv1a64& bytes(const void* data, std::size_t n) noexcept {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state_ ^= static_cast<std::uint64_t>(p[i]);
+      state_ *= kPrime;
+    }
+    return *this;
+  }
+
+  /// Hashes the object representation of a trivially copyable value.
+  /// Only feed types without internal padding (ints, floats, packed PODs);
+  /// padding bytes would make the digest indeterminate.
+  template <typename T>
+  Fnv1a64& pod(const T& value) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pod() requires a trivially copyable type");
+    return bytes(&value, sizeof(T));
+  }
+
+  /// Hashes a vector of trivially copyable elements, length-prefixed.
+  template <typename T>
+  Fnv1a64& span(const std::vector<T>& values) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "span() requires trivially copyable elements");
+    pod(static_cast<std::uint64_t>(values.size()));
+    if (!values.empty()) bytes(values.data(), values.size() * sizeof(T));
+    return *this;
+  }
+
+  /// Hashes a string's characters, length-prefixed.
+  Fnv1a64& str(std::string_view s) noexcept {
+    pod(static_cast<std::uint64_t>(s.size()));
+    return bytes(s.data(), s.size());
+  }
+
+  [[nodiscard]] std::uint64_t digest() const noexcept { return state_; }
+
+ private:
+  std::uint64_t state_ = kOffsetBasis;
+};
+
+}  // namespace edea::util

@@ -154,6 +154,41 @@ TEST(ModelZoo, EveryVariantLayerFitsTheModeledBuffers) {
   }
 }
 
+TEST(ModelZoo, LookupByNameResolvesEveryListedNetwork) {
+  const auto names = zoo_network_names();
+  ASSERT_GE(names.size(), 4u);
+  for (const std::string& name : names) {
+    SCOPED_TRACE(name);
+    const auto specs = zoo_specs(name);
+    EXPECT_FALSE(specs.empty());
+  }
+}
+
+TEST(ModelZoo, LookupByNameMatchesDirectBuilders) {
+  const auto cifar = zoo_specs("mobilenet-cifar");
+  const auto paper = mobilenet_dsc_specs();
+  ASSERT_EQ(cifar.size(), paper.size());
+  for (std::size_t i = 0; i < cifar.size(); ++i) {
+    EXPECT_EQ(cifar[i].in_channels, paper[i].in_channels) << i;
+    EXPECT_EQ(cifar[i].out_channels, paper[i].out_channels) << i;
+  }
+  EXPECT_EQ(zoo_specs("edeanet-64").size(), edeanet_specs().size());
+  EXPECT_EQ(zoo_specs("mobilenet-0.5x")[0].in_channels,
+            mobilenet_variant_specs(MobileNetVariant{0.5, 32, 32})[0]
+                .in_channels);
+}
+
+TEST(ModelZoo, UnknownNameIsAPreconditionErrorListingKnownNames) {
+  try {
+    (void)zoo_specs("resnet-50");
+    FAIL() << "expected PreconditionError";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("resnet-50"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("mobilenet-cifar"), std::string::npos) << msg;
+  }
+}
+
 TEST(ModelZoo, ImageNetVariantNeedsMoreTiles) {
   // 112x112 feature maps split into many 8x8-output buffer tiles - Eq. 2
   // at scale. Cross-check one layer's tile count.

@@ -1,0 +1,129 @@
+// protocol_test - the simulation service's line protocol: request parsing
+// (grammar, overrides, malformed input never throws) and response
+// formatting (outcome and stats lines are deterministic and complete).
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/sweep_runner.hpp"
+
+namespace edea::service {
+namespace {
+
+TEST(ProtocolParseTest, MinimalRunRequestUsesPaperDefaults) {
+  const ParsedLine p = parse_request_line("run mobilenet-cifar");
+  ASSERT_EQ(p.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(p.request.network, "mobilenet-cifar");
+  EXPECT_EQ(p.request.seed, 1u);
+  EXPECT_EQ(p.request.config, core::EdeaConfig::paper());
+  EXPECT_EQ(p.request.job_name(), "mobilenet-cifar@1");
+}
+
+TEST(ProtocolParseTest, OverridesApplyToConfigAndSeed) {
+  const ParsedLine p = parse_request_line(
+      "run edeanet-64 seed=42 tn=4 tm=4 td=16 tk=32 kernel=5 init_cycles=3 "
+      "max_tile_out=16 clock_ghz=0.8");
+  ASSERT_EQ(p.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(p.request.seed, 42u);
+  EXPECT_EQ(p.request.config.tn, 4);
+  EXPECT_EQ(p.request.config.tm, 4);
+  EXPECT_EQ(p.request.config.td, 16);
+  EXPECT_EQ(p.request.config.tk, 32);
+  EXPECT_EQ(p.request.config.kernel, 5);
+  EXPECT_EQ(p.request.config.init_cycles, 3);
+  EXPECT_EQ(p.request.config.max_tile_out, 16);
+  EXPECT_DOUBLE_EQ(p.request.config.clock_ghz, 0.8);
+}
+
+TEST(ProtocolParseTest, BlankAndCommentLinesAreEmpty) {
+  EXPECT_EQ(parse_request_line("").kind, ParsedLine::Kind::kEmpty);
+  EXPECT_EQ(parse_request_line("   \t ").kind, ParsedLine::Kind::kEmpty);
+  EXPECT_EQ(parse_request_line("# run nothing").kind,
+            ParsedLine::Kind::kEmpty);
+}
+
+TEST(ProtocolParseTest, StatsLine) {
+  EXPECT_EQ(parse_request_line("stats").kind, ParsedLine::Kind::kStats);
+  EXPECT_EQ(parse_request_line("stats now").kind, ParsedLine::Kind::kError);
+}
+
+TEST(ProtocolParseTest, MalformedLinesAreErrorsNotExceptions) {
+  for (const char* bad : {
+           "walk mobilenet-cifar",        // unknown verb
+           "run",                         // missing network
+           "run net foo",                 // not key=value
+           "run net =3",                  // empty key
+           "run net td=",                 // empty value
+           "run net td=abc",              // non-numeric
+           "run net td=3x",               // trailing junk
+           "run net seed=-4",             // negative seed
+           "run net volume=11",           // unknown key
+           "run net clock_ghz=fast",      // non-numeric double
+           "run net clock_ghz=nan",       // NaN would poison the cache key
+           "run net clock_ghz=inf",       // non-finite, physically absurd
+       }) {
+    SCOPED_TRACE(bad);
+    const ParsedLine p = parse_request_line(bad);
+    EXPECT_EQ(p.kind, ParsedLine::Kind::kError);
+    EXPECT_FALSE(p.error.empty());
+  }
+}
+
+TEST(ProtocolParseTest, NegativeConfigValuesParseAndFailInSimulation) {
+  // Structurally valid protocol; the *simulation* rejects it - infeasible
+  // configurations are data, not protocol errors.
+  const ParsedLine p = parse_request_line("run edeanet-64 td=-8");
+  ASSERT_EQ(p.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(p.request.config.td, -8);
+}
+
+TEST(ProtocolFormatTest, OkOutcomeLineCarriesSummaryAndCacheFlag) {
+  core::SweepOutcome outcome;
+  outcome.name = "edeanet-64@7";
+  outcome.ok = true;
+  outcome.cache_hit = true;
+  const std::string line = format_outcome_line(outcome);
+  EXPECT_EQ(line.rfind("ok edeanet-64@7 ", 0), 0u) << line;
+  EXPECT_NE(line.find("cycles=0"), std::string::npos) << line;
+  EXPECT_NE(line.find("gops=0.00"), std::string::npos) << line;
+  EXPECT_NE(line.find("out=0x"), std::string::npos) << line;
+  EXPECT_NE(line.find("cache=hit"), std::string::npos) << line;
+}
+
+TEST(ProtocolFormatTest, ErrorOutcomeLineCarriesMessage) {
+  core::SweepOutcome outcome;
+  outcome.name = "edeanet-64@7";
+  outcome.ok = false;
+  outcome.error = "engine kernel mismatch";
+  const std::string line = format_outcome_line(outcome);
+  EXPECT_EQ(line.rfind("error edeanet-64@7 ", 0), 0u) << line;
+  EXPECT_NE(line.find("msg=engine kernel mismatch"), std::string::npos)
+      << line;
+  EXPECT_NE(line.find("cache=miss"), std::string::npos) << line;
+}
+
+TEST(ProtocolFormatTest, StatsLineIsExact) {
+  CacheStats stats;
+  stats.hits = 3;
+  stats.misses = 9;
+  stats.evictions = 1;
+  stats.entries = 8;
+  EXPECT_EQ(format_stats_line(stats),
+            "stats hits=3 misses=9 evictions=1 entries=8");
+}
+
+TEST(ProtocolRoundTripTest, IdenticalRequestLinesYieldIdenticalKeys) {
+  const ParsedLine a = parse_request_line("run edeanet-64 seed=7 td=16");
+  const ParsedLine b = parse_request_line("run edeanet-64 td=16 seed=7");
+  ASSERT_EQ(a.kind, ParsedLine::Kind::kRun);
+  ASSERT_EQ(b.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(a.request.network, b.request.network);
+  EXPECT_EQ(a.request.seed, b.request.seed);
+  EXPECT_EQ(a.request.config, b.request.config);
+  EXPECT_EQ(a.request.config.hash(), b.request.config.hash());
+}
+
+}  // namespace
+}  // namespace edea::service

@@ -1,0 +1,297 @@
+// simulation_service_test - behaviour of the long-running simulation
+// front end: memoization (identical resubmission is a hit and
+// bit-identical), cache keying (config or workload change is a miss),
+// exact counters under concurrent submission, LRU eviction, in-flight
+// coalescing, and bit-identity of served batches against the serial
+// core::SweepRunner reference.
+#include "service/simulation_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <future>
+#include <limits>
+#include <thread>
+#include <vector>
+
+#include "core/sweep_runner.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::service {
+namespace {
+
+/// Small two-layer DSC network (fast enough to simulate many times).
+std::vector<nn::DscLayerSpec> tiny_specs() {
+  nn::DscLayerSpec a;
+  a.index = 0;
+  a.in_rows = 8;
+  a.in_cols = 8;
+  a.in_channels = 16;
+  a.out_channels = 32;
+  nn::DscLayerSpec b;
+  b.index = 1;
+  b.in_rows = 8;
+  b.in_cols = 8;
+  b.in_channels = 32;
+  b.stride = 2;
+  b.out_channels = 32;
+  return {a, b};
+}
+
+nn::Int8Tensor tiny_input(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Int8Tensor input(nn::Shape{8, 8, 16});
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-64, 64));
+  }
+  return input;
+}
+
+/// One network + input, reusable across tests.
+struct Fixture {
+  std::vector<nn::QuantDscLayer> layers =
+      nn::make_random_quant_network(tiny_specs(), 77);
+  nn::Int8Tensor input = tiny_input(78);
+
+  [[nodiscard]] core::SweepJob job(const std::string& name, int td = 8,
+                                   int tk = 16) const {
+    core::SweepJob j;
+    j.name = name;
+    j.config.td = td;
+    j.config.tk = tk;
+    j.layers = &layers;
+    j.input = &input;
+    return j;
+  }
+};
+
+void expect_bit_identical(const core::SweepOutcome& a,
+                          const core::SweepOutcome& b) {
+  EXPECT_EQ(a.ok, b.ok);
+  EXPECT_EQ(a.error, b.error);
+  if (!a.ok || !b.ok) return;
+  EXPECT_EQ(a.result.total_cycles(), b.result.total_cycles());
+  EXPECT_EQ(a.result.output.storage(), b.result.output.storage());
+  EXPECT_EQ(a.result.summary(1.0), b.result.summary(1.0));
+}
+
+TEST(SimulationServiceTest, IdenticalResubmissionIsAHitAndBitIdentical) {
+  Fixture fx;
+  SimulationService svc;
+
+  const core::SweepOutcome first = svc.submit(fx.job("first")).get();
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_FALSE(first.cache_hit);
+
+  const core::SweepOutcome second = svc.submit(fx.job("second")).get();
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_EQ(second.name, "second");  // identity is per-request
+  expect_bit_identical(first, second);
+
+  const CacheStats stats = svc.cache_stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SimulationServiceTest, DifferingConfigIsAMiss) {
+  Fixture fx;
+  SimulationService svc;
+
+  ASSERT_TRUE(svc.submit(fx.job("paper", 8, 16)).get().ok);
+  const core::SweepOutcome scaled = svc.submit(fx.job("4x", 16, 32)).get();
+  EXPECT_FALSE(scaled.cache_hit);
+
+  // clock_ghz participates in the key too (it changes reported GOPS).
+  core::SweepJob clocked = fx.job("clocked");
+  clocked.config.clock_ghz = 0.8;
+  EXPECT_FALSE(svc.submit(std::move(clocked)).get().cache_hit);
+
+  const CacheStats stats = svc.cache_stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.entries, 3u);
+}
+
+TEST(SimulationServiceTest, DifferingWorkloadIsAMiss) {
+  Fixture fx;
+  SimulationService svc;
+  ASSERT_TRUE(svc.submit(fx.job("a")).get().ok);
+
+  // Same config, different weights -> different fingerprint.
+  Fixture other;
+  other.layers = nn::make_random_quant_network(tiny_specs(), 99);
+  EXPECT_FALSE(svc.submit(other.job("b")).get().cache_hit);
+
+  // Same weights, different input -> different fingerprint.
+  Fixture shifted;
+  shifted.input = tiny_input(1234);
+  EXPECT_FALSE(svc.submit(shifted.job("c")).get().cache_hit);
+
+  EXPECT_EQ(svc.cache_stats().misses, 3u);
+  EXPECT_EQ(svc.cache_stats().hits, 0u);
+}
+
+TEST(SimulationServiceTest, BatchMatchesSerialSweepRunnerBitExactly) {
+  Fixture fx;
+  // >= 8 mixed requests including repeats and an infeasible point - the
+  // acceptance shape of the service.
+  std::vector<core::SweepJob> jobs;
+  jobs.push_back(fx.job("j0", 8, 16));
+  jobs.push_back(fx.job("j1", 16, 16));
+  jobs.push_back(fx.job("j2", 8, 32));
+  jobs.push_back(fx.job("j3", 8, 16));   // repeat of j0
+  jobs.push_back(fx.job("j4", 16, 32));
+  jobs.push_back(fx.job("j5", 16, 16));  // repeat of j1
+  core::SweepJob infeasible = fx.job("j6");
+  infeasible.config.kernel = 5;  // cannot map 3x3 layers
+  jobs.push_back(infeasible);
+  jobs.push_back(fx.job("j7", 8, 32));   // repeat of j2
+
+  const std::vector<core::SweepOutcome> serial =
+      core::SweepRunner(core::SweepRunner::Options{1}).run(jobs);
+
+  SimulationService svc;
+  const std::vector<core::SweepOutcome> served = svc.serve(jobs);
+
+  ASSERT_EQ(served.size(), serial.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    SCOPED_TRACE("job " + std::to_string(i));
+    EXPECT_EQ(served[i].name, serial[i].name);
+    expect_bit_identical(served[i], serial[i]);
+  }
+  EXPECT_FALSE(served[6].ok);
+  // Submission order is the request order, so the first occurrence is the
+  // miss and every repeat is the hit - deterministically.
+  EXPECT_FALSE(served[0].cache_hit);
+  EXPECT_TRUE(served[3].cache_hit);
+  EXPECT_TRUE(served[5].cache_hit);
+  EXPECT_TRUE(served[7].cache_hit);
+
+  const CacheStats stats = svc.cache_stats();
+  EXPECT_EQ(stats.misses, 5u);  // 4 feasible configs + 1 infeasible
+  EXPECT_EQ(stats.hits, 3u);
+}
+
+TEST(SimulationServiceTest, StatsAreExactUnderConcurrentSubmission) {
+  Fixture fx;
+  SimulationService svc;
+
+  // Many client threads hammer the same request plus a private one each.
+  constexpr int kClients = 6;
+  std::vector<std::thread> clients;
+  std::vector<core::SweepOutcome> shared_outcomes(kClients);
+  std::vector<core::SweepOutcome> private_outcomes(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto shared = svc.submit(fx.job("shared-" + std::to_string(c)));
+      auto mine =
+          svc.submit(fx.job("mine-" + std::to_string(c), 8, 16 + 16 * (c + 1)));
+      shared_outcomes[static_cast<std::size_t>(c)] = shared.get();
+      private_outcomes[static_cast<std::size_t>(c)] = mine.get();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  // Exactly one simulation for the shared key (coalesced or cached, both
+  // count as hits), one per private key.
+  const CacheStats stats = svc.cache_stats();
+  EXPECT_EQ(stats.misses, 1u + kClients);
+  EXPECT_EQ(stats.hits, kClients - 1u);
+  EXPECT_EQ(stats.entries, 1u + kClients);
+
+  // Every view of the shared request is bit-identical.
+  for (int c = 1; c < kClients; ++c) {
+    SCOPED_TRACE("client " + std::to_string(c));
+    expect_bit_identical(shared_outcomes[0],
+                         shared_outcomes[static_cast<std::size_t>(c)]);
+  }
+}
+
+TEST(SimulationServiceTest, LruEvictionIsCountedAndBounded) {
+  Fixture fx;
+  ServiceOptions options;
+  options.cache_capacity = 1;
+  SimulationService svc(options);
+
+  ASSERT_TRUE(svc.submit(fx.job("a", 8, 16)).get().ok);   // miss, resident
+  ASSERT_TRUE(svc.submit(fx.job("b", 16, 16)).get().ok);  // miss, evicts a
+  // "a" was evicted -> resubmission simulates again.
+  EXPECT_FALSE(svc.submit(fx.job("a2", 8, 16)).get().cache_hit);
+
+  const CacheStats stats = svc.cache_stats();
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.evictions, 2u);
+  EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SimulationServiceTest, ZeroCapacityDisablesMemoization) {
+  Fixture fx;
+  ServiceOptions options;
+  options.cache_capacity = 0;
+  SimulationService svc(options);
+
+  const core::SweepOutcome first = svc.submit(fx.job("a")).get();
+  const core::SweepOutcome second = svc.submit(fx.job("b")).get();
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_FALSE(second.cache_hit);
+  expect_bit_identical(first, second);  // still deterministic
+
+  const CacheStats stats = svc.cache_stats();
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.entries, 0u);
+}
+
+TEST(SimulationServiceTest, DedicatedPoolServesIdentically) {
+  Fixture fx;
+  ServiceOptions options;
+  options.worker_threads = 3;
+  SimulationService svc(options);
+
+  const core::SweepOutcome served = svc.submit(fx.job("dedicated")).get();
+  const core::SweepOutcome reference = core::evaluate_job(fx.job("dedicated"));
+  expect_bit_identical(served, reference);
+}
+
+TEST(SimulationServiceTest, NullNetworkIsAPreconditionError) {
+  SimulationService svc;
+  core::SweepJob dangling;
+  dangling.name = "dangling";
+  EXPECT_THROW((void)svc.submit(std::move(dangling)), PreconditionError);
+}
+
+TEST(SimulationServiceTest, NonFiniteClockIsAPreconditionError) {
+  // NaN never equals itself, so a NaN-keyed cache entry could never be
+  // found again - the service rejects it at the boundary.
+  Fixture fx;
+  SimulationService svc;
+  core::SweepJob poisoned = fx.job("poisoned");
+  poisoned.config.clock_ghz = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW((void)svc.submit(std::move(poisoned)), PreconditionError);
+}
+
+TEST(SimulationServiceTest, FingerprintIsOrderAndContentSensitive) {
+  Fixture fx;
+  const std::uint64_t base = core::network_fingerprint(fx.layers, fx.input);
+
+  // Same data hashes the same.
+  EXPECT_EQ(base, core::network_fingerprint(fx.layers, fx.input));
+
+  // One flipped input byte changes it.
+  nn::Int8Tensor tweaked = fx.input;
+  tweaked.storage()[0] = static_cast<std::int8_t>(tweaked.storage()[0] + 1);
+  EXPECT_NE(base, core::network_fingerprint(fx.layers, tweaked));
+
+  // One flipped weight changes it.
+  auto layers = fx.layers;
+  layers[0].dwc_weights.storage()[0] = static_cast<std::int8_t>(
+      layers[0].dwc_weights.storage()[0] + 1);
+  EXPECT_NE(base, core::network_fingerprint(layers, fx.input));
+}
+
+}  // namespace
+}  // namespace edea::service

@@ -132,6 +132,29 @@ TEST(SweepRunnerTest, InfeasibleJobReportsErrorWithoutAbortingSweep) {
   EXPECT_TRUE(outcomes[2].ok);
 }
 
+TEST(SweepRunnerTest, NegativeParallelismIsAPreconditionError) {
+  // A negative thread count is caller arithmetic gone wrong; it must fail
+  // loudly at construction, not be silently coerced into a policy.
+  for (const int bad : {-1, -7, -1000000}) {
+    SCOPED_TRACE("parallelism=" + std::to_string(bad));
+    EXPECT_THROW(SweepRunner(SweepRunner::Options{bad}), PreconditionError);
+    SweepOptions options;
+    options.parallelism = bad;
+    EXPECT_THROW(options.validate(), PreconditionError);
+  }
+  EXPECT_NO_THROW(SweepOptions{0}.validate());
+  EXPECT_NO_THROW(SweepOptions{1}.validate());
+  EXPECT_NO_THROW(SweepOptions{8}.validate());
+}
+
+TEST(ExplorerParallelTest, NegativeParallelismIsAPreconditionError) {
+  const auto specs = nn::mobilenet_dsc_specs();
+  const dse::Explorer explorer(
+      std::vector<nn::DscLayerSpec>(specs.begin(), specs.end()));
+  EXPECT_THROW((void)explorer.explore(-1), PreconditionError);
+  EXPECT_THROW((void)explorer.explore(-64), PreconditionError);
+}
+
 TEST(SweepRunnerTest, NullNetworkIsAPreconditionError) {
   SweepJob job;
   job.name = "dangling";
