@@ -123,6 +123,41 @@ void BM_ReferencePointwise(benchmark::State& state) {
 }
 BENCHMARK(BM_ReferencePointwise)->Arg(64)->Arg(256);
 
+void BM_AcceleratorLayerTileParallel(benchmark::State& state) {
+  // Serial vs tile-parallel single-layer latency: a 32x32x64 layer is 16
+  // buffer tiles under the paper config, so tile_parallelism 1/2/4/8
+  // exercises the full chunking range. Results are bit-identical at every
+  // width (tests/tile_parallel_test.cpp); this measures only the host
+  // wall-clock effect. Speedup tracks physical cores - on a single-core
+  // host all widths cost the same (docs/BENCHMARKS.md records both).
+  nn::DscLayerSpec spec;
+  spec.in_rows = 32;
+  spec.in_cols = 32;
+  spec.in_channels = 64;
+  spec.out_channels = 64;
+  Rng rng(7);
+  const nn::FloatDscLayer fl = nn::make_random_float_layer(spec, rng);
+  const nn::QuantDscLayer layer = nn::quantize_layer(
+      fl, nn::QuantScale{0.02f}, nn::QuantScale{0.03f},
+      nn::QuantScale{0.03f});
+  nn::Int8Tensor input(nn::Shape{32, 32, 64});
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  core::EdeaAccelerator accel;
+  accel.set_tile_parallelism(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(accel.run_layer(layer, input));
+  }
+  state.SetItemsProcessed(state.iterations() * spec.total_macs());
+}
+BENCHMARK(BM_AcceleratorLayerTileParallel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime();  // work runs on pool threads; wall clock is the metric
+
 void BM_AcceleratorLayer(benchmark::State& state) {
   nn::DscLayerSpec spec;
   spec.in_rows = 8;

@@ -6,7 +6,7 @@
 // post-batch counters.
 //
 //   ./example_simulation_server [--verify] [--workers N] [--cache N]
-//       < requests.txt
+//       [--tile-parallelism N] < requests.txt
 //
 // Requests (see service/protocol.hpp):
 //   run <network> [seed=N] [td=N] [tk=N] [...]
@@ -16,12 +16,19 @@
 // (batch submission), so a multi-core host simulates distinct requests in
 // parallel while duplicates coalesce into cache hits.
 //
+// --tile-parallelism N additionally splits each layer's buffer tiles over
+// N shared-pool workers inside every simulated request (results are
+// bit-identical by contract; the CI gate runs --verify with N > 1 to
+// enforce exactly that end to end).
+//
 // --verify recomputes every request with a strictly serial
-// core::SweepRunner and exits nonzero unless (a) every service outcome is
-// bit-identical to its serial reference and (b) the cache counters equal
-// the duplicate structure of the request stream. This is the CI gate.
+// core::SweepRunner (sweep and tile level both serial) and exits nonzero
+// unless (a) every service outcome is bit-identical to its serial
+// reference and (b) the cache counters equal the duplicate structure of
+// the request stream. This is the CI gate.
 #include <cstdint>
 #include <iostream>
+#include <limits>
 #include <map>
 #include <string>
 #include <utility>
@@ -99,13 +106,19 @@ int main(int argc, char** argv) {
                parse_count(argv[i + 1], &count)) {
       options.cache_capacity = count;
       ++i;
+    } else if (arg == "--tile-parallelism" && i + 1 < argc &&
+               parse_count(argv[i + 1], &count) && count >= 1 &&
+               count <= static_cast<std::size_t>(
+                            std::numeric_limits<int>::max())) {
+      options.tile_parallelism = static_cast<int>(count);
+      ++i;
     } else {
       usage_error = true;
     }
   }
   if (usage_error) {
     std::cerr << "usage: simulation_server [--verify] [--workers N] "
-                 "[--cache N] < requests\n";
+                 "[--cache N] [--tile-parallelism N] < requests\n";
     return 2;
   }
 

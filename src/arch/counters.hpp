@@ -40,6 +40,10 @@ struct AccessCounter {
     write_bytes += other.write_bytes;
     return *this;
   }
+
+  /// Exact comparison - determinism tests assert counter bit-identity
+  /// between serial and parallel runs, not approximate agreement.
+  friend bool operator==(const AccessCounter&, const AccessCounter&) = default;
 };
 
 /// MAC-activity counter for one engine: total lane-cycles, useful MACs, and
@@ -71,6 +75,8 @@ struct MacActivity {
     zero_operand_macs += other.zero_operand_macs;
     return *this;
   }
+
+  friend bool operator==(const MacActivity&, const MacActivity&) = default;
 };
 
 }  // namespace edea::arch

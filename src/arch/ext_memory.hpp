@@ -73,6 +73,18 @@ class ExternalMemory {
     for (auto& c : counters_) c.reset();
   }
 
+  /// Class-wise merge - tile-parallel layer runs accumulate external
+  /// traffic into per-worker instances and reduce them in a fixed order.
+  ExternalMemory& operator+=(const ExternalMemory& other) noexcept {
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      counters_[i] += other.counters_[i];
+    }
+    return *this;
+  }
+
+  friend bool operator==(const ExternalMemory&, const ExternalMemory&) =
+      default;
+
  private:
   std::array<AccessCounter, kTrafficClassCount> counters_{};
 };

@@ -4,6 +4,7 @@
 
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "util/thread_pool.hpp"
 
 namespace edea::core {
 
@@ -35,369 +36,469 @@ std::int32_t unpack24(arch::SramBuffer& buf, std::int64_t byte_addr) {
 
 }  // namespace
 
-EdeaAccelerator::EdeaAccelerator(EdeaConfig config)
-    : config_(config),
-      dwc_(config),
-      pwc_(config),
-      nonconv_(config),
-      ifmap_buffer_("dwc_ifmap", config.dwc_ifmap_buffer_bytes()),
-      dwc_weight_buffer_("dwc_weight", config.dwc_weight_buffer_bytes()),
-      offline_buffer_("offline", config.offline_buffer_bytes()),
-      intermediate_buffer_("intermediate",
-                           config.intermediate_buffer_bytes()),
-      pwc_weight_buffer_("pwc_weight", config.pwc_weight_buffer_bytes()),
-      accumulator_("accumulator", config.accumulator_buffer_bytes()) {
-  config_.validate();
-}
+namespace detail {
 
-void EdeaAccelerator::load_ifmap_tile(const nn::Int8Tensor& input,
-                                      const BufferTile& tile,
-                                      const ChannelSlice& slice,
-                                      LayerRunResult& result) {
-  const int image_rows = input.dim(0);
-  const int image_cols = input.dim(1);
-  // The buffer is cleared so halo positions beyond the image read as the
-  // zero padding value; only valid elements are fetched (and counted).
-  ifmap_buffer_.clear_contents();
-  ifmap_buffer_.reset_counters();  // per-pass fills are tallied via result
+/// One tile worker: a full private complement of engines, SRAM buffers,
+/// and counters, executing a contiguous chunk of a layer's buffer tiles.
+/// Workers model the same silicon executing different tiles; this is
+/// sound because tiles share nothing mutable - each owns a disjoint
+/// output region, and the layer/input operands are read-only. Everything
+/// a worker measures lands in its LayerPartial, merged by the accelerator
+/// in tile order once all chunks finish.
+class TileWorker {
+ public:
+  explicit TileWorker(const EdeaConfig& config)
+      : config_(config),
+        dwc_(config),
+        pwc_(config),
+        nonconv_(config),
+        ifmap_buffer_("dwc_ifmap", config.dwc_ifmap_buffer_bytes()),
+        dwc_weight_buffer_("dwc_weight", config.dwc_weight_buffer_bytes()),
+        offline_buffer_("offline", config.offline_buffer_bytes()),
+        intermediate_buffer_("intermediate",
+                             config.intermediate_buffer_bytes()),
+        pwc_weight_buffer_("pwc_weight", config.pwc_weight_buffer_bytes()),
+        accumulator_("accumulator", config.accumulator_buffer_bytes()) {
+    config_.validate();
+  }
 
-  std::int64_t fetched = 0;
-  for (int r = 0; r < tile.in_rows; ++r) {
-    const int gr = tile.in_row0 + r;
-    if (gr < 0 || gr >= image_rows) continue;
-    for (int c = 0; c < tile.in_cols; ++c) {
-      const int gc = tile.in_col0 + c;
-      if (gc < 0 || gc >= image_cols) continue;
-      for (int ch = 0; ch < slice.channels; ++ch) {
-        const std::int8_t v = input(gr, gc, slice.channel0 + ch);
-        const std::int64_t addr =
-            (std::int64_t{r} * tile.in_cols + c) * slice.channels + ch;
-        ifmap_buffer_.store<std::int8_t>(addr, v);
-        ++fetched;
-      }
+  /// Resets every per-layer tally. Called for each participating worker
+  /// before the tile chunks are dispatched.
+  void begin_layer() {
+    partial_ = LayerPartial{};
+    dwc_.reset_activity();
+    pwc_.reset_activity();
+    nonconv_.reset_counters();
+  }
+
+  /// Executes one buffer tile end to end: every channel-slice pass, then
+  /// the write-back of the tile's output region. `trace` must be non-null
+  /// only for the globally first tile of a serially executed layer.
+  void run_tile(const nn::QuantDscLayer& layer, const nn::Int8Tensor& input,
+                const BufferTile& tile,
+                const std::vector<ChannelSlice>& slices,
+                const std::vector<KernelGroup>& groups,
+                nn::Int8Tensor& output, PipelineTrace* trace) {
+    bool first_slice = true;
+    for (const ChannelSlice& slice : slices) {
+      // Only the very first pass of the traced tile records (Fig. 7).
+      if (trace != nullptr) trace->armed = first_slice;
+      run_pass(layer, input, tile, slice, first_slice, groups, trace);
+      if (trace != nullptr) trace->armed = false;
+      first_slice = false;
     }
-  }
-  result.external.record_read(TrafficClass::kActivation, fetched);
-  result.buffers.dwc_ifmap.record_write(fetched, fetched);
-}
-
-DwcWindow EdeaAccelerator::fetch_window(const BufferTile& tile,
-                                        const ChannelSlice& slice,
-                                        int image_rows, int image_cols,
-                                        int out_row0, int out_col0,
-                                        int stride, int padding,
-                                        LayerRunResult& result) {
-  DwcWindow window;
-  window.extent = config_.dwc_window_extent(stride);
-  window.channels = slice.channels;
-  window.values.assign(static_cast<std::size_t>(window.extent * window.extent *
-                                                window.channels),
-                       0);
-
-  // Window origin in unpadded image coordinates.
-  const int grow0 = out_row0 * stride - padding;
-  const int gcol0 = out_col0 * stride - padding;
-
-  std::int64_t sram_reads = 0;
-  for (int r = 0; r < window.extent; ++r) {
-    const int gr = grow0 + r;
-    for (int c = 0; c < window.extent; ++c) {
-      const int gc = gcol0 + c;
-      const bool in_image =
-          gr >= 0 && gr < image_rows && gc >= 0 && gc < image_cols;
-      const int br = gr - tile.in_row0;  // buffer-region coordinates
-      const int bc = gc - tile.in_col0;
-      const bool in_region = br >= 0 && br < tile.in_rows && bc >= 0 &&
-                             bc < tile.in_cols;
-      for (int ch = 0; ch < window.channels; ++ch) {
-        std::int8_t v = 0;
-        if (in_image && in_region) {
-          const std::int64_t addr =
-              (std::int64_t{br} * tile.in_cols + bc) * window.channels + ch;
-          v = ifmap_buffer_.load<std::int8_t>(addr);
-          ++sram_reads;
-        }
-        window.values[static_cast<std::size_t>(
-            (r * window.extent + c) * window.channels + ch)] = v;
-      }
-    }
-  }
-  result.buffers.dwc_ifmap.record_read(sram_reads, sram_reads);
-  result.dataflow.dwc_window_elements +=
-      std::int64_t{1} * window.extent * window.extent * window.channels;
-  return window;
-}
-
-std::int64_t EdeaAccelerator::run_pass(const nn::QuantDscLayer& layer,
-                                       const nn::Int8Tensor& input,
-                                       const BufferTile& tile,
-                                       const ChannelSlice& slice,
-                                       bool first_slice,
-                                       const std::vector<KernelGroup>& groups,
-                                       LayerRunResult& result) {
-  const nn::DscLayerSpec& spec = layer.spec;
-  const int stride = spec.stride;
-  const int K = spec.out_channels;
-  std::int64_t cycle = 0;
-
-  // ---- initiation (Fig. 7): fills buffers and the pipeline. ----
-  if (trace_ != nullptr) {
-    trace_->emit(cycle, "DWC Input Ifmap & Weight",
-                 "tile(" + std::to_string(tile.out_row0) + "," +
-                     std::to_string(tile.out_col0) + ") slice " +
-                     std::to_string(slice.channel0 / config_.td));
-    trace_->emit(cycle, "PWC Input Weight",
-                 "slice weights for " + std::to_string(K) + " kernels");
+    write_back_tile(layer, tile, output);
   }
 
-  // Ifmap region for this (tile, slice).
-  load_ifmap_tile(input, tile, slice, result);
+  /// Folds the engines' activity into the partial and returns it.
+  [[nodiscard]] const LayerPartial& finish_layer() {
+    partial_.dwc_activity = dwc_.activity();
+    partial_.pwc_activity = pwc_.activity();
+    partial_.nonconv_transfer_ops = nonconv_.transfer_ops();
+    partial_.nonconv_writeback_ops = nonconv_.writeback_ops();
+    return partial_;
+  }
 
-  // DWC kernel slice -> weight buffer -> engine registers.
-  {
-    std::vector<std::int8_t> w(static_cast<std::size_t>(
-        config_.kernel * config_.kernel * slice.channels));
-    for (int i = 0; i < config_.kernel; ++i) {
-      for (int j = 0; j < config_.kernel; ++j) {
+  [[nodiscard]] const DwcEngine& dwc() const noexcept { return dwc_; }
+  [[nodiscard]] const PwcEngine& pwc() const noexcept { return pwc_; }
+
+ private:
+  /// Loads the valid part of the tile's input region into the ifmap buffer.
+  void load_ifmap_tile(const nn::Int8Tensor& input, const BufferTile& tile,
+                       const ChannelSlice& slice) {
+    const int image_rows = input.dim(0);
+    const int image_cols = input.dim(1);
+    // The buffer is cleared so halo positions beyond the image read as the
+    // zero padding value; only valid elements are fetched (and counted).
+    ifmap_buffer_.clear_contents();
+    ifmap_buffer_.reset_counters();  // per-pass fills are tallied via partial
+
+    std::int64_t fetched = 0;
+    for (int r = 0; r < tile.in_rows; ++r) {
+      const int gr = tile.in_row0 + r;
+      if (gr < 0 || gr >= image_rows) continue;
+      for (int c = 0; c < tile.in_cols; ++c) {
+        const int gc = tile.in_col0 + c;
+        if (gc < 0 || gc >= image_cols) continue;
         for (int ch = 0; ch < slice.channels; ++ch) {
-          const std::int8_t v =
-              layer.dwc_weights(i, j, slice.channel0 + ch);
-          const std::int64_t idx =
-              (std::int64_t{i} * config_.kernel + j) * slice.channels + ch;
-          dwc_weight_buffer_.store<std::int8_t>(idx, v);
-          w[static_cast<std::size_t>(idx)] = v;
+          const std::int8_t v = input(gr, gc, slice.channel0 + ch);
+          const std::int64_t addr =
+              (std::int64_t{r} * tile.in_cols + c) * slice.channels + ch;
+          ifmap_buffer_.store<std::int8_t>(addr, v);
+          ++fetched;
         }
       }
     }
-    const auto elements =
-        std::int64_t{1} * config_.kernel * config_.kernel * slice.channels;
-    result.external.record_read(TrafficClass::kWeight, elements);
-    result.buffers.dwc_weight.record_write(elements, elements);
-    result.buffers.dwc_weight.record_read(elements, elements);
-    result.dataflow.dwc_weight_elements += elements;
-    dwc_.load_weights(w, slice.channels);
+    partial_.external.record_read(TrafficClass::kActivation, fetched);
+    partial_.buffers.dwc_ifmap.record_write(fetched, fetched);
   }
 
-  // Non-Conv (k, b) pairs for the slice channels -> offline buffer.
-  if (trace_ != nullptr) {
-    trace_->emit(2, "DWC Input offline Data",
-                 std::to_string(slice.channels) + " (k,b) pairs");
-  }
-  for (int ch = 0; ch < slice.channels; ++ch) {
-    const auto& p =
-        layer.nonconv1.channels[static_cast<std::size_t>(slice.channel0 +
-                                                         ch)];
-    pack24(offline_buffer_, std::int64_t{ch} * 6, p.k.raw());
-    pack24(offline_buffer_, std::int64_t{ch} * 6 + 3, p.b.raw());
-  }
-  result.external.record_read(TrafficClass::kParameter,
-                              std::int64_t{2} * slice.channels);
+  /// Reads one DWC window from the ifmap buffer (zeros outside the image).
+  DwcWindow fetch_window(const BufferTile& tile, const ChannelSlice& slice,
+                         int image_rows, int image_cols, int out_row0,
+                         int out_col0, int stride, int padding) {
+    DwcWindow window;
+    window.extent = config_.dwc_window_extent(stride);
+    window.channels = slice.channels;
+    window.values.assign(
+        static_cast<std::size_t>(window.extent * window.extent *
+                                 window.channels),
+        0);
 
-  // PWC weights for (slice, all kernels) -> PWC weight buffer.
-  for (int k = 0; k < K; ++k) {
+    // Window origin in unpadded image coordinates.
+    const int grow0 = out_row0 * stride - padding;
+    const int gcol0 = out_col0 * stride - padding;
+
+    std::int64_t sram_reads = 0;
+    for (int r = 0; r < window.extent; ++r) {
+      const int gr = grow0 + r;
+      for (int c = 0; c < window.extent; ++c) {
+        const int gc = gcol0 + c;
+        const bool in_image =
+            gr >= 0 && gr < image_rows && gc >= 0 && gc < image_cols;
+        const int br = gr - tile.in_row0;  // buffer-region coordinates
+        const int bc = gc - tile.in_col0;
+        const bool in_region = br >= 0 && br < tile.in_rows && bc >= 0 &&
+                               bc < tile.in_cols;
+        for (int ch = 0; ch < window.channels; ++ch) {
+          std::int8_t v = 0;
+          if (in_image && in_region) {
+            const std::int64_t addr =
+                (std::int64_t{br} * tile.in_cols + bc) * window.channels + ch;
+            v = ifmap_buffer_.load<std::int8_t>(addr);
+            ++sram_reads;
+          }
+          window.values[static_cast<std::size_t>(
+              (r * window.extent + c) * window.channels + ch)] = v;
+        }
+      }
+    }
+    partial_.buffers.dwc_ifmap.record_read(sram_reads, sram_reads);
+    partial_.dataflow.dwc_window_elements +=
+        std::int64_t{1} * window.extent * window.extent * window.channels;
+    return window;
+  }
+
+  /// Executes one (buffer tile, channel slice) pass.
+  void run_pass(const nn::QuantDscLayer& layer, const nn::Int8Tensor& input,
+                const BufferTile& tile, const ChannelSlice& slice,
+                bool first_slice, const std::vector<KernelGroup>& groups,
+                PipelineTrace* trace) {
+    const nn::DscLayerSpec& spec = layer.spec;
+    const int stride = spec.stride;
+    const int K = spec.out_channels;
+    std::int64_t cycle = 0;
+
+    // ---- initiation (Fig. 7): fills buffers and the pipeline. ----
+    if (trace != nullptr) {
+      trace->emit(cycle, "DWC Input Ifmap & Weight",
+                  "tile(" + std::to_string(tile.out_row0) + "," +
+                      std::to_string(tile.out_col0) + ") slice " +
+                      std::to_string(slice.channel0 / config_.td));
+      trace->emit(cycle, "PWC Input Weight",
+                  "slice weights for " + std::to_string(K) + " kernels");
+    }
+
+    // Ifmap region for this (tile, slice).
+    load_ifmap_tile(input, tile, slice);
+
+    // DWC kernel slice -> weight buffer -> engine registers.
+    {
+      std::vector<std::int8_t> w(static_cast<std::size_t>(
+          config_.kernel * config_.kernel * slice.channels));
+      for (int i = 0; i < config_.kernel; ++i) {
+        for (int j = 0; j < config_.kernel; ++j) {
+          for (int ch = 0; ch < slice.channels; ++ch) {
+            const std::int8_t v =
+                layer.dwc_weights(i, j, slice.channel0 + ch);
+            const std::int64_t idx =
+                (std::int64_t{i} * config_.kernel + j) * slice.channels + ch;
+            dwc_weight_buffer_.store<std::int8_t>(idx, v);
+            w[static_cast<std::size_t>(idx)] = v;
+          }
+        }
+      }
+      const auto elements =
+          std::int64_t{1} * config_.kernel * config_.kernel * slice.channels;
+      partial_.external.record_read(TrafficClass::kWeight, elements);
+      partial_.buffers.dwc_weight.record_write(elements, elements);
+      partial_.buffers.dwc_weight.record_read(elements, elements);
+      partial_.dataflow.dwc_weight_elements += elements;
+      dwc_.load_weights(w, slice.channels);
+    }
+
+    // Non-Conv (k, b) pairs for the slice channels -> offline buffer.
+    if (trace != nullptr) {
+      trace->emit(2, "DWC Input offline Data",
+                  std::to_string(slice.channels) + " (k,b) pairs");
+    }
     for (int ch = 0; ch < slice.channels; ++ch) {
-      pwc_weight_buffer_.store<std::int8_t>(
-          std::int64_t{k} * slice.channels + ch,
-          layer.pwc_weights(k, slice.channel0 + ch));
+      const auto& p =
+          layer.nonconv1.channels[static_cast<std::size_t>(slice.channel0 +
+                                                           ch)];
+      pack24(offline_buffer_, std::int64_t{ch} * 6, p.k.raw());
+      pack24(offline_buffer_, std::int64_t{ch} * 6 + 3, p.b.raw());
     }
-  }
-  {
-    const auto elements = std::int64_t{1} * K * slice.channels;
-    result.external.record_read(TrafficClass::kWeight, elements);
-    result.buffers.pwc_weight.record_write(elements, elements);
-    result.dataflow.pwc_weight_elements += elements;
-  }
+    partial_.external.record_read(TrafficClass::kParameter,
+                                  std::int64_t{2} * slice.channels);
 
-  cycle += config_.init_cycles;
-
-  // Re-read the slice's Non-Conv parameters once per pass (they sit in
-  // unit-local registers during compute, as in the silicon).
-  std::vector<nn::NonConvChannelParams> slice_params;
-  slice_params.reserve(static_cast<std::size_t>(slice.channels));
-  for (int ch = 0; ch < slice.channels; ++ch) {
-    const std::int32_t kraw = unpack24(offline_buffer_, std::int64_t{ch} * 6);
-    const std::int32_t braw =
-        unpack24(offline_buffer_, std::int64_t{ch} * 6 + 3);
-    slice_params.push_back(nn::NonConvChannelParams{
-        arch::Q8_16::from_raw(kraw), arch::Q8_16::from_raw(braw)});
-  }
-
-  // ---- steady state: one (spatial step, kernel group) per cycle. ----
-  const int image_rows = input.dim(0);
-  const int image_cols = input.dim(1);
-  const int steps_r = (tile.out_rows + config_.tn - 1) / config_.tn;
-  const int steps_c = (tile.out_cols + config_.tm - 1) / config_.tm;
-
-  std::vector<std::int8_t> intermediate(
-      static_cast<std::size_t>(config_.tn * config_.tm * slice.channels));
-  int step_index = 0;
-
-  for (int sy = 0; sy < steps_r; ++sy) {
-    for (int sx = 0; sx < steps_c; ++sx, ++step_index) {
-      const int out_r0 = tile.out_row0 + sy * config_.tn;  // global coords
-      const int out_c0 = tile.out_col0 + sx * config_.tm;
-
-      // DWC engine fires once for this spatial step.
-      const DwcWindow window =
-          fetch_window(tile, slice, image_rows, image_cols, out_r0, out_c0,
-                       stride, spec.padding, result);
-      const DwcStepOutput dwc_out = dwc_.step(window, stride);
-      result.timing.dwc_active_cycles += 1;
-      if (trace_ != nullptr && step_index < 4) {
-        trace_->emit(cycle, "DWC Engine Process",
-                     "step (" + std::to_string(sy) + "," +
-                         std::to_string(sx) + ")");
+    // PWC weights for (slice, all kernels) -> PWC weight buffer.
+    for (int k = 0; k < K; ++k) {
+      for (int ch = 0; ch < slice.channels; ++ch) {
+        pwc_weight_buffer_.store<std::int8_t>(
+            std::int64_t{k} * slice.channels + ch,
+            layer.pwc_weights(k, slice.channel0 + ch));
       }
+    }
+    {
+      const auto elements = std::int64_t{1} * K * slice.channels;
+      partial_.external.record_read(TrafficClass::kWeight, elements);
+      partial_.buffers.pwc_weight.record_write(elements, elements);
+      partial_.dataflow.pwc_weight_elements += elements;
+    }
 
-      // Non-Conv transfer: DWC accumulators -> int8 PWC inputs.
-      nonconv_.set_writeback_mode(false);
-      nonconv_.apply_block(dwc_out.acc, slice_params, slice.channels,
-                           intermediate);
-      result.buffers.offline.record_read(std::int64_t{2} * slice.channels,
-                                         std::int64_t{2} * slice.channels);
-      if (trace_ != nullptr && step_index < 4) {
-        trace_->emit(cycle, "Non-Conv Unit Process",
-                     std::to_string(intermediate.size()) + " values");
-      }
+    cycle += config_.init_cycles;
 
-      // Direct transfer into the (double-buffered) intermediate buffer.
-      const std::int64_t half =
-          (step_index % 2) * (config_.intermediate_buffer_bytes() / 2);
-      for (std::size_t i = 0; i < intermediate.size(); ++i) {
-        intermediate_buffer_.store<std::int8_t>(
-            half + static_cast<std::int64_t>(i), intermediate[i]);
-      }
-      {
-        const auto n = static_cast<std::int64_t>(intermediate.size());
-        result.buffers.intermediate.record_write(n, n);
-        // PWC-input sparsity statistics (Fig. 11): collected at the point
-        // the intermediate tile is produced. Only spatial positions that
-        // belong to the real ofmap count (edge tiles compute dummy lanes).
-        for (int r = 0; r < dwc_out.rows; ++r) {
-          for (int c = 0; c < dwc_out.cols; ++c) {
-            if (out_r0 + r >= tile.out_row0 + tile.out_rows ||
-                out_c0 + c >= tile.out_col0 + tile.out_cols) {
-              continue;
-            }
-            for (int ch = 0; ch < slice.channels; ++ch) {
-              ++pwc_input_total_;
-              if (intermediate[static_cast<std::size_t>(
-                      (r * dwc_out.cols + c) * slice.channels + ch)] == 0) {
-                ++pwc_input_zeros_;
+    // Re-read the slice's Non-Conv parameters once per pass (they sit in
+    // unit-local registers during compute, as in the silicon).
+    std::vector<nn::NonConvChannelParams> slice_params;
+    slice_params.reserve(static_cast<std::size_t>(slice.channels));
+    for (int ch = 0; ch < slice.channels; ++ch) {
+      const std::int32_t kraw =
+          unpack24(offline_buffer_, std::int64_t{ch} * 6);
+      const std::int32_t braw =
+          unpack24(offline_buffer_, std::int64_t{ch} * 6 + 3);
+      slice_params.push_back(nn::NonConvChannelParams{
+          arch::Q8_16::from_raw(kraw), arch::Q8_16::from_raw(braw)});
+    }
+
+    // ---- steady state: one (spatial step, kernel group) per cycle. ----
+    const int image_rows = input.dim(0);
+    const int image_cols = input.dim(1);
+    const int steps_r = (tile.out_rows + config_.tn - 1) / config_.tn;
+    const int steps_c = (tile.out_cols + config_.tm - 1) / config_.tm;
+
+    std::vector<std::int8_t> intermediate(
+        static_cast<std::size_t>(config_.tn * config_.tm * slice.channels));
+    int step_index = 0;
+
+    for (int sy = 0; sy < steps_r; ++sy) {
+      for (int sx = 0; sx < steps_c; ++sx, ++step_index) {
+        const int out_r0 = tile.out_row0 + sy * config_.tn;  // global coords
+        const int out_c0 = tile.out_col0 + sx * config_.tm;
+
+        // DWC engine fires once for this spatial step.
+        const DwcWindow window =
+            fetch_window(tile, slice, image_rows, image_cols, out_r0, out_c0,
+                         stride, spec.padding);
+        const DwcStepOutput dwc_out = dwc_.step(window, stride);
+        partial_.timing.dwc_active_cycles += 1;
+        if (trace != nullptr && step_index < 4) {
+          trace->emit(cycle, "DWC Engine Process",
+                      "step (" + std::to_string(sy) + "," +
+                          std::to_string(sx) + ")");
+        }
+
+        // Non-Conv transfer: DWC accumulators -> int8 PWC inputs.
+        nonconv_.set_writeback_mode(false);
+        nonconv_.apply_block(dwc_out.acc, slice_params, slice.channels,
+                             intermediate);
+        partial_.buffers.offline.record_read(std::int64_t{2} * slice.channels,
+                                             std::int64_t{2} * slice.channels);
+        if (trace != nullptr && step_index < 4) {
+          trace->emit(cycle, "Non-Conv Unit Process",
+                      std::to_string(intermediate.size()) + " values");
+        }
+
+        // Direct transfer into the (double-buffered) intermediate buffer.
+        const std::int64_t half =
+            (step_index % 2) * (config_.intermediate_buffer_bytes() / 2);
+        for (std::size_t i = 0; i < intermediate.size(); ++i) {
+          intermediate_buffer_.store<std::int8_t>(
+              half + static_cast<std::int64_t>(i), intermediate[i]);
+        }
+        {
+          const auto n = static_cast<std::int64_t>(intermediate.size());
+          partial_.buffers.intermediate.record_write(n, n);
+          // PWC-input sparsity statistics (Fig. 11): collected at the point
+          // the intermediate tile is produced. Only spatial positions that
+          // belong to the real ofmap count (edge tiles compute dummy lanes).
+          for (int r = 0; r < dwc_out.rows; ++r) {
+            for (int c = 0; c < dwc_out.cols; ++c) {
+              if (out_r0 + r >= tile.out_row0 + tile.out_rows ||
+                  out_c0 + c >= tile.out_col0 + tile.out_cols) {
+                continue;
+              }
+              for (int ch = 0; ch < slice.channels; ++ch) {
+                ++partial_.pwc_input_total;
+                if (intermediate[static_cast<std::size_t>(
+                        (r * dwc_out.cols + c) * slice.channels + ch)] == 0) {
+                  ++partial_.pwc_input_zeros;
+                }
               }
             }
           }
         }
-      }
-      if (trace_ != nullptr && step_index < 4) {
-        trace_->emit(cycle, "Write Intermediate Buffer",
-                     "half " + std::to_string(step_index % 2));
-      }
+        if (trace != nullptr && step_index < 4) {
+          trace->emit(cycle, "Write Intermediate Buffer",
+                      "half " + std::to_string(step_index % 2));
+        }
 
-      // PWC engine drains the kernel groups; one group per cycle.
-      for (const KernelGroup& group : groups) {
-        PwcStepInput pin;
-        pin.rows = config_.tn;
-        pin.cols = config_.tm;
-        pin.channels = slice.channels;
-        pin.kernels = group.kernels;
-        pin.activations.resize(
-            static_cast<std::size_t>(pin.rows * pin.cols * pin.channels));
-        for (std::size_t i = 0; i < pin.activations.size(); ++i) {
-          pin.activations[i] = intermediate_buffer_.load<std::int8_t>(
-              half + static_cast<std::int64_t>(i));
-        }
-        {
-          const auto n = static_cast<std::int64_t>(pin.activations.size());
-          result.buffers.intermediate.record_read(n, n);
-          result.dataflow.pwc_activation_elements += n;
-        }
-        pin.weights.resize(
-            static_cast<std::size_t>(group.kernels * pin.channels));
-        for (int kk = 0; kk < group.kernels; ++kk) {
-          for (int ch = 0; ch < pin.channels; ++ch) {
-            pin.weights[static_cast<std::size_t>(kk * pin.channels + ch)] =
-                pwc_weight_buffer_.load<std::int8_t>(
-                    (std::int64_t{group.kernel0} + kk) * pin.channels + ch);
+        // PWC engine drains the kernel groups; one group per cycle.
+        for (const KernelGroup& group : groups) {
+          PwcStepInput pin;
+          pin.rows = config_.tn;
+          pin.cols = config_.tm;
+          pin.channels = slice.channels;
+          pin.kernels = group.kernels;
+          pin.activations.resize(
+              static_cast<std::size_t>(pin.rows * pin.cols * pin.channels));
+          for (std::size_t i = 0; i < pin.activations.size(); ++i) {
+            pin.activations[i] = intermediate_buffer_.load<std::int8_t>(
+                half + static_cast<std::int64_t>(i));
           }
-        }
-        {
-          const auto n = std::int64_t{1} * group.kernels * pin.channels;
-          result.buffers.pwc_weight.record_read(n, n);
-        }
-
-        const PwcStepOutput pout = pwc_.step(pin);
-        result.timing.pwc_active_cycles += 1;
-        if (trace_ != nullptr && step_index < 2 && group.kernel0 == 0) {
-          trace_->emit(cycle, "PWC Engine Process",
-                       "group k0=" + std::to_string(group.kernel0));
-        }
-
-        // Accumulate valid partial sums for this tile.
-        for (int r = 0; r < pout.rows; ++r) {
-          const int tr = sy * config_.tn + r;  // tile-relative output row
-          if (tr >= tile.out_rows) continue;
-          for (int c = 0; c < pout.cols; ++c) {
-            const int tc = sx * config_.tm + c;
-            if (tc >= tile.out_cols) continue;
-            for (int kk = 0; kk < pout.kernels; ++kk) {
-              const std::int64_t addr =
-                  (std::int64_t{tr} * tile.out_cols + tc) * K +
-                  group.kernel0 + kk;
-              std::int32_t psum = pout.at(r, c, kk);
-              if (!first_slice) {
-                psum += accumulator_.load<std::int32_t>(addr);
-                result.buffers.accumulator.record_read(4);
-              }
-              accumulator_.store<std::int32_t>(addr, psum);
-              result.buffers.accumulator.record_write(4);
-              const std::int64_t mag = std::abs(
-                  static_cast<std::int64_t>(psum));
-              if (mag > result.max_abs_psum) result.max_abs_psum = mag;
+          {
+            const auto n = static_cast<std::int64_t>(pin.activations.size());
+            partial_.buffers.intermediate.record_read(n, n);
+            partial_.dataflow.pwc_activation_elements += n;
+          }
+          pin.weights.resize(
+              static_cast<std::size_t>(group.kernels * pin.channels));
+          for (int kk = 0; kk < group.kernels; ++kk) {
+            for (int ch = 0; ch < pin.channels; ++ch) {
+              pin.weights[static_cast<std::size_t>(kk * pin.channels + ch)] =
+                  pwc_weight_buffer_.load<std::int8_t>(
+                      (std::int64_t{group.kernel0} + kk) * pin.channels + ch);
             }
           }
+          {
+            const auto n = std::int64_t{1} * group.kernels * pin.channels;
+            partial_.buffers.pwc_weight.record_read(n, n);
+          }
+
+          const PwcStepOutput pout = pwc_.step(pin);
+          partial_.timing.pwc_active_cycles += 1;
+          if (trace != nullptr && step_index < 2 && group.kernel0 == 0) {
+            trace->emit(cycle, "PWC Engine Process",
+                        "group k0=" + std::to_string(group.kernel0));
+          }
+
+          // Accumulate valid partial sums for this tile.
+          for (int r = 0; r < pout.rows; ++r) {
+            const int tr = sy * config_.tn + r;  // tile-relative output row
+            if (tr >= tile.out_rows) continue;
+            for (int c = 0; c < pout.cols; ++c) {
+              const int tc = sx * config_.tm + c;
+              if (tc >= tile.out_cols) continue;
+              for (int kk = 0; kk < pout.kernels; ++kk) {
+                const std::int64_t addr =
+                    (std::int64_t{tr} * tile.out_cols + tc) * K +
+                    group.kernel0 + kk;
+                std::int32_t psum = pout.at(r, c, kk);
+                if (!first_slice) {
+                  psum += accumulator_.load<std::int32_t>(addr);
+                  partial_.buffers.accumulator.record_read(4);
+                }
+                accumulator_.store<std::int32_t>(addr, psum);
+                partial_.buffers.accumulator.record_write(4);
+                const std::int64_t mag =
+                    std::abs(static_cast<std::int64_t>(psum));
+                if (mag > partial_.max_abs_psum) partial_.max_abs_psum = mag;
+              }
+            }
+          }
+          cycle += 1;
         }
-        cycle += 1;
+      }
+    }
+
+    partial_.timing.passes += 1;
+    partial_.timing.init_cycles += config_.init_cycles;
+    partial_.timing.compute_cycles += cycle - config_.init_cycles;
+    partial_.timing.total_cycles += cycle;
+  }
+
+  /// Write-back: accumulator -> Non-Conv (per-K params) -> output tensor.
+  /// Touches only this tile's (disjoint) output region, so concurrent
+  /// write-backs from different workers never alias.
+  void write_back_tile(const nn::QuantDscLayer& layer, const BufferTile& tile,
+                       nn::Int8Tensor& output) {
+    const int K = layer.spec.out_channels;
+    nonconv_.set_writeback_mode(true);
+
+    // Per-output-channel parameters stream from external memory (counted as
+    // parameter traffic once per tile).
+    partial_.external.record_read(arch::TrafficClass::kParameter,
+                                  std::int64_t{2} * K);
+
+    std::vector<std::int32_t> acc_row(static_cast<std::size_t>(K));
+    std::vector<std::int8_t> out_row(static_cast<std::size_t>(K));
+    for (int r = 0; r < tile.out_rows; ++r) {
+      for (int c = 0; c < tile.out_cols; ++c) {
+        for (int k = 0; k < K; ++k) {
+          const std::int64_t addr =
+              (std::int64_t{r} * tile.out_cols + c) * K + k;
+          acc_row[static_cast<std::size_t>(k)] =
+              accumulator_.load<std::int32_t>(addr);
+        }
+        partial_.buffers.accumulator.record_read(std::int64_t{4} * K, K);
+        nonconv_.apply_block(acc_row, layer.nonconv2.channels, K, out_row);
+        for (int k = 0; k < K; ++k) {
+          output(tile.out_row0 + r, tile.out_col0 + c, k) =
+              out_row[static_cast<std::size_t>(k)];
+        }
+        partial_.external.record_write(arch::TrafficClass::kActivation, K);
       }
     }
   }
 
-  result.timing.passes += 1;
-  result.timing.init_cycles += config_.init_cycles;
-  result.timing.compute_cycles += cycle - config_.init_cycles;
-  return cycle;
+  EdeaConfig config_;
+  DwcEngine dwc_;
+  PwcEngine pwc_;
+  NonConvUnitArray nonconv_;
+
+  arch::SramBuffer ifmap_buffer_;
+  arch::SramBuffer dwc_weight_buffer_;
+  arch::SramBuffer offline_buffer_;
+  arch::SramBuffer intermediate_buffer_;
+  arch::SramBuffer pwc_weight_buffer_;
+  arch::SramBuffer accumulator_;
+
+  LayerPartial partial_;
+};
+
+}  // namespace detail
+
+EdeaAccelerator::EdeaAccelerator(EdeaConfig config) : config_(config) {
+  config_.validate();
+  // Worker 0 exists eagerly: it is the serial path and the structural
+  // reference behind dwc_engine()/pwc_engine().
+  workers_.push_back(std::make_unique<detail::TileWorker>(config_));
 }
 
-void EdeaAccelerator::write_back_tile(const nn::QuantDscLayer& layer,
-                                      const BufferTile& tile,
-                                      LayerRunResult& result) {
-  const int K = layer.spec.out_channels;
-  nonconv_.set_writeback_mode(true);
+EdeaAccelerator::~EdeaAccelerator() = default;
 
-  // Per-output-channel parameters stream from external memory (counted as
-  // parameter traffic once per tile).
-  result.external.record_read(arch::TrafficClass::kParameter,
-                              std::int64_t{2} * K);
+const DwcEngine& EdeaAccelerator::dwc_engine() const noexcept {
+  return workers_.front()->dwc();
+}
 
-  std::vector<std::int32_t> acc_row(static_cast<std::size_t>(K));
-  std::vector<std::int8_t> out_row(static_cast<std::size_t>(K));
-  for (int r = 0; r < tile.out_rows; ++r) {
-    for (int c = 0; c < tile.out_cols; ++c) {
-      for (int k = 0; k < K; ++k) {
-        const std::int64_t addr =
-            (std::int64_t{r} * tile.out_cols + c) * K + k;
-        acc_row[static_cast<std::size_t>(k)] =
-            accumulator_.load<std::int32_t>(addr);
-      }
-      result.buffers.accumulator.record_read(std::int64_t{4} * K, K);
-      nonconv_.apply_block(acc_row, layer.nonconv2.channels, K, out_row);
-      for (int k = 0; k < K; ++k) {
-        result.output(tile.out_row0 + r, tile.out_col0 + c, k) =
-            out_row[static_cast<std::size_t>(k)];
-      }
-      result.external.record_write(arch::TrafficClass::kActivation, K);
-    }
+const PwcEngine& EdeaAccelerator::pwc_engine() const noexcept {
+  return workers_.front()->pwc();
+}
+
+void EdeaAccelerator::set_tile_parallelism(int parallelism) {
+  EDEA_REQUIRE(parallelism >= 1,
+               "tile_parallelism must be >= 1 (1 = the serial reference "
+               "path); got " +
+                   std::to_string(parallelism));
+  tile_parallelism_ = parallelism;
+}
+
+detail::TileWorker& EdeaAccelerator::worker(std::size_t index) {
+  while (workers_.size() <= index) {
+    workers_.push_back(std::make_unique<detail::TileWorker>(config_));
   }
+  return *workers_[index];
 }
 
 LayerRunResult EdeaAccelerator::run_layer(const nn::QuantDscLayer& layer,
@@ -419,9 +520,11 @@ LayerRunResult EdeaAccelerator::run_layer(const nn::QuantDscLayer& layer,
 
   Tiler tiler(config_, spec);
   // Hardware capacity checks: the tiler must have produced tiles that fit.
-  EDEA_ASSERT(tiler.max_tile_input_bytes() <= ifmap_buffer_.capacity(),
+  // (Every worker's buffers are built from config_, so checking the
+  // configured capacities covers all of them.)
+  EDEA_ASSERT(tiler.max_tile_input_bytes() <= config_.dwc_ifmap_buffer_bytes(),
               "ifmap tile exceeds buffer capacity");
-  if (tiler.max_tile_psum_entries() * 4 > accumulator_.capacity()) {
+  if (tiler.max_tile_psum_entries() * 4 > config_.accumulator_buffer_bytes()) {
     throw ResourceError(
         "PWC accumulator cannot hold a " +
         std::to_string(tiler.max_tile_psum_entries()) +
@@ -429,16 +532,10 @@ LayerRunResult EdeaAccelerator::run_layer(const nn::QuantDscLayer& layer,
         " is outside the modeled configuration");
   }
   if (std::int64_t{spec.out_channels} * config_.td >
-      pwc_weight_buffer_.capacity()) {
+      config_.pwc_weight_buffer_bytes()) {
     throw ResourceError("PWC weight buffer cannot hold K=" +
                         std::to_string(spec.out_channels) + " kernel slices");
   }
-
-  dwc_.reset_activity();
-  pwc_.reset_activity();
-  nonconv_.reset_counters();
-  pwc_input_zeros_ = 0;
-  pwc_input_total_ = 0;
 
   LayerRunResult result;
   result.spec = spec;
@@ -446,31 +543,55 @@ LayerRunResult EdeaAccelerator::run_layer(const nn::QuantDscLayer& layer,
       nn::Shape{spec.out_rows(), spec.out_cols(), spec.out_channels});
   result.dwc_input_zero_fraction = input.zero_fraction();
 
-  std::int64_t total_cycles = 0;
-  bool trace_armed = trace_ != nullptr;
-  for (const BufferTile& tile : tiler.tiles()) {
-    bool first_slice = true;
-    for (const ChannelSlice& slice : tiler.slices()) {
-      if (trace_ != nullptr) trace_->armed = trace_armed;
-      total_cycles += run_pass(layer, input, tile, slice, first_slice,
-                               tiler.kernel_groups(), result);
-      trace_armed = false;  // only the first pass is recorded
-      if (trace_ != nullptr) trace_->armed = false;
-      first_slice = false;
+  const std::vector<BufferTile>& tiles = tiler.tiles();
+  // A trace pins the layer to the serial path: "the first pass" is only
+  // well defined when tiles run in order on one thread.
+  const int want = trace_ != nullptr ? 1 : tile_parallelism_;
+  const int chunks = static_cast<int>(std::min<std::size_t>(
+      static_cast<std::size_t>(want), tiles.size()));
+
+  // Workers are materialized and reset on the calling thread; the parallel
+  // region below only indexes them.
+  for (int w = 0; w < chunks; ++w) worker(static_cast<std::size_t>(w)).begin_layer();
+
+  // One chunk of contiguous tiles per worker, dispatched over the shared
+  // pool: at most chunks-1 helper tasks are queued and the calling thread
+  // participates, so a sweep-level job running tile-parallel layers
+  // borrows at most its stated tile budget from the process-wide pool.
+  util::parallel_for(0, chunks, [&](std::int64_t w) {
+    detail::TileWorker& tw = *workers_[static_cast<std::size_t>(w)];
+    const auto [first, last] = tiler.tile_chunk(chunks, static_cast<int>(w));
+    for (std::size_t t = first; t < last; ++t) {
+      tw.run_tile(layer, input, tiles[t], tiler.slices(),
+                  tiler.kernel_groups(), result.output,
+                  (w == 0 && t == 0) ? trace_ : nullptr);
     }
-    write_back_tile(layer, tile, result);
+  });
+
+  // Fixed reduction order: chunk w covers the w-th contiguous run of
+  // tiles, so merging partials by ascending w reproduces the serial tile
+  // order exactly. (Every field is an integer sum or max, so the merged
+  // tally is bit-identical to the serial one - the invariant the
+  // tile_parallel property tests pin down.)
+  LayerPartial merged;
+  for (int w = 0; w < chunks; ++w) {
+    merged += workers_[static_cast<std::size_t>(w)]->finish_layer();
   }
 
-  result.timing.total_cycles = total_cycles;
-  result.dwc_activity = dwc_.activity();
-  result.pwc_activity = pwc_.activity();
-  result.nonconv_transfer_ops = nonconv_.transfer_ops();
-  result.nonconv_writeback_ops = nonconv_.writeback_ops();
+  result.timing = merged.timing;
+  result.buffers = merged.buffers;
+  result.dataflow = merged.dataflow;
+  result.external = merged.external;
+  result.dwc_activity = merged.dwc_activity;
+  result.pwc_activity = merged.pwc_activity;
+  result.nonconv_transfer_ops = merged.nonconv_transfer_ops;
+  result.nonconv_writeback_ops = merged.nonconv_writeback_ops;
+  result.max_abs_psum = merged.max_abs_psum;
   result.pwc_input_zero_fraction =
-      pwc_input_total_ == 0
+      merged.pwc_input_total == 0
           ? 0.0
-          : static_cast<double>(pwc_input_zeros_) /
-                static_cast<double>(pwc_input_total_);
+          : static_cast<double>(merged.pwc_input_zeros) /
+                static_cast<double>(merged.pwc_input_total);
 
   // Cross-check against the analytic model (Eq. 1/2) - a wrong cycle count
   // is a simulator bug, never a tolerable approximation.

@@ -11,6 +11,15 @@
 //   1. bit-exactness: run_layer output == nn::QuantDscLayer::forward,
 //   2. cycle-exactness: measured cycles == TimingModel (Eq. 1/2),
 //   3. resource-exactness: no buffer access beyond modeled capacity.
+//
+// Tile parallelism: the buffer tiles of one layer are independent (each
+// owns a disjoint output region and reads only shared immutable inputs),
+// so run_layer can execute them on several host threads. Every worker
+// carries a private full complement of engines, SRAM buffers, and
+// counters (detail::TileWorker), processes a contiguous chunk of the tile
+// list, and its measurement partial (core::LayerPartial) is merged back
+// in tile order - results are bit-identical to the serial reference at
+// every parallelism (tests/tile_parallel_test.cpp).
 #pragma once
 
 #include <memory>
@@ -31,9 +40,17 @@
 
 namespace edea::core {
 
+namespace detail {
+class TileWorker;  // per-worker engine/buffer/counter state (accelerator.cpp)
+}
+
 class EdeaAccelerator {
  public:
   explicit EdeaAccelerator(EdeaConfig config = EdeaConfig::paper());
+  ~EdeaAccelerator();
+
+  EdeaAccelerator(const EdeaAccelerator&) = delete;
+  EdeaAccelerator& operator=(const EdeaAccelerator&) = delete;
 
   /// Runs one quantized DSC layer. `input` is the int8 ifmap [R][C][D].
   [[nodiscard]] LayerRunResult run_layer(const nn::QuantDscLayer& layer,
@@ -45,52 +62,42 @@ class EdeaAccelerator {
       const nn::Int8Tensor& input);
 
   /// Attaches a pipeline trace sink; the next run_layer records its first
-  /// pass (Fig. 7 diagram). Pass nullptr to detach.
+  /// pass (Fig. 7 diagram). Pass nullptr to detach. While a trace is
+  /// attached, layers run on the serial reference path regardless of
+  /// tile_parallelism - "the first pass" is only well defined in tile
+  /// order on one thread.
   void set_trace(PipelineTrace* trace) noexcept { trace_ = trace; }
 
+  /// Sets the tile-level parallelism of run_layer: 1 (the default) is the
+  /// strictly serial reference path; p > 1 splits each layer's buffer
+  /// tiles over at most p workers sharing util::ThreadPool::shared() (at
+  /// most p-1 helper tasks are queued; the calling thread is worker 0).
+  /// Results are bit-identical for every p. Zero and negative values are
+  /// a PreconditionError: there is no "auto" policy at this level - tile
+  /// workers compete with sweep-level jobs for the same pool, so callers
+  /// must state the per-layer width explicitly.
+  void set_tile_parallelism(int parallelism);
+  [[nodiscard]] int tile_parallelism() const noexcept {
+    return tile_parallelism_;
+  }
+
   [[nodiscard]] const EdeaConfig& config() const noexcept { return config_; }
-  [[nodiscard]] const DwcEngine& dwc_engine() const noexcept { return dwc_; }
-  [[nodiscard]] const PwcEngine& pwc_engine() const noexcept { return pwc_; }
+
+  /// Structural views of the engines (worker 0's instances; all workers
+  /// are identically configured).
+  [[nodiscard]] const DwcEngine& dwc_engine() const noexcept;
+  [[nodiscard]] const PwcEngine& pwc_engine() const noexcept;
 
  private:
-  /// Executes one (buffer tile, channel slice) pass; returns cycles spent.
-  std::int64_t run_pass(const nn::QuantDscLayer& layer,
-                        const nn::Int8Tensor& input, const BufferTile& tile,
-                        const ChannelSlice& slice, bool first_slice,
-                        const std::vector<KernelGroup>& groups,
-                        LayerRunResult& result);
-
-  /// Write-back: accumulator -> Non-Conv (per-K params) -> output tensor.
-  void write_back_tile(const nn::QuantDscLayer& layer, const BufferTile& tile,
-                       LayerRunResult& result);
-
-  /// Loads the valid part of the tile's input region into the ifmap buffer.
-  void load_ifmap_tile(const nn::Int8Tensor& input, const BufferTile& tile,
-                       const ChannelSlice& slice, LayerRunResult& result);
-
-  /// Reads one DWC window from the ifmap buffer (zeros outside the image).
-  DwcWindow fetch_window(const BufferTile& tile, const ChannelSlice& slice,
-                         int image_rows, int image_cols, int out_row0,
-                         int out_col0, int stride, int padding,
-                         LayerRunResult& result);
+  /// Returns worker `index`, growing the pool as needed. Never call from
+  /// inside the tile-parallel region: workers are materialized up front on
+  /// the calling thread, then only indexed concurrently.
+  detail::TileWorker& worker(std::size_t index);
 
   EdeaConfig config_;
-  DwcEngine dwc_;
-  PwcEngine pwc_;
-  NonConvUnitArray nonconv_;
-
-  arch::SramBuffer ifmap_buffer_;
-  arch::SramBuffer dwc_weight_buffer_;
-  arch::SramBuffer offline_buffer_;
-  arch::SramBuffer intermediate_buffer_;
-  arch::SramBuffer pwc_weight_buffer_;
-  arch::SramBuffer accumulator_;
-
+  int tile_parallelism_ = 1;
+  std::vector<std::unique_ptr<detail::TileWorker>> workers_;
   PipelineTrace* trace_ = nullptr;
-
-  // Per-layer PWC-input sparsity tally (reset by run_layer).
-  std::int64_t pwc_input_zeros_ = 0;
-  std::int64_t pwc_input_total_ = 0;
 };
 
 }  // namespace edea::core

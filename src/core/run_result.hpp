@@ -35,6 +35,9 @@ struct BufferAccessSnapshot {
     accumulator += o.accumulator;
     return *this;
   }
+
+  friend bool operator==(const BufferAccessSnapshot&,
+                         const BufferAccessSnapshot&) = default;
 };
 
 /// Dataflow-level counters used to validate the Table II equations: these
@@ -53,6 +56,51 @@ struct DataflowCounters {
     pwc_weight_elements += o.pwc_weight_elements;
     return *this;
   }
+
+  friend bool operator==(const DataflowCounters&, const DataflowCounters&) =
+      default;
+};
+
+/// Everything one tile worker measures while executing its share of a
+/// layer's buffer tiles - the mergeable half of a LayerRunResult. Workers
+/// write output elements straight into the shared (disjointly partitioned)
+/// output tensor; every *counter* lands here instead, privately, and the
+/// partials are reduced in tile order once all workers finish. Every field
+/// is either an integer sum over passes or a max, so the reduction is
+/// exact: a merged partial is bit-identical to the serial tally.
+struct LayerPartial {
+  LayerTiming timing;
+  BufferAccessSnapshot buffers;
+  DataflowCounters dataflow;
+  arch::ExternalMemory external;
+
+  arch::MacActivity dwc_activity;
+  arch::MacActivity pwc_activity;
+  std::int64_t nonconv_transfer_ops = 0;
+  std::int64_t nonconv_writeback_ops = 0;
+
+  /// PWC-input sparsity tally (Fig. 11 numerator/denominator).
+  std::int64_t pwc_input_zeros = 0;
+  std::int64_t pwc_input_total = 0;
+
+  std::int64_t max_abs_psum = 0;
+
+  LayerPartial& operator+=(const LayerPartial& o) noexcept {
+    timing += o.timing;
+    buffers += o.buffers;
+    dataflow += o.dataflow;
+    external += o.external;
+    dwc_activity += o.dwc_activity;
+    pwc_activity += o.pwc_activity;
+    nonconv_transfer_ops += o.nonconv_transfer_ops;
+    nonconv_writeback_ops += o.nonconv_writeback_ops;
+    pwc_input_zeros += o.pwc_input_zeros;
+    pwc_input_total += o.pwc_input_total;
+    if (o.max_abs_psum > max_abs_psum) max_abs_psum = o.max_abs_psum;
+    return *this;
+  }
+
+  friend bool operator==(const LayerPartial&, const LayerPartial&) = default;
 };
 
 /// Everything measured while running one DSC layer.

@@ -9,14 +9,17 @@
 
 namespace edea::core {
 
-SweepOutcome evaluate_job(const SweepJob& job) {
+SweepOutcome evaluate_job(const SweepJob& job, int tile_parallelism) {
   EDEA_REQUIRE(job.layers != nullptr && job.input != nullptr,
                "sweep job '" + job.name + "' must reference a network");
+  EDEA_REQUIRE(tile_parallelism >= 1,
+               "tile_parallelism must be >= 1 (1 = serial tiles)");
   SweepOutcome out;
   out.name = job.name;
   out.config = job.config;
   try {
     EdeaAccelerator accel(job.config);
+    accel.set_tile_parallelism(tile_parallelism);
     out.result = accel.run_network(*job.layers, *job.input);
     out.ok = true;
   } catch (const std::exception& e) {
@@ -63,11 +66,16 @@ std::vector<SweepOutcome> SweepRunner::run(
   }
 
   std::vector<SweepOutcome> outcomes(jobs.size());
+  // Two-level parallelism: job i may itself split each layer's tiles over
+  // tile_parallelism workers (those always borrow the process-wide shared
+  // pool, never this sweep's dedicated one - see docs/ARCHITECTURE.md).
+  const int tile_parallelism = options_.tile_parallelism;
   util::run_indexed(options_.parallelism,
                     static_cast<std::int64_t>(jobs.size()),
-                    [&jobs, &outcomes](std::int64_t i) {
-                      outcomes[static_cast<std::size_t>(i)] =
-                          evaluate_job(jobs[static_cast<std::size_t>(i)]);
+                    [&jobs, &outcomes, tile_parallelism](std::int64_t i) {
+                      outcomes[static_cast<std::size_t>(i)] = evaluate_job(
+                          jobs[static_cast<std::size_t>(i)],
+                          tile_parallelism);
                     });
   return outcomes;
 }

@@ -58,10 +58,23 @@ struct SweepOptions {
   /// to, and silently coercing would mask caller arithmetic bugs.
   int parallelism = 0;
 
+  /// Tile-level parallelism *inside* each job: every layer's buffer tiles
+  /// are split over at most this many workers on the process-wide shared
+  /// pool (see EdeaAccelerator::set_tile_parallelism). 1 (the default) is
+  /// the strictly serial reference path. Unlike `parallelism` there is no
+  /// 0 = auto policy: tile workers compete with sweep-level jobs for the
+  /// same pool, so the per-job width must be stated explicitly - zero and
+  /// negative values are a precondition violation. Results are
+  /// bit-identical at every width.
+  int tile_parallelism = 1;
+
   void validate() const {
     EDEA_REQUIRE(
         parallelism >= 0,
         "parallelism must be 0 (auto), 1 (serial), or a thread count");
+    EDEA_REQUIRE(tile_parallelism >= 1,
+                 "tile_parallelism must be >= 1 (1 = serial tiles; there is "
+                 "no auto policy at tile level)");
   }
 };
 
@@ -70,8 +83,10 @@ struct SweepOptions {
 /// with ok == false and the failure text in `error`, so callers that fan
 /// jobs out (SweepRunner, the simulation service) can treat infeasible
 /// points as data. Null network/input pointers are still a hard
-/// PreconditionError - that is a caller bug, not a design point.
-[[nodiscard]] SweepOutcome evaluate_job(const SweepJob& job);
+/// PreconditionError - that is a caller bug, not a design point - and so
+/// is a tile_parallelism < 1 (see SweepOptions::tile_parallelism).
+[[nodiscard]] SweepOutcome evaluate_job(const SweepJob& job,
+                                        int tile_parallelism = 1);
 
 /// Order-sensitive 64-bit fingerprint of a simulation workload: the layer
 /// geometries, quantized weights, activation scales, folded Non-Conv

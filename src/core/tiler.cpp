@@ -63,6 +63,16 @@ std::int64_t Tiler::max_tile_input_bytes() const {
   return worst;
 }
 
+std::pair<std::size_t, std::size_t> Tiler::tile_chunk(int chunks,
+                                                      int chunk) const {
+  EDEA_REQUIRE(chunks >= 1, "tile partition needs at least one chunk");
+  EDEA_REQUIRE(chunk >= 0 && chunk < chunks, "chunk index out of range");
+  const auto n = tiles_.size();
+  const auto c = static_cast<std::size_t>(chunks);
+  const auto w = static_cast<std::size_t>(chunk);
+  return {n * w / c, n * (w + 1) / c};
+}
+
 std::int64_t Tiler::max_tile_psum_entries() const {
   std::int64_t worst = 0;
   for (const BufferTile& t : tiles_) {

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/config.hpp"
@@ -83,6 +84,16 @@ class Tiler {
   /// Largest output-tile partial-sum entry count - must fit the
   /// accumulator buffer.
   [[nodiscard]] std::int64_t max_tile_psum_entries() const;
+
+  /// Deterministic partition of the tile list for tile-parallel execution:
+  /// chunk `chunk` of `chunks` covers tiles() indices [first, second).
+  /// Chunks are contiguous in tile order and balanced to within one tile,
+  /// and the partition is a pure function of (tile count, chunks) - never
+  /// of scheduling - so per-chunk measurement partials merge back in tile
+  /// order regardless of which thread ran which chunk. Chunks beyond the
+  /// tile count come back empty.
+  [[nodiscard]] std::pair<std::size_t, std::size_t> tile_chunk(
+      int chunks, int chunk) const;
 
   [[nodiscard]] const nn::DscLayerSpec& spec() const noexcept { return spec_; }
   [[nodiscard]] const EdeaConfig& config() const noexcept { return config_; }

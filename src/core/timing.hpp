@@ -31,6 +31,21 @@ struct LayerTiming {
   [[nodiscard]] double time_ns(double clock_ghz) const noexcept {
     return static_cast<double>(total_cycles) / clock_ghz;
   }
+
+  /// Field-wise merge. Every field is a sum over passes, and buffer tiles
+  /// partition the passes, so per-tile-worker partials merged in any fixed
+  /// order reproduce the serial tally exactly (integer addition).
+  LayerTiming& operator+=(const LayerTiming& other) noexcept {
+    passes += other.passes;
+    init_cycles += other.init_cycles;
+    compute_cycles += other.compute_cycles;
+    total_cycles += other.total_cycles;
+    dwc_active_cycles += other.dwc_active_cycles;
+    pwc_active_cycles += other.pwc_active_cycles;
+    return *this;
+  }
+
+  friend bool operator==(const LayerTiming&, const LayerTiming&) = default;
 };
 
 /// Ceiling division for positive operands.

@@ -14,7 +14,10 @@ SimulationService::SimulationService(Options options)
                       ? std::make_unique<util::ThreadPool>(
                             options.worker_threads)
                       : nullptr),
-      pool_(owned_pool_ ? owned_pool_.get() : &util::ThreadPool::shared()) {}
+      pool_(owned_pool_ ? owned_pool_.get() : &util::ThreadPool::shared()) {
+  EDEA_REQUIRE(options_.tile_parallelism >= 1,
+               "service tile_parallelism must be >= 1 (1 = serial tiles)");
+}
 
 SimulationService::~SimulationService() { wait_idle(); }
 
@@ -57,7 +60,8 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
           [this, job = std::move(job),
            promise = std::move(promise)]() mutable {
             try {
-              promise.set_value(core::evaluate_job(job));
+              promise.set_value(
+                  core::evaluate_job(job, options_.tile_parallelism));
             } catch (...) {
               promise.set_exception(std::current_exception());
             }
@@ -117,7 +121,8 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
         // but allocation can fail) must still resolve the waiters' futures
         // and the in-flight count - a dropped exception would hang clients.
         try {
-          complete(key, core::evaluate_job(job));
+          complete(key,
+                   core::evaluate_job(job, options_.tile_parallelism));
         } catch (...) {
           abandon(key, std::current_exception());
         }

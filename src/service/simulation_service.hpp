@@ -69,6 +69,15 @@ struct ServiceOptions {
   /// that). 0 disables memoization entirely: every submission simulates,
   /// and identical in-flight requests are not coalesced.
   std::size_t cache_capacity = 256;
+
+  /// Tile-level parallelism inside each simulated request: every layer's
+  /// buffer tiles split over at most this many workers on the shared pool
+  /// (see SweepOptions::tile_parallelism). 1 = serial tiles (default).
+  /// Zero and negative values are a PreconditionError at construction -
+  /// results are bit-identical at every width, so the knob only trades
+  /// request latency against pool pressure, and an accidental 0 from
+  /// caller arithmetic must not silently pick a policy.
+  int tile_parallelism = 1;
 };
 
 class SimulationService {

@@ -257,6 +257,46 @@ TEST(SimulationServiceTest, DedicatedPoolServesIdentically) {
   expect_bit_identical(served, reference);
 }
 
+TEST(SimulationServiceTest, TileParallelServiceIsBitIdentical) {
+  // A service running every request with tile-parallel layers must serve
+  // outcomes bit-identical to the plain (serial-tile) service and to the
+  // serial SweepRunner reference.
+  Fixture fx;
+  ServiceOptions options;
+  options.tile_parallelism = 4;
+  SimulationService svc(options);
+
+  std::vector<core::SweepJob> jobs;
+  jobs.push_back(fx.job("a", 8, 16));
+  jobs.push_back(fx.job("b", 16, 32));
+  jobs.push_back(fx.job("c", 4, 8));
+  const auto served = svc.serve(jobs);
+
+  core::SweepOptions serial;
+  serial.parallelism = 1;  // tile_parallelism defaults to 1: fully serial
+  const auto reference = core::SweepRunner(serial).run(jobs);
+  ASSERT_EQ(served.size(), reference.size());
+  for (std::size_t i = 0; i < served.size(); ++i) {
+    SCOPED_TRACE("outcome " + std::to_string(i));
+    expect_bit_identical(reference[i], served[i]);
+  }
+}
+
+TEST(SimulationServiceTest, ZeroOrNegativeTileParallelismIsAPreconditionError) {
+  // Mirrors the sweep-level negative-parallelism tests: the service must
+  // reject a zero or negative tile width at construction, loudly, instead
+  // of silently picking a policy.
+  for (const int bad : {0, -1, -64}) {
+    SCOPED_TRACE("tile_parallelism=" + std::to_string(bad));
+    ServiceOptions options;
+    options.tile_parallelism = bad;
+    EXPECT_THROW(SimulationService{options}, PreconditionError);
+  }
+  ServiceOptions ok;
+  ok.tile_parallelism = 4;
+  EXPECT_NO_THROW(SimulationService{ok});
+}
+
 TEST(SimulationServiceTest, NullNetworkIsAPreconditionError) {
   SimulationService svc;
   core::SweepJob dangling;

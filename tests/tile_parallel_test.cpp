@@ -1,0 +1,338 @@
+// tile_parallel_test - determinism and property tests of tile-level
+// parallelism inside one network run (the dual-engine simulator's hot
+// path). The contract under test: for every (network, configuration,
+// tile_parallelism) the run is *bit-identical* to the serial reference -
+// the final output tensor, the RunSummary digest, and every counter the
+// simulator keeps (timing, buffer accesses, dataflow, external traffic,
+// MAC activity, Non-Conv ops, sparsity tallies, psum envelope). Also
+// covers the nested case (sweep-level x tile-level workers sharing one
+// pool) and the deterministic tile partition itself.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/sweep_runner.hpp"
+#include "nn/model_zoo.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::core {
+namespace {
+
+nn::Int8Tensor random_input(const nn::DscLayerSpec& spec, std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Int8Tensor input(
+      nn::Shape{spec.in_rows, spec.in_cols, spec.in_channels});
+  for (auto& v : input.storage()) {
+    v = rng.bernoulli(0.4) ? std::int8_t{0}
+                           : static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  return input;
+}
+
+/// Every field of a LayerRunResult, bit for bit. A failure names the field
+/// so a determinism regression is immediately attributable.
+void expect_layer_identical(const LayerRunResult& a, const LayerRunResult& b) {
+  EXPECT_EQ(a.output.storage(), b.output.storage()) << "output tensor";
+  EXPECT_EQ(a.timing, b.timing) << "timing";
+  EXPECT_EQ(a.buffers, b.buffers) << "buffer access counters";
+  EXPECT_EQ(a.dataflow, b.dataflow) << "dataflow counters";
+  EXPECT_EQ(a.external, b.external) << "external traffic";
+  EXPECT_EQ(a.dwc_activity, b.dwc_activity) << "DWC MAC activity";
+  EXPECT_EQ(a.pwc_activity, b.pwc_activity) << "PWC MAC activity";
+  EXPECT_EQ(a.nonconv_transfer_ops, b.nonconv_transfer_ops);
+  EXPECT_EQ(a.nonconv_writeback_ops, b.nonconv_writeback_ops);
+  EXPECT_EQ(a.max_abs_psum, b.max_abs_psum);
+  // The fractions derive from identical integer tallies, so they must be
+  // exactly equal, not approximately.
+  EXPECT_EQ(a.dwc_input_zero_fraction, b.dwc_input_zero_fraction);
+  EXPECT_EQ(a.pwc_input_zero_fraction, b.pwc_input_zero_fraction);
+}
+
+void expect_network_identical(const NetworkRunResult& a,
+                              const NetworkRunResult& b, double clock_ghz) {
+  ASSERT_EQ(a.layers.size(), b.layers.size());
+  EXPECT_EQ(a.output.storage(), b.output.storage());
+  // The wire-level digest (incl. the output content hash) must match too -
+  // this is what the service protocol ships and what CI's --verify checks.
+  EXPECT_EQ(a.summary(clock_ghz), b.summary(clock_ghz));
+  for (std::size_t l = 0; l < a.layers.size(); ++l) {
+    SCOPED_TRACE("layer " + std::to_string(l));
+    expect_layer_identical(a.layers[l], b.layers[l]);
+  }
+}
+
+NetworkRunResult run_with(const std::vector<nn::QuantDscLayer>& layers,
+                          const nn::Int8Tensor& input,
+                          const EdeaConfig& config, int tile_parallelism) {
+  EdeaAccelerator accel(config);
+  accel.set_tile_parallelism(tile_parallelism);
+  return accel.run_network(layers, input);
+}
+
+constexpr int kParallelisms[] = {2, 4, 8};
+
+// --- the headline property: every zoo network, parallelism 1/2/4/8 --------
+
+TEST(TileParallelTest, EveryZooNetworkBitIdenticalAcrossParallelism) {
+  for (const std::string& name : nn::zoo_network_names()) {
+    SCOPED_TRACE("network " + name);
+    EdeaConfig config;  // paper defaults
+    if (name == "mobilenet-imagenet") {
+      // The paper accumulator cannot hold K=512 kernels under 8x8 output
+      // tiles; 4x4 tiles keep the ImageNet geometry servable (and exercise
+      // a much larger tile count, which is the point here).
+      config.max_tile_out = 4;
+    }
+    const auto specs = nn::zoo_specs(name);
+    const auto layers = nn::make_random_quant_network(specs, 2024);
+    const nn::Int8Tensor input = random_input(specs.front(), 4242);
+
+    const NetworkRunResult serial = run_with(layers, input, config, 1);
+    for (const int p : kParallelisms) {
+      SCOPED_TRACE("tile_parallelism " + std::to_string(p));
+      expect_network_identical(serial, run_with(layers, input, config, p),
+                               config.clock_ghz);
+    }
+  }
+}
+
+// --- configuration sweep on a compact network -----------------------------
+
+/// A 2-layer network whose geometry produces ragged tiles, ragged channel
+/// slices, and a stride-2 layer - the shapes that would expose a wrong
+/// partition or merge.
+std::vector<nn::DscLayerSpec> ragged_specs() {
+  nn::DscLayerSpec a;
+  a.index = 0;
+  a.in_rows = 20;  // 20 = 2*8 + 4: ragged edge tiles in both axes
+  a.in_cols = 20;
+  a.in_channels = 12;  // ragged Td slice (12 = 8 + 4)
+  a.out_channels = 24;  // ragged Tk group (24 = 16 + 8)
+  nn::DscLayerSpec b;
+  b.index = 1;
+  b.in_rows = 20;
+  b.in_cols = 20;
+  b.in_channels = 24;
+  b.stride = 2;
+  b.out_channels = 32;
+  return {a, b};
+}
+
+TEST(TileParallelTest, ConfigSweepBitIdenticalAcrossParallelism) {
+  const auto specs = ragged_specs();
+  const auto layers = nn::make_random_quant_network(specs, 99);
+  const nn::Int8Tensor input = random_input(specs.front(), 100);
+
+  std::vector<EdeaConfig> variants;
+  variants.push_back(EdeaConfig::paper());
+  {
+    EdeaConfig c;  // wider engines
+    c.td = 16;
+    c.tk = 32;
+    variants.push_back(c);
+  }
+  {
+    EdeaConfig c;  // smaller buffer tiles -> more tiles than workers
+    c.max_tile_out = 4;
+    variants.push_back(c);
+  }
+  {
+    EdeaConfig c;  // narrow engines -> many slices and groups per tile
+    c.td = 4;
+    c.tk = 4;
+    c.max_tile_out = 2;
+    variants.push_back(c);
+  }
+
+  for (const EdeaConfig& config : variants) {
+    SCOPED_TRACE(config.to_string());
+    const NetworkRunResult serial = run_with(layers, input, config, 1);
+    for (const int p : kParallelisms) {
+      SCOPED_TRACE("tile_parallelism " + std::to_string(p));
+      expect_network_identical(serial, run_with(layers, input, config, p),
+                               config.clock_ghz);
+    }
+  }
+}
+
+TEST(TileParallelTest, SingleTileLayerAndMoreWorkersThanTiles) {
+  // An 8x8 layer is exactly one buffer tile: every parallelism collapses
+  // to the serial path and must still be bit-identical.
+  nn::DscLayerSpec spec;
+  spec.index = 0;
+  spec.in_rows = 8;
+  spec.in_cols = 8;
+  spec.in_channels = 16;
+  spec.out_channels = 16;
+  const auto layers =
+      nn::make_random_quant_network(std::vector<nn::DscLayerSpec>{spec}, 7);
+  const nn::Int8Tensor input = random_input(spec, 8);
+
+  const EdeaConfig config;
+  const NetworkRunResult serial = run_with(layers, input, config, 1);
+  for (const int p : {2, 8, 64}) {
+    SCOPED_TRACE("tile_parallelism " + std::to_string(p));
+    expect_network_identical(serial, run_with(layers, input, config, p),
+                             config.clock_ghz);
+  }
+}
+
+TEST(TileParallelTest, RepeatedParallelRunsAreStable) {
+  // Scheduling may differ run to run; results must not.
+  const auto specs = ragged_specs();
+  const auto layers = nn::make_random_quant_network(specs, 13);
+  const nn::Int8Tensor input = random_input(specs.front(), 14);
+  const EdeaConfig config;
+
+  const NetworkRunResult first = run_with(layers, input, config, 4);
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    expect_network_identical(first, run_with(layers, input, config, 4),
+                             config.clock_ghz);
+  }
+}
+
+TEST(TileParallelTest, AcceleratorReuseAcrossParallelismChanges) {
+  // One accelerator instance, reconfigured between runs: worker state must
+  // never leak across layers or parallelism settings.
+  const auto specs = ragged_specs();
+  const auto layers = nn::make_random_quant_network(specs, 21);
+  const nn::Int8Tensor input = random_input(specs.front(), 22);
+
+  EdeaAccelerator accel;
+  accel.set_tile_parallelism(1);
+  const NetworkRunResult serial = accel.run_network(layers, input);
+  for (const int p : {8, 2, 4, 1}) {
+    SCOPED_TRACE("tile_parallelism " + std::to_string(p));
+    accel.set_tile_parallelism(p);
+    expect_network_identical(serial, accel.run_network(layers, input),
+                             accel.config().clock_ghz);
+  }
+}
+
+// --- nested: sweep-level x tile-level workers on one shared pool ----------
+
+TEST(TileParallelTest, NestedSweepAndTileParallelismMatchesSerial) {
+  const auto specs = ragged_specs();
+  const auto layers = nn::make_random_quant_network(specs, 31);
+  const nn::Int8Tensor input = random_input(specs.front(), 32);
+
+  std::vector<SweepJob> jobs;
+  const int tds[] = {8, 16, 8, 4};
+  const int tks[] = {16, 32, 8, 16};
+  for (int i = 0; i < 4; ++i) {
+    SweepJob job;
+    job.name = "job" + std::to_string(i);
+    job.config.td = tds[i];
+    job.config.tk = tks[i];
+    job.layers = &layers;
+    job.input = &input;
+    jobs.push_back(std::move(job));
+  }
+
+  SweepOptions serial_options;
+  serial_options.parallelism = 1;
+  const auto serial = SweepRunner(serial_options).run(jobs);
+  ASSERT_EQ(serial.size(), jobs.size());
+  for (const SweepOutcome& o : serial) {
+    ASSERT_TRUE(o.ok) << o.name << ": " << o.error;
+  }
+
+  struct Nested {
+    int parallelism;
+    int tile_parallelism;
+  };
+  for (const Nested n : {Nested{0, 4}, Nested{2, 2}, Nested{3, 8}}) {
+    SCOPED_TRACE("sweep parallelism " + std::to_string(n.parallelism) +
+                 " x tile parallelism " + std::to_string(n.tile_parallelism));
+    SweepOptions options;
+    options.parallelism = n.parallelism;
+    options.tile_parallelism = n.tile_parallelism;
+    const auto nested = SweepRunner(options).run(jobs);
+    ASSERT_EQ(nested.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+      SCOPED_TRACE("outcome " + std::to_string(i));
+      EXPECT_EQ(nested[i].name, serial[i].name);
+      EXPECT_EQ(nested[i].ok, serial[i].ok);
+      EXPECT_EQ(nested[i].error, serial[i].error);
+      expect_network_identical(serial[i].result, nested[i].result,
+                               serial[i].config.clock_ghz);
+    }
+  }
+}
+
+// --- the deterministic tile partition itself ------------------------------
+
+TEST(TileParallelTest, TileChunkPartitionCoversBalancedAndContiguous) {
+  nn::DscLayerSpec spec;
+  spec.in_rows = 20;  // 3x3 = 9 buffer tiles under the paper config
+  spec.in_cols = 20;
+  spec.in_channels = 8;
+  spec.out_channels = 8;
+  const Tiler tiler(EdeaConfig::paper(), spec);
+  const std::size_t n = tiler.tiles().size();
+  ASSERT_EQ(n, 9u);
+
+  for (const int chunks : {1, 2, 3, 4, 8, 9, 16}) {
+    SCOPED_TRACE("chunks " + std::to_string(chunks));
+    std::size_t expect_begin = 0;
+    std::size_t largest = 0;
+    std::size_t smallest = n;
+    for (int w = 0; w < chunks; ++w) {
+      const auto [first, last] = tiler.tile_chunk(chunks, w);
+      EXPECT_EQ(first, expect_begin);  // contiguous, in tile order
+      EXPECT_LE(first, last);
+      expect_begin = last;
+      const std::size_t size = last - first;
+      largest = std::max(largest, size);
+      smallest = std::min(smallest, size);
+    }
+    EXPECT_EQ(expect_begin, n);  // full cover, no overlap
+    if (chunks <= static_cast<int>(n)) {
+      EXPECT_LE(largest - smallest, 1u);  // balanced to within one tile
+    }
+  }
+
+  EXPECT_THROW((void)tiler.tile_chunk(0, 0), PreconditionError);
+  EXPECT_THROW((void)tiler.tile_chunk(-2, 0), PreconditionError);
+  EXPECT_THROW((void)tiler.tile_chunk(4, 4), PreconditionError);
+  EXPECT_THROW((void)tiler.tile_chunk(4, -1), PreconditionError);
+}
+
+// --- knob validation: zero/negative widths fail loudly --------------------
+
+TEST(TileParallelTest, ZeroOrNegativeTileParallelismIsAPreconditionError) {
+  // Mirrors the negative-parallelism tests: a zero or negative width is
+  // caller arithmetic gone wrong, and unlike sweep parallelism there is no
+  // 0 = auto policy at tile level, so 0 must fail too.
+  for (const int bad : {0, -1, -7, -1000000}) {
+    SCOPED_TRACE("tile_parallelism=" + std::to_string(bad));
+    SweepOptions options;
+    options.tile_parallelism = bad;
+    EXPECT_THROW(options.validate(), PreconditionError);
+    EXPECT_THROW(SweepRunner{options}, PreconditionError);
+
+    EdeaAccelerator accel;
+    EXPECT_THROW(accel.set_tile_parallelism(bad), PreconditionError);
+
+    SweepJob job;
+    job.name = "j";
+    const auto layers = nn::make_random_quant_network(
+        std::vector<nn::DscLayerSpec>{ragged_specs().front()}, 3);
+    const nn::Int8Tensor input = random_input(ragged_specs().front(), 4);
+    job.layers = &layers;
+    job.input = &input;
+    EXPECT_THROW((void)evaluate_job(job, bad), PreconditionError);
+  }
+  SweepOptions ok;
+  ok.tile_parallelism = 1;
+  EXPECT_NO_THROW(ok.validate());
+  ok.tile_parallelism = 8;
+  EXPECT_NO_THROW(ok.validate());
+}
+
+}  // namespace
+}  // namespace edea::core
