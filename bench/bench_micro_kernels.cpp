@@ -4,12 +4,19 @@
 // not modeled hardware performance - useful when extending the library.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "core/accelerator.hpp"
 #include "core/dwc_engine.hpp"
 #include "core/pwc_engine.hpp"
+#include "core/sweep_runner.hpp"
 #include "nn/layers.hpp"
+#include "nn/model_zoo.hpp"
 #include "nn/ops.hpp"
 #include "nn/quant.hpp"
+#include "service/simulation_service.hpp"
 #include "util/random.hpp"
 
 namespace {
@@ -180,6 +187,103 @@ void BM_AcceleratorLayer(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * spec.total_macs());
 }
 BENCHMARK(BM_AcceleratorLayer);
+
+// --- simulation service: cache-hit vs cache-miss request latency ----------
+//
+// The service exists because DSE refinement revisits design points; these
+// measure what a revisit saves. One small two-layer DSC network:
+//   - miss: cache_capacity 0 forces every submission down the full
+//     simulate-on-the-pool path (what a cold point costs),
+//   - hit: the same key resubmitted against a warm cache (a hash lookup
+//     plus one outcome deep-copy),
+//   - persisted hit: the key served from a cache file loaded by a
+//     restarted service (summary-only - no result tensors to copy).
+// Numbers are recorded in docs/BENCHMARKS.md.
+
+/// The tiny workload shared by the service benches (static: one
+/// materialization per process, like the memoized MobileNet run).
+struct ServiceBenchWorkload {
+  std::vector<nn::QuantDscLayer> layers;
+  nn::Int8Tensor input;
+
+  ServiceBenchWorkload() : input(nn::Shape{8, 8, 16}) {
+    nn::DscLayerSpec a;
+    a.index = 0;
+    a.in_rows = 8;
+    a.in_cols = 8;
+    a.in_channels = 16;
+    a.out_channels = 32;
+    nn::DscLayerSpec b = a;
+    b.index = 1;
+    b.in_channels = 32;
+    b.stride = 2;
+    layers = nn::make_random_quant_network({a, b}, 77);
+    Rng rng(78);
+    for (auto& v : input.storage()) {
+      v = static_cast<std::int8_t>(rng.uniform_int(-64, 64));
+    }
+  }
+
+  [[nodiscard]] core::SweepJob job() const {
+    core::SweepJob j;
+    j.name = "bench";
+    j.layers = &layers;
+    j.input = &input;
+    return j;
+  }
+
+  static const ServiceBenchWorkload& instance() {
+    static ServiceBenchWorkload workload;
+    return workload;
+  }
+};
+
+void BM_ServiceCacheMiss(benchmark::State& state) {
+  const ServiceBenchWorkload& workload = ServiceBenchWorkload::instance();
+  service::ServiceOptions options;
+  options.cache_capacity = 0;  // memoization off: every submission simulates
+  service::SimulationService svc(options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.submit(workload.job()).get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceCacheMiss)->UseRealTime();
+
+void BM_ServiceCacheHit(benchmark::State& state) {
+  const ServiceBenchWorkload& workload = ServiceBenchWorkload::instance();
+  service::SimulationService svc;
+  if (!svc.submit(workload.job()).get().ok) {
+    state.SkipWithError("priming simulation failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.submit(workload.job()).get());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceCacheHit)->UseRealTime();
+
+void BM_ServiceCachePersistedHit(benchmark::State& state) {
+  const ServiceBenchWorkload& workload = ServiceBenchWorkload::instance();
+  const std::string path = "/tmp/edea_bench_cache.bin";
+  {
+    service::SimulationService primer;
+    if (!primer.submit(workload.job()).get().ok) {
+      state.SkipWithError("priming simulation failed");
+      return;
+    }
+    (void)primer.save_cache(path);
+  }
+  service::SimulationService svc;  // a "restarted" service
+  (void)svc.load_cache(path);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(svc.submit(workload.job()).get());
+  }
+  state.SetItemsProcessed(state.iterations());
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_ServiceCachePersistedHit)->UseRealTime();
 
 }  // namespace
 

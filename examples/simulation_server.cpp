@@ -1,75 +1,142 @@
-// simulation_server - the simulation service driven end to end over the
-// line protocol, with no network stack: requests come from stdin, one per
-// line, responses go to stdout in request order. The whole stream is read
-// to EOF first and served as one concurrent batch (this is a scripted
-// batch driver, not an interactive shell), so `stats` lines report the
-// post-batch counters.
+// simulation_server - the simulation service composed from its three
+// layers (see docs/ARCHITECTURE.md "Service layering"):
 //
-//   ./example_simulation_server [--verify] [--workers N] [--cache N]
-//       [--tile-parallelism N] < requests.txt
+//   transport  StdioTransport (default) or SocketTransport (--listen):
+//              where request lines come from and response lines go to
+//   session    Session + WorkloadCatalog: framing, request ids, ordered
+//              write-back, error replies - one session per connection
+//   dispatch   SimulationService: concurrent simulation, memoizing LRU
+//              cache, optional persistence (--cache-file) so repeated
+//              design points survive restarts
 //
-// Requests (see service/protocol.hpp):
-//   run <network> [seed=N] [td=N] [tk=N] [...]
-//   stats
+// Stdio mode serves one session over stdin/stdout; --listen PORT serves
+// concurrent TCP sessions on 127.0.0.1:PORT (one thread per connection,
+// all sharing one service and one catalog). Responses over TCP are
+// bit-identical to the stdio driver for the same request stream - the CI
+// loopback leg and examples/simulation_client.cpp enforce exactly that.
 //
-// All `run` requests are submitted to the SimulationService concurrently
-// (batch submission), so a multi-core host simulates distinct requests in
-// parallel while duplicates coalesce into cache hits.
-//
-// --tile-parallelism N additionally splits each layer's buffer tiles over
-// N shared-pool workers inside every simulated request (results are
-// bit-identical by contract; the CI gate runs --verify with N > 1 to
-// enforce exactly that end to end).
-//
-// --verify recomputes every request with a strictly serial
-// core::SweepRunner (sweep and tile level both serial) and exits nonzero
-// unless (a) every service outcome is bit-identical to its serial
-// reference and (b) the cache counters equal the duplicate structure of
-// the request stream. This is the CI gate.
+// Run `simulation_server --help` for every flag; see
+// service/server_cli.hpp for the parsed grammar.
+#include <csignal>
 #include <cstdint>
 #include <iostream>
-#include <limits>
 #include <map>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/sweep_runner.hpp"
-#include "nn/model_zoo.hpp"
 #include "service/protocol.hpp"
+#include "service/server_cli.hpp"
+#include "service/session.hpp"
 #include "service/simulation_service.hpp"
-#include "util/random.hpp"
+#include "service/transport.hpp"
 
 namespace {
 
 using edea::core::SweepJob;
 using edea::core::SweepOutcome;
 
-/// A materialized workload: the quantized network and input behind one
-/// (zoo name, seed) pair. Stored in a std::map so addresses stay stable
-/// while jobs reference them.
-struct Workload {
-  std::vector<edea::nn::QuantDscLayer> layers;
-  edea::nn::Int8Tensor input;
-};
-
-edea::nn::Int8Tensor random_input(const edea::nn::DscLayerSpec& spec,
-                                  std::uint64_t seed) {
-  edea::Rng rng(seed ^ 0xA5A5A5A5A5A5A5A5ull);
-  edea::nn::Int8Tensor input(
-      edea::nn::Shape{spec.in_rows, spec.in_cols, spec.in_channels});
-  for (auto& v : input.storage()) {
-    v = rng.bernoulli(0.4) ? std::int8_t{0}
-                           : static_cast<std::int8_t>(rng.uniform_int(0, 127));
+bool outcome_identical(const SweepOutcome& served, const SweepOutcome& serial) {
+  if (served.ok != serial.ok || served.error != serial.error) return false;
+  if (!served.ok) return true;
+  if (served.summary_only) {
+    // Persisted-cache hits carry no per-layer result; the summary is the
+    // protocol-visible contract and must match the serial run exactly.
+    return served.summary == serial.summary;
   }
-  return input;
+  return served.result.total_cycles() == serial.result.total_cycles() &&
+         served.result.output.storage() == serial.result.output.storage() &&
+         served.summary == serial.summary;
 }
 
-bool outcome_identical(const SweepOutcome& a, const SweepOutcome& b) {
-  if (a.ok != b.ok || a.error != b.error) return false;
-  if (!a.ok) return true;
-  return a.result.total_cycles() == b.result.total_cycles() &&
-         a.result.output.storage() == b.result.output.storage();
+/// The --verify gate: serial bit-identity plus exact cache accounting.
+/// Returns true when everything checks out.
+bool verify_session(const edea::service::SessionStats& stats,
+                    const edea::service::CacheStats& cache,
+                    std::size_t cache_capacity, bool cache_preloaded) {
+  bool all_ok = true;
+
+  // Every scripted request must have resolved to a real simulation - if a
+  // zoo network is renamed (or the script has a typo), serving 0 requests
+  // must fail the gate, not silently pass it.
+  if (stats.jobs.size() != stats.runs || stats.jobs.empty()) {
+    std::cerr << "VERIFY FAIL: only " << stats.jobs.size() << " of "
+              << stats.runs << " run requests resolved to servable networks\n";
+    all_ok = false;
+  }
+
+  const std::vector<SweepOutcome> serial =
+      edea::core::SweepRunner(edea::core::SweepRunner::Options{1})
+          .run(stats.jobs);
+  for (std::size_t i = 0; i < stats.jobs.size(); ++i) {
+    if (!outcome_identical(stats.outcomes[i], serial[i])) {
+      std::cerr << "VERIFY FAIL: request " << i << " ("
+                << stats.outcomes[i].name
+                << ") differs from the serial SweepRunner reference\n";
+      all_ok = false;
+    }
+  }
+
+  // Structural cache accounting: within one session, the first occurrence
+  // of each (workload, config) key either simulates (a miss) or lands in
+  // the preloaded persisted cache (a hit); every repeat is a hit. This
+  // prediction only holds when nothing gets evicted, i.e. the capacity
+  // covers every distinct key; with a smaller --cache, eviction timing
+  // decides which repeats re-simulate, so only bit-identity is checked.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, int> seen;
+  std::uint64_t expect_misses = 0;
+  for (std::size_t i = 0; i < stats.jobs.size(); ++i) {
+    const SweepJob& job = stats.jobs[i];
+    const auto key = std::make_pair(
+        edea::core::network_fingerprint(*job.layers, *job.input),
+        job.config.hash());
+    if (seen[key]++ == 0 && !stats.outcomes[i].summary_only) ++expect_misses;
+  }
+  if (cache_capacity >= seen.size()) {
+    const std::uint64_t expect_hits = stats.jobs.size() - expect_misses;
+    if (cache.misses != expect_misses || cache.hits != expect_hits) {
+      std::cerr << "VERIFY FAIL: cache stats hits=" << cache.hits
+                << " misses=" << cache.misses << ", expected hits="
+                << expect_hits << " misses=" << expect_misses << "\n";
+      all_ok = false;
+    }
+    std::uint64_t flagged_hits = 0;
+    for (const SweepOutcome& o : stats.outcomes) {
+      flagged_hits += o.cache_hit ? 1 : 0;
+    }
+    if (flagged_hits != expect_hits) {
+      std::cerr << "VERIFY FAIL: " << flagged_hits
+                << " outcomes flagged cache=hit, expected " << expect_hits
+                << "\n";
+      all_ok = false;
+    }
+    // A cold service can never serve anything from the persisted store -
+    // a summary-only outcome without a preloaded cache file is a bug.
+    if (!cache_preloaded) {
+      for (const SweepOutcome& o : stats.outcomes) {
+        if (o.summary_only) {
+          std::cerr << "VERIFY FAIL: " << o.name
+                    << " served summary-only from a cold service\n";
+          all_ok = false;
+        }
+      }
+    }
+  }
+
+  std::cerr << (all_ok ? "verify OK: all outcomes bit-identical to serial, "
+                         "cache accounting exact\n"
+                       : "verify FAILED\n");
+  return all_ok;
+}
+
+/// SIGINT/SIGTERM stop accepting so serve() returns and the cache is
+/// flushed - ::shutdown(2) is async-signal-safe, so this is the whole
+/// handler. Set only while socket mode is serving.
+edea::service::SocketTransport* g_transport = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  if (g_transport != nullptr) g_transport->shutdown();
 }
 
 }  // namespace
@@ -77,194 +144,87 @@ bool outcome_identical(const SweepOutcome& a, const SweepOutcome& b) {
 int main(int argc, char** argv) {
   using namespace edea;
 
-  bool verify = false;
-  bool usage_error = false;
-  service::ServiceOptions options;
-  const auto parse_count = [&](const char* text, std::size_t* out) {
-    const std::string s = text;
-    try {
-      std::size_t consumed = 0;
-      const unsigned long value = std::stoul(s, &consumed);
-      // stoul silently wraps negatives ("-2" -> huge); reject them.
-      if (consumed != s.size() || s.empty() || s.front() == '-') return false;
-      *out = value;
-      return true;
-    } catch (const std::exception&) {
-      return false;
-    }
-  };
-  for (int i = 1; i < argc && !usage_error; ++i) {
-    const std::string arg = argv[i];
-    std::size_t count = 0;
-    if (arg == "--verify") {
-      verify = true;
-    } else if (arg == "--workers" && i + 1 < argc &&
-               parse_count(argv[i + 1], &count)) {
-      options.worker_threads = static_cast<unsigned>(count);
-      ++i;
-    } else if (arg == "--cache" && i + 1 < argc &&
-               parse_count(argv[i + 1], &count)) {
-      options.cache_capacity = count;
-      ++i;
-    } else if (arg == "--tile-parallelism" && i + 1 < argc &&
-               parse_count(argv[i + 1], &count) && count >= 1 &&
-               count <= static_cast<std::size_t>(
-                            std::numeric_limits<int>::max())) {
-      options.tile_parallelism = static_cast<int>(count);
-      ++i;
-    } else {
-      usage_error = true;
-    }
-  }
-  if (usage_error) {
-    std::cerr << "usage: simulation_server [--verify] [--workers N] "
-                 "[--cache N] [--tile-parallelism N] < requests\n";
+  const service::ServerConfig config =
+      service::parse_server_args(argc - 1, argv + 1);
+  if (!config.error.empty()) {
+    std::cerr << "simulation_server: " << config.error << "\n\n"
+              << service::server_usage();
     return 2;
   }
+  if (config.help) {
+    std::cout << service::server_usage();
+    return 0;
+  }
 
-  // --- phase 1: read and parse the whole request stream ---------------------
-  struct PendingRun {
-    service::Request request;
-    std::size_t response_slot;  ///< index into `responses`
-  };
-  std::vector<std::string> responses;  // one per input line that answers
-  std::vector<PendingRun> runs;
-  std::vector<std::size_t> stats_slots;  // response slots of `stats` lines
-  bool protocol_clean = true;
+  service::SimulationService svc(config.service);
+  if (!config.cache_file.empty()) {
+    try {
+      const std::size_t loaded = svc.load_cache(config.cache_file);
+      std::cerr << "cache: loaded " << loaded << " persisted entries from "
+                << config.cache_file << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "simulation_server: refusing corrupt cache file: "
+                << e.what() << "\n";
+      return 2;
+    }
+  }
+  const bool cache_preloaded =
+      !config.cache_file.empty() && svc.cache_stats().entries > 0;
 
-  std::string line;
-  while (std::getline(std::cin, line)) {
-    const service::ParsedLine parsed = service::parse_request_line(line);
-    switch (parsed.kind) {
-      case service::ParsedLine::Kind::kEmpty:
-        break;
-      case service::ParsedLine::Kind::kStats:
-        responses.emplace_back();  // filled with post-batch counters
-        stats_slots.push_back(responses.size() - 1);
-        break;
-      case service::ParsedLine::Kind::kError:
-        responses.push_back("protocol-error " + parsed.error);
-        protocol_clean = false;
-        break;
-      case service::ParsedLine::Kind::kRun:
-        responses.emplace_back();  // filled once the outcome is known
-        runs.push_back(PendingRun{parsed.request, responses.size() - 1});
-        break;
+  service::WorkloadCatalog catalog;
+  int exit_code = 0;
+
+  if (config.listen) {
+    // --- socket mode: concurrent sessions over loopback TCP --------------
+    service::SocketTransportOptions transport_options;
+    transport_options.port = config.port;
+    transport_options.max_sessions = config.max_sessions;
+    service::SocketTransport transport(transport_options);
+    std::cerr << "listening on 127.0.0.1:" << transport.port()
+              << (config.max_sessions != 0
+                      ? " for " + std::to_string(config.max_sessions) +
+                            " session(s)\n"
+                      : "\n");
+    g_transport = &transport;
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+    transport.serve([&](service::Stream& stream) {
+      service::Session(svc, catalog).serve(stream);
+    });
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    g_transport = nullptr;
+  } else {
+    // --- stdio mode: one session over stdin/stdout ------------------------
+    service::SessionOptions session_options;
+    session_options.record_traffic = config.verify;
+    service::StdioStream stream(std::cin, std::cout);
+    service::Session session(svc, catalog, session_options);
+    const service::SessionStats stats = session.serve(stream);
+
+    const service::CacheStats cache = svc.cache_stats();
+    std::cerr << "served " << stats.jobs.size() << " requests (" << cache.hits
+              << " cache hits, " << cache.misses << " misses, "
+              << cache.evictions << " evictions)\n";
+
+    if (stats.protocol_errors != 0) exit_code = 1;
+    if (config.verify &&
+        !verify_session(stats, cache, config.service.cache_capacity,
+                        cache_preloaded)) {
+      exit_code = 1;
     }
   }
 
-  // --- phase 2: materialize workloads (shared across duplicate requests) ---
-  std::map<std::pair<std::string, std::uint64_t>, Workload> workloads;
-  std::vector<SweepJob> jobs;           // resolved requests, stream order
-  std::vector<std::size_t> job_slots;   // response slot of jobs[i]
-  for (const PendingRun& run : runs) {
-    const auto key = std::make_pair(run.request.network, run.request.seed);
-    auto it = workloads.find(key);
-    if (it == workloads.end()) {
-      std::vector<nn::DscLayerSpec> specs;
-      try {
-        specs = nn::zoo_specs(run.request.network);
-      } catch (const std::exception& e) {
-        SweepOutcome unresolved;  // same line shape as served error outcomes
-        unresolved.name = run.request.job_name();
-        unresolved.config = run.request.config;
-        unresolved.error = e.what();
-        responses[run.response_slot] = service::format_outcome_line(unresolved);
-        continue;
-      }
-      Workload w;
-      w.layers = nn::make_random_quant_network(specs, run.request.seed);
-      w.input = random_input(specs.front(), run.request.seed);
-      it = workloads.emplace(key, std::move(w)).first;
-    }
-    SweepJob job;
-    job.name = run.request.job_name();
-    job.config = run.request.config;
-    job.layers = &it->second.layers;
-    job.input = &it->second.input;
-    job_slots.push_back(run.response_slot);
-    jobs.push_back(std::move(job));
-  }
-
-  // --- phase 3: serve the whole batch concurrently --------------------------
-  service::SimulationService svc(options);
-  const std::vector<SweepOutcome> outcomes = svc.serve(jobs);
-  for (std::size_t i = 0; i < outcomes.size(); ++i) {
-    responses[job_slots[i]] = service::format_outcome_line(outcomes[i]);
-  }
-  const service::CacheStats stats = svc.cache_stats();
-  for (const std::size_t slot : stats_slots) {
-    responses[slot] = service::format_stats_line(stats);
-  }
-
-  for (const std::string& response : responses) std::cout << response << "\n";
-
-  std::cerr << "served " << jobs.size() << " requests (" << stats.hits
-            << " cache hits, " << stats.misses << " misses, "
-            << stats.evictions << " evictions)\n";
-
-  if (!verify) return protocol_clean ? 0 : 1;
-
-  // --- phase 4 (--verify): serial reference + exact cache accounting -------
-  bool all_ok = protocol_clean;
-
-  // Every scripted request must have resolved to a real simulation - if a
-  // zoo network is renamed (or the script has a typo), serving 0 requests
-  // must fail the gate, not silently pass it.
-  if (jobs.size() != runs.size() || jobs.empty()) {
-    std::cerr << "VERIFY FAIL: only " << jobs.size() << " of " << runs.size()
-              << " run requests resolved to servable networks\n";
-    all_ok = false;
-  }
-
-  const std::vector<SweepOutcome> serial =
-      core::SweepRunner(core::SweepRunner::Options{1}).run(jobs);
-  for (std::size_t i = 0; i < jobs.size(); ++i) {
-    if (!outcome_identical(outcomes[i], serial[i])) {
-      std::cerr << "VERIFY FAIL: request " << i << " (" << outcomes[i].name
-                << ") differs from the serial SweepRunner reference\n";
-      all_ok = false;
-    }
-  }
-
-  // Expected counters: first occurrence of each (workload, config) key is
-  // a miss, every repeat is a hit - independent of scheduling because the
-  // service coalesces in-flight duplicates. This prediction only holds
-  // when nothing gets evicted, i.e. the capacity covers every distinct
-  // key; with a smaller --cache, eviction timing decides which repeats
-  // re-simulate, so only bit-identity is checked.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, int> seen;
-  std::uint64_t expect_misses = 0;
-  for (const SweepJob& job : jobs) {
-    const auto key =
-        std::make_pair(core::network_fingerprint(*job.layers, *job.input),
-                       job.config.hash());
-    if (seen[key]++ == 0) ++expect_misses;
-  }
-  if (options.cache_capacity >= seen.size()) {
-    const std::uint64_t expect_hits = jobs.size() - expect_misses;
-    if (stats.misses != expect_misses || stats.hits != expect_hits) {
-      std::cerr << "VERIFY FAIL: cache stats hits=" << stats.hits
-                << " misses=" << stats.misses << ", expected hits="
-                << expect_hits << " misses=" << expect_misses << "\n";
-      all_ok = false;
-    }
-
-    // Cached repeats must also be bit-identical to their first occurrence
-    // (outcome_identical against serial already proves this transitively,
-    // but assert the hit flags landed on the repeats).
-    std::uint64_t flagged_hits = 0;
-    for (const SweepOutcome& o : outcomes) flagged_hits += o.cache_hit ? 1 : 0;
-    if (flagged_hits != expect_hits) {
-      std::cerr << "VERIFY FAIL: " << flagged_hits
-                << " outcomes flagged cache=hit, expected " << expect_hits
+  if (!config.cache_file.empty()) {
+    try {
+      const std::size_t saved = svc.save_cache(config.cache_file);
+      std::cerr << "cache: saved " << saved << " entries to "
+                << config.cache_file << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "simulation_server: failed to save cache: " << e.what()
                 << "\n";
-      all_ok = false;
+      return 1;
     }
   }
-
-  std::cerr << (all_ok ? "verify OK: all outcomes bit-identical to serial, "
-                         "cache accounting exact\n"
-                       : "verify FAILED\n");
-  return all_ok ? 0 : 1;
+  return exit_code;
 }

@@ -11,6 +11,7 @@
 #include <sstream>
 #include <string>
 
+#include "util/binary.hpp"
 #include "util/check.hpp"
 #include "util/hash.hpp"
 
@@ -123,6 +124,32 @@ struct EdeaConfig {
   /// simulation service relies on this as the exact (collision-free) part
   /// of its cache key.
   friend bool operator==(const EdeaConfig&, const EdeaConfig&) = default;
+
+  /// Binary encoding used by the simulation service's persisted result
+  /// cache: every parameter, field by field, in declaration order (the
+  /// same fields operator== and hash() consume).
+  void encode(util::ByteWriter& w) const {
+    w.pod(tn);
+    w.pod(tm);
+    w.pod(td);
+    w.pod(tk);
+    w.pod(kernel);
+    w.pod(init_cycles);
+    w.pod(max_tile_out);
+    w.pod(clock_ghz);
+  }
+  [[nodiscard]] static EdeaConfig decode(util::ByteReader& r) {
+    EdeaConfig c;
+    c.tn = r.pod<int>();
+    c.tm = r.pod<int>();
+    c.td = r.pod<int>();
+    c.tk = r.pod<int>();
+    c.kernel = r.pod<int>();
+    c.init_cycles = r.pod<int>();
+    c.max_tile_out = r.pod<int>();
+    c.clock_ghz = r.pod<double>();
+    return c;
+  }
 
   /// Deterministic content hash over every parameter, consistent with
   /// operator== (required by hash-map users of the pair). Fields are fed

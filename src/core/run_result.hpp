@@ -12,6 +12,7 @@
 #include "core/timing.hpp"
 #include "nn/layers.hpp"
 #include "nn/tensor.hpp"
+#include "util/binary.hpp"
 #include "util/hash.hpp"
 
 namespace edea::core {
@@ -190,6 +191,27 @@ struct RunSummary {
   std::uint64_t output_hash = 0;  ///< FNV-1a over the final int8 output
 
   friend bool operator==(const RunSummary&, const RunSummary&) = default;
+
+  /// Binary encoding used by the simulation service's persisted result
+  /// cache. Fields are written individually (never the whole struct) so
+  /// padding can't leak into the file, and `layer_count` is pinned to 64
+  /// bits so the layout doesn't depend on the host's size_t.
+  void encode(util::ByteWriter& w) const {
+    w.pod(static_cast<std::uint64_t>(layer_count));
+    w.pod(total_cycles);
+    w.pod(total_ops);
+    w.pod(average_gops);
+    w.pod(output_hash);
+  }
+  [[nodiscard]] static RunSummary decode(util::ByteReader& r) {
+    RunSummary s;
+    s.layer_count = static_cast<std::size_t>(r.pod<std::uint64_t>());
+    s.total_cycles = r.pod<std::int64_t>();
+    s.total_ops = r.pod<std::int64_t>();
+    s.average_gops = r.pod<double>();
+    s.output_hash = r.pod<std::uint64_t>();
+    return s;
+  }
 };
 
 /// Aggregate over a whole network run.

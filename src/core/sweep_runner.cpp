@@ -21,6 +21,7 @@ SweepOutcome evaluate_job(const SweepJob& job, int tile_parallelism) {
     EdeaAccelerator accel(job.config);
     accel.set_tile_parallelism(tile_parallelism);
     out.result = accel.run_network(*job.layers, *job.input);
+    out.summary = out.result.summary(job.config.clock_ghz);
     out.ok = true;
   } catch (const std::exception& e) {
     out.error = e.what();

@@ -47,6 +47,14 @@ struct SweepOutcome {
   /// simulated. Always false from SweepRunner itself; the simulation
   /// service (src/service) sets it on cache hits.
   bool cache_hit = false;
+  /// Headline digest of `result`, captured when the outcome was produced
+  /// (ok outcomes only - it stays default for failures). This is what the
+  /// service protocol reports and what the persisted result cache stores.
+  RunSummary summary;
+  /// True when this outcome was served from the *persisted* summary cache
+  /// of a restarted service: `summary` (and ok/error) are authoritative
+  /// but `result` is empty - per-layer data does not survive restarts.
+  bool summary_only = false;
 };
 
 /// Execution policy of a SweepRunner.

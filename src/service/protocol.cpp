@@ -152,7 +152,10 @@ std::string format_outcome_line(const core::SweepOutcome& outcome) {
     return "error " + outcome.name + " " + outcome.config.to_string() +
            " cache=" + cache + " msg=" + outcome.error;
   }
-  const core::RunSummary s = outcome.result.summary(outcome.config.clock_ghz);
+  // The captured summary, not a recomputation from `result`: outcomes
+  // served from the persisted cache of a restarted service carry *only*
+  // the summary, and both kinds must format bit-identically.
+  const core::RunSummary& s = outcome.summary;
   return "ok " + outcome.name + " " + outcome.config.to_string() +
          " cycles=" + std::to_string(s.total_cycles) +
          " ops=" + std::to_string(s.total_ops) +
@@ -165,7 +168,8 @@ std::string format_stats_line(const CacheStats& stats) {
   return "stats hits=" + std::to_string(stats.hits) +
          " misses=" + std::to_string(stats.misses) +
          " evictions=" + std::to_string(stats.evictions) +
-         " entries=" + std::to_string(stats.entries);
+         " entries=" + std::to_string(stats.entries) +
+         " inflight=" + std::to_string(stats.in_flight);
 }
 
 }  // namespace edea::service

@@ -4,7 +4,7 @@
 // pipe, or (later) a socket, with no framing beyond '\n'. Grammar:
 //
 //   run <network> [key=value ...]     submit a simulation request
-//   stats                             report cache counters
+//   stats                             report cache + in-flight counters
 //   # anything                        comment (ignored, like blank lines)
 //
 // <network> is a model-zoo name (nn::zoo_specs). Recognized keys:
@@ -17,6 +17,13 @@
 //   ok <network>@<seed> <config> cycles=<n> ops=<n> gops=<x> layers=<n>
 //      out=<hex64> cache=hit|miss
 //   error <network>@<seed> <config> cache=hit|miss msg=<text>
+//
+// A `stats` request answers with one line of exact service counters:
+//   stats hits=<n> misses=<n> evictions=<n> entries=<n> inflight=<n>
+// The session layer (service/session.hpp) serves `stats` as a barrier -
+// the reply reflects every preceding request of the session, completed,
+// and nothing submitted after it - so the line is deterministic for a
+// given request stream.
 //
 // The parser validates shape only (tokens, numbers, known keys); whether a
 // configuration can map a network is the simulation's verdict, reported in

@@ -1,0 +1,223 @@
+#include "service/session.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <stdexcept>
+#include <thread>
+
+#include "nn/model_zoo.hpp"
+#include "service/protocol.hpp"
+#include "service/transport.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::service {
+
+namespace {
+
+/// Synthetic input tensor for a workload - deterministic in the seed.
+/// (Moved verbatim from the old stdin batch driver: request streams keep
+/// resolving to bit-identical workloads across the refactor.)
+nn::Int8Tensor random_input(const nn::DscLayerSpec& spec, std::uint64_t seed) {
+  Rng rng(seed ^ 0xA5A5A5A5A5A5A5A5ull);
+  nn::Int8Tensor input(nn::Shape{spec.in_rows, spec.in_cols, spec.in_channels});
+  for (auto& v : input.storage()) {
+    v = rng.bernoulli(0.4) ? std::int8_t{0}
+                           : static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  return input;
+}
+
+/// One queued response, in request-id order.
+struct Reply {
+  enum class Kind {
+    kText,     ///< fully formed line (protocol errors, unresolved networks)
+    kOutcome,  ///< await the future, then format the outcome line
+    kStats,    ///< snapshot service counters; reader blocks until written
+    kEnd,      ///< input exhausted - writer drains out
+  };
+  Kind kind = Kind::kText;
+  std::uint64_t id = 0;
+  std::string text;
+  std::future<core::SweepOutcome> future;
+  bool record = false;  ///< kOutcome: record into SessionStats traffic
+};
+
+}  // namespace
+
+const WorkloadCatalog::Workload& WorkloadCatalog::resolve(
+    const std::string& network, std::uint64_t seed) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto key = std::make_pair(network, seed);
+  auto it = workloads_.find(key);
+  if (it == workloads_.end()) {
+    // zoo_specs throws PreconditionError for unknown names - propagated
+    // before anything is inserted.
+    const std::vector<nn::DscLayerSpec> specs = nn::zoo_specs(network);
+    auto workload = std::make_unique<Workload>();
+    workload->layers = nn::make_random_quant_network(specs, seed);
+    workload->input = random_input(specs.front(), seed);
+    it = workloads_.emplace(key, std::move(workload)).first;
+  }
+  return *it->second;
+}
+
+Session::Session(SimulationService& service, WorkloadCatalog& catalog,
+                 SessionOptions options)
+    : service_(service), catalog_(catalog), options_(options) {}
+
+SessionStats Session::serve(Stream& stream) {
+  SessionStats stats;
+
+  // Reply queue, strictly FIFO in request-id order. The reader appends,
+  // the writer pops; `stats_written_through` flows back so the reader can
+  // hold the stats barrier.
+  std::mutex mutex;
+  std::condition_variable queue_cv;    // writer waits for replies
+  std::condition_variable barrier_cv;  // reader waits for stats write-back
+  std::deque<Reply> queue;
+  std::uint64_t stats_written_through = 0;  // highest stats id answered
+  bool stream_broken = false;
+
+  const auto push = [&](Reply reply) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex);
+      queue.push_back(std::move(reply));
+    }
+    queue_cv.notify_one();
+  };
+
+  std::thread writer([&] {
+    for (;;) {
+      Reply reply;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        queue_cv.wait(lock, [&] { return !queue.empty(); });
+        reply = std::move(queue.front());
+        queue.pop_front();
+      }
+      if (reply.kind == Reply::Kind::kEnd) return;
+
+      std::string line;
+      switch (reply.kind) {
+        case Reply::Kind::kText:
+          line = std::move(reply.text);
+          break;
+        case Reply::Kind::kOutcome: {
+          // Blocks until the simulation (or cache hit) resolves. Earlier
+          // replies are already written, so write-back stays in id order.
+          core::SweepOutcome outcome = reply.future.get();
+          line = format_outcome_line(outcome);
+          if (reply.record) stats.outcomes.push_back(std::move(outcome));
+          break;
+        }
+        case Reply::Kind::kStats:
+          // Every preceding request has been written (and therefore
+          // completed), and the reader is paused on the barrier, so this
+          // snapshot is exact and deterministic.
+          line = format_stats_line(service_.cache_stats());
+          break;
+        case Reply::Kind::kEnd:
+          return;  // unreachable; handled above
+      }
+
+      // A broken peer must not wedge the session: keep draining futures
+      // (service bookkeeping finishes regardless) but stop writing.
+      bool broken;
+      {
+        const std::lock_guard<std::mutex> lock(mutex);
+        broken = stream_broken;
+      }
+      if (!broken && !stream.write_line(line)) {
+        const std::lock_guard<std::mutex> lock(mutex);
+        stream_broken = true;
+        broken = true;
+      }
+      if (!broken) ++stats.responses_written;
+
+      if (reply.kind == Reply::Kind::kStats) {
+        {
+          const std::lock_guard<std::mutex> lock(mutex);
+          stats_written_through = reply.id;
+        }
+        barrier_cv.notify_all();
+      }
+    }
+  });
+
+  std::string raw;
+  while (stream.read_line(raw)) {
+    const ParsedLine parsed = parse_request_line(raw);
+    if (parsed.kind == ParsedLine::Kind::kEmpty) continue;
+    const std::uint64_t id = ++stats.requests;
+
+    switch (parsed.kind) {
+      case ParsedLine::Kind::kError: {
+        ++stats.protocol_errors;
+        Reply reply;
+        reply.kind = Reply::Kind::kText;
+        reply.id = id;
+        reply.text = "protocol-error " + parsed.error;
+        push(std::move(reply));
+        break;
+      }
+      case ParsedLine::Kind::kStats: {
+        Reply reply;
+        reply.kind = Reply::Kind::kStats;
+        reply.id = id;
+        push(std::move(reply));
+        // Barrier: nothing after a stats line is submitted until the
+        // stats reply is on the wire.
+        std::unique_lock<std::mutex> lock(mutex);
+        barrier_cv.wait(lock, [&] { return stats_written_through >= id; });
+        break;
+      }
+      case ParsedLine::Kind::kRun: {
+        ++stats.runs;
+        const Request& request = parsed.request;
+        Reply reply;
+        reply.id = id;
+        try {
+          const WorkloadCatalog::Workload& workload =
+              catalog_.resolve(request.network, request.seed);
+          core::SweepJob job;
+          job.name = request.job_name();
+          job.config = request.config;
+          job.layers = &workload.layers;
+          job.input = &workload.input;
+          if (options_.record_traffic) stats.jobs.push_back(job);
+          reply.kind = Reply::Kind::kOutcome;
+          reply.record = options_.record_traffic;
+          reply.future = service_.submit(std::move(job));
+        } catch (const std::exception& e) {
+          // Unresolvable network (or a submit-side precondition): answer
+          // an error outcome line in this request's slot. Not recorded as
+          // traffic - there is no job a verifier could replay.
+          if (options_.record_traffic && reply.kind == Reply::Kind::kOutcome) {
+            stats.jobs.pop_back();  // submit threw after the job was noted
+          }
+          core::SweepOutcome unresolved;
+          unresolved.name = request.job_name();
+          unresolved.config = request.config;
+          unresolved.error = e.what();
+          reply.kind = Reply::Kind::kText;
+          reply.record = false;
+          reply.text = format_outcome_line(unresolved);
+        }
+        push(std::move(reply));
+        break;
+      }
+      case ParsedLine::Kind::kEmpty:
+        break;  // unreachable; filtered above
+    }
+  }
+
+  Reply end;
+  end.kind = Reply::Kind::kEnd;
+  push(std::move(end));
+  writer.join();
+  return stats;
+}
+
+}  // namespace edea::service

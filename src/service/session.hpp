@@ -1,0 +1,108 @@
+// session.hpp - the session layer of the service tier.
+//
+// A Session serves exactly one connection (a transport Stream) of the
+// line protocol (service/protocol.hpp) against a shared
+// SimulationService. It owns everything between raw lines and dispatch:
+//
+//   - line framing: one request per line in, one response per line out,
+//   - per-session request ids: every answering line (run, stats,
+//     malformed) gets a monotonically increasing id in arrival order,
+//   - ordered response write-back: responses are written strictly in
+//     request-id order, even though simulations complete out of order,
+//   - error replies: malformed lines answer "protocol-error <msg>" in
+//     their slot; unknown networks answer an error outcome line,
+//   - workload resolution: zoo names materialize through a shared
+//     WorkloadCatalog so duplicate requests across sessions share one
+//     materialized network.
+//
+// Concurrency: serve() runs two threads - the calling thread reads,
+// parses, and submits (so independent requests simulate concurrently and
+// duplicates coalesce in the service), while a writer thread drains
+// responses in id order, blocking on each future in turn. Session threads
+// block on futures, which is why transports run sessions on dedicated
+// threads, never on the simulation pool (see transport.hpp).
+//
+// `stats` is a barrier: the reader stops submitting until the writer has
+// answered it, so the reported counters reflect exactly the session's
+// preceding requests (all completed) and nothing after - deterministic
+// for a given request stream, which is what lets CI byte-compare socket
+// sessions against the stdio reference.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/sweep_runner.hpp"
+#include "nn/layers.hpp"
+#include "nn/tensor.hpp"
+#include "service/simulation_service.hpp"
+
+namespace edea::service {
+
+class Stream;
+
+/// Thread-safe registry of materialized workloads: the quantized network
+/// and synthetic input behind one (zoo name, seed) pair. Materialization
+/// is deterministic in the seed, happens once per key, and the returned
+/// reference stays valid (and immutable) for the catalog's lifetime -
+/// jobs submitted by any session may point into it.
+class WorkloadCatalog {
+ public:
+  struct Workload {
+    std::vector<nn::QuantDscLayer> layers;
+    nn::Int8Tensor input;
+  };
+
+  /// Resolves (materializing on first use). Throws PreconditionError for
+  /// names the model zoo cannot resolve.
+  [[nodiscard]] const Workload& resolve(const std::string& network,
+                                        std::uint64_t seed);
+
+ private:
+  std::mutex mutex_;
+  /// std::map with unique_ptr values: addresses stay stable across
+  /// inserts while sessions hold references.
+  std::map<std::pair<std::string, std::uint64_t>, std::unique_ptr<Workload>>
+      workloads_;
+};
+
+struct SessionOptions {
+  /// Record every submitted job and its outcome (in request order) in
+  /// SessionStats - what the stdio server's --verify gate replays against
+  /// a serial SweepRunner.
+  bool record_traffic = false;
+};
+
+/// What one serve() call did. Counters cover the whole session; the
+/// traffic vectors are filled only under SessionOptions::record_traffic
+/// and are index-aligned (jobs[i] produced outcomes[i]).
+struct SessionStats {
+  std::uint64_t requests = 0;         ///< ids assigned (= answering lines)
+  std::uint64_t runs = 0;             ///< `run` lines (incl. unresolved)
+  std::uint64_t protocol_errors = 0;  ///< malformed lines
+  std::uint64_t responses_written = 0;
+  std::vector<core::SweepJob> jobs;          ///< resolved, submitted jobs
+  std::vector<core::SweepOutcome> outcomes;  ///< their outcomes, in order
+};
+
+class Session {
+ public:
+  Session(SimulationService& service, WorkloadCatalog& catalog,
+          SessionOptions options = SessionOptions());
+
+  /// Serves the connection until its input is exhausted, then drains all
+  /// pending responses. Blocking; returns the session's statistics.
+  SessionStats serve(Stream& stream);
+
+ private:
+  SimulationService& service_;
+  WorkloadCatalog& catalog_;
+  SessionOptions options_;
+};
+
+}  // namespace edea::service

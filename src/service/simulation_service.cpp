@@ -1,12 +1,31 @@
 #include "service/simulation_service.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 #include <utility>
 
+#include "util/binary.hpp"
 #include "util/check.hpp"
 #include "util/thread_pool.hpp"
 
 namespace edea::service {
+
+namespace {
+
+/// Cache file framing: magic + version up front, FNV-1a digest of every
+/// preceding byte at the end. The magic doubles as an endianness probe -
+/// it is written through ByteWriter::pod like everything else, so a file
+/// from a foreign-endian host fails the magic check before anything is
+/// decoded.
+// Encoded so the *file bytes* (little-endian pod write) spell "EDEACAS\0":
+// 'E'=0x45 'D'=0x44 'E'=0x45 'A'=0x41 'C'=0x43 'A'=0x41 'S'=0x53 0x00.
+constexpr std::uint64_t kCacheMagic = 0x0053414341454445ull;
+constexpr std::uint32_t kCacheVersion = 1;
+
+}  // namespace
 
 SimulationService::SimulationService(Options options)
     : options_(options),
@@ -29,7 +48,8 @@ void SimulationService::wait_idle() {
 CacheStats SimulationService::cache_stats() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   CacheStats snapshot = stats_;
-  snapshot.entries = cache_.size();
+  snapshot.entries = cache_.size() + persisted_.size();
+  snapshot.in_flight = static_cast<std::uint64_t>(in_flight_);
   return snapshot;
 }
 
@@ -82,6 +102,8 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
   }
 
   bool launch = false;
+  bool persisted_hit = false;
+  PersistedResult persisted;
   std::shared_ptr<const core::SweepOutcome> cached;
   {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -96,6 +118,12 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
       }
       lru_.splice(lru_.begin(), lru_, entry.lru);  // touch
       cached = entry.outcome;  // the deep copy happens outside the lock
+    } else if (auto pit = persisted_.find(key); pit != persisted_.end()) {
+      // Served from the restart-surviving summary cache: no simulation,
+      // accounted as a hit, materialized outside the lock.
+      ++stats_.hits;
+      persisted_hit = true;
+      persisted = pit->second;
     } else {
       ++stats_.misses;
       ++in_flight_;
@@ -104,6 +132,19 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
       cache_.emplace(key, std::move(entry));
       launch = true;
     }
+  }
+
+  if (persisted_hit) {
+    core::SweepOutcome out;
+    out.name = std::move(job.name);
+    out.config = job.config;
+    out.ok = persisted.ok;
+    out.error = std::move(persisted.error);
+    out.summary = persisted.summary;
+    out.cache_hit = true;
+    out.summary_only = true;
+    promise.set_value(std::move(out));
+    return future;
   }
 
   if (cached) {
@@ -200,6 +241,133 @@ void SimulationService::abandon(const Key& key, std::exception_ptr error) {
   for (Waiter& w : waiters) {
     w.promise.set_exception(error);
   }
+}
+
+std::size_t SimulationService::save_cache(const std::string& path) const {
+  // Snapshot under the lock: previously loaded persisted entries plus
+  // every *ready* live entry (in-flight entries have no result yet). The
+  // two maps never share a key, so the merge is a plain concatenation.
+  std::vector<std::pair<Key, PersistedResult>> entries;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries.reserve(persisted_.size() + cache_.size());
+    for (const auto& [key, result] : persisted_) {
+      entries.emplace_back(key, result);
+    }
+    for (const auto& [key, entry] : cache_) {
+      if (!entry.ready) continue;
+      PersistedResult r;
+      r.ok = entry.outcome->ok;
+      r.error = entry.outcome->error;
+      r.summary = entry.outcome->summary;
+      entries.emplace_back(key, std::move(r));
+    }
+  }
+  // Deterministic file bytes: unordered_map iteration order must not leak
+  // into the artifact (same cache state -> same file, diffable).
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first.fingerprint != b.first.fingerprint) {
+                return a.first.fingerprint < b.first.fingerprint;
+              }
+              return a.first.config.hash() < b.first.config.hash();
+            });
+
+  util::ByteWriter w;
+  w.pod(kCacheMagic);
+  w.pod(kCacheVersion);
+  w.pod(static_cast<std::uint64_t>(entries.size()));
+  for (const auto& [key, result] : entries) {
+    w.pod(key.fingerprint);
+    key.config.encode(w);
+    w.pod(static_cast<std::uint8_t>(result.ok ? 1 : 0));
+    w.str(result.error);
+    result.summary.encode(w);
+  }
+  const std::uint64_t digest =
+      util::Fnv1a64().bytes(w.buffer().data(), w.buffer().size()).digest();
+
+  // Write-then-rename: a crash mid-write must leave the previous cache
+  // file intact, never a checksum-invalid torso that blocks the next
+  // start. rename(2) on the same filesystem is atomic.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (out.good()) {
+      out.write(w.buffer().data(),
+                static_cast<std::streamsize>(w.buffer().size()));
+      out.write(reinterpret_cast<const char*>(&digest), sizeof(digest));
+      out.flush();
+    }
+    if (!out.good()) {
+      throw ResourceError("cannot write cache file '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ResourceError("cannot move cache file into place at '" + path +
+                        "'");
+  }
+  return entries.size();
+}
+
+std::size_t SimulationService::load_cache(const std::string& path) {
+  if (options_.cache_capacity == 0) return 0;  // memoization disabled
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return 0;  // a first start has no cache file
+  std::ostringstream content;
+  content << in.rdbuf();
+  const std::string bytes = content.str();
+
+  EDEA_REQUIRE(bytes.size() >= sizeof(kCacheMagic) + sizeof(kCacheVersion) +
+                                   sizeof(std::uint64_t) * 2,
+               "cache file '" + path + "' is truncated");
+  const std::size_t payload_size = bytes.size() - sizeof(std::uint64_t);
+  std::uint64_t stored_digest = 0;
+  std::memcpy(&stored_digest, bytes.data() + payload_size,
+              sizeof(stored_digest));
+  const std::uint64_t digest =
+      util::Fnv1a64().bytes(bytes.data(), payload_size).digest();
+  EDEA_REQUIRE(digest == stored_digest,
+               "cache file '" + path + "' failed its checksum (corrupted)");
+
+  util::ByteReader r(std::string_view(bytes).substr(0, payload_size));
+  EDEA_REQUIRE(r.pod<std::uint64_t>() == kCacheMagic,
+               "cache file '" + path + "' has the wrong magic");
+  const auto version = r.pod<std::uint32_t>();
+  EDEA_REQUIRE(version == kCacheVersion,
+               "cache file '" + path + "' has unsupported version " +
+                   std::to_string(version));
+  const auto count = r.pod<std::uint64_t>();
+
+  // Decode fully before touching service state, so a malformed tail can
+  // never leave a half-loaded cache behind.
+  std::vector<std::pair<Key, PersistedResult>> entries;
+  entries.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Key key;
+    key.fingerprint = r.pod<std::uint64_t>();
+    key.config = core::EdeaConfig::decode(r);
+    PersistedResult result;
+    result.ok = r.pod<std::uint8_t>() != 0;
+    result.error = r.str();
+    result.summary = core::RunSummary::decode(r);
+    entries.emplace_back(std::move(key), std::move(result));
+  }
+  EDEA_REQUIRE(r.exhausted(),
+               "cache file '" + path + "' has trailing garbage");
+
+  std::size_t loaded = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, result] : entries) {
+      if (cache_.find(key) != cache_.end()) continue;  // live entry wins
+      persisted_.insert_or_assign(key, std::move(result));
+      ++loaded;
+    }
+  }
+  return loaded;
 }
 
 std::vector<std::future<core::SweepOutcome>> SimulationService::submit_batch(

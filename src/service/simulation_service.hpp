@@ -54,7 +54,10 @@ struct CacheStats {
   std::uint64_t hits = 0;        ///< served from cache (or coalesced)
   std::uint64_t misses = 0;      ///< required a fresh simulation
   std::uint64_t evictions = 0;   ///< completed results dropped by the LRU
-  std::size_t entries = 0;       ///< resident entries (ready + in flight)
+  std::size_t entries = 0;       ///< resident entries (live + persisted)
+  /// Requests currently simulating (submitted, not yet completed). Unlike
+  /// the counters above this is a gauge - a snapshot, not a running total.
+  std::uint64_t in_flight = 0;
 
   friend bool operator==(const CacheStats&, const CacheStats&) = default;
 };
@@ -113,6 +116,35 @@ class SimulationService {
   /// delivery to their waiters, but all simulations have finished).
   void wait_idle();
 
+  // --- cache persistence (survives service restarts) -----------------------
+  //
+  // A cache file stores (network fingerprint, EdeaConfig) -> outcome
+  // *summaries* - everything the line protocol reports (ok/error text plus
+  // the RunSummary), not per-layer tensors - in a versioned, checksummed
+  // binary format (util/binary.hpp + util/hash.hpp). A request that hits a
+  // persisted entry resolves immediately with a summary-only outcome
+  // (SweepOutcome::summary_only) that formats bit-identically to the line
+  // the original simulation produced, and is accounted as a cache hit.
+  // Persisted entries are pinned: they never count against cache_capacity
+  // and are never evicted (the file bounds them).
+
+  /// Writes every completed result - live LRU entries plus previously
+  /// loaded persisted entries - to `path`, atomically enough for a service
+  /// restart (full rewrite, deterministic entry order). Returns the number
+  /// of entries written. Throws ResourceError if the file cannot be
+  /// written. Call after draining traffic (e.g. at shutdown); in-flight
+  /// entries are not persisted.
+  std::size_t save_cache(const std::string& path) const;
+
+  /// Loads a cache file previously written by save_cache. Returns the
+  /// number of entries loaded; a missing file is not an error (a first
+  /// start has no cache) and returns 0. A malformed file - bad magic,
+  /// version mismatch, truncation, checksum failure, trailing garbage -
+  /// throws PreconditionError and leaves the cache unchanged. Keys already
+  /// resident stay resident (the live entry wins). No-op when
+  /// cache_capacity is 0 (memoization disabled disables persistence too).
+  std::size_t load_cache(const std::string& path);
+
  private:
   /// Cache key: the workload fingerprint plus the exact configuration.
   /// The fingerprint is a content hash (collisions possible in principle),
@@ -148,6 +180,14 @@ class SimulationService {
     std::list<Key>::iterator lru;     ///< position in lru_ (ready only)
   };
 
+  /// One persisted (restart-surviving) result: the protocol-visible part
+  /// of an outcome, without per-layer data.
+  struct PersistedResult {
+    bool ok = false;
+    std::string error;
+    core::RunSummary summary;
+  };
+
   /// Marks `key` complete, stores the outcome, applies LRU eviction, and
   /// fulfills every waiter. Runs on the pool at the end of each task.
   void complete(const Key& key, core::SweepOutcome outcome);
@@ -167,6 +207,10 @@ class SimulationService {
   std::size_t in_flight_ = 0;
   std::unordered_map<Key, Entry, KeyHash> cache_;
   std::list<Key> lru_;  ///< ready entries, most recently used first
+  /// Entries loaded from a cache file: pinned (never evicted), summary
+  /// only. A key is never in both maps - persisted keys hit before they
+  /// could miss into `cache_`, and load_cache skips keys already live.
+  std::unordered_map<Key, PersistedResult, KeyHash> persisted_;
   CacheStats stats_;
 };
 

@@ -1,0 +1,222 @@
+#include "service/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace edea::service {
+
+// --- stdio -----------------------------------------------------------------
+
+bool StdioStream::read_line(std::string& line) {
+  return static_cast<bool>(std::getline(in_, line));
+}
+
+bool StdioStream::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  out_ << line << '\n';
+  out_.flush();
+  return out_.good();
+}
+
+void StdioTransport::serve(const std::function<void(Stream&)>& handler) {
+  StdioStream stream(in_, out_);
+  handler(stream);
+}
+
+// --- sockets ---------------------------------------------------------------
+
+namespace {
+
+/// Stream over a connected TCP socket. Owns the fd.
+class SocketStream : public Stream {
+ public:
+  explicit SocketStream(int fd) : fd_(fd) {}
+  ~SocketStream() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  SocketStream(const SocketStream&) = delete;
+  SocketStream& operator=(const SocketStream&) = delete;
+
+  bool read_line(std::string& line) override {
+    for (;;) {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line.assign(buffer_, 0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+      }
+      if (peer_closed_) {
+        // A final line without a trailing '\n' is still a line.
+        if (buffer_.empty()) return false;
+        line = std::move(buffer_);
+        buffer_.clear();
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        peer_closed_ = true;
+      } else if (errno != EINTR) {
+        peer_closed_ = true;  // connection error reads as EOF
+      }
+    }
+  }
+
+  bool write_line(const std::string& line) override {
+    std::string framed = line;
+    framed.push_back('\n');
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      // MSG_NOSIGNAL: a peer that hung up must surface as a failed write,
+      // not a process-killing SIGPIPE.
+      const ssize_t n = ::send(fd_, framed.data() + sent,
+                               framed.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  void close_write() override { ::shutdown(fd_, SHUT_WR); }
+
+ private:
+  int fd_;
+  std::string buffer_;
+  bool peer_closed_ = false;
+};
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw ResourceError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+SocketTransport::SocketTransport(SocketTransportOptions options)
+    : options_(options) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw_errno("socket()");
+
+  // Restarting the server on the same port must not trip over the old
+  // socket lingering in TIME_WAIT - the CI persistence leg does exactly
+  // that restart.
+  const int reuse = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse,
+                     sizeof(reuse));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(options_.port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("bind(127.0.0.1:" + std::to_string(options_.port) + ")");
+  }
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("listen()");
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    const int saved = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    errno = saved;
+    throw_errno("getsockname()");
+  }
+  port_ = ntohs(bound.sin_port);
+}
+
+SocketTransport::~SocketTransport() {
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void SocketTransport::shutdown() noexcept {
+  // shutdown(2) on the listening socket wakes a blocked accept(2) with an
+  // error (Linux semantics; this transport is POSIX/Linux by design). The
+  // fd itself stays open so serve()'s loop - not a racing destructor -
+  // observes the wake-up; the destructor closes it.
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+}
+
+void SocketTransport::serve(const std::function<void(Stream&)>& handler) {
+  std::vector<std::thread> sessions;
+  std::size_t accepted = 0;
+  while (options_.max_sessions == 0 || accepted < options_.max_sessions) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // shutdown() or a fatal accept error: stop accepting
+    }
+    ++accepted;
+    sessions.emplace_back([fd, &handler] {
+      SocketStream stream(fd);
+      try {
+        handler(stream);
+      } catch (...) {
+        // A throwing handler must not terminate the process; the
+        // connection is torn down and the next session is unaffected.
+      }
+    });
+  }
+  for (std::thread& t : sessions) t.join();
+}
+
+std::unique_ptr<Stream> connect_socket(const std::string& host,
+                                       std::uint16_t port, int retry_ms) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  EDEA_REQUIRE(::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) == 1,
+               "connect_socket host must be a numeric IPv4 address or "
+               "'localhost', got '" +
+                   host + "'");
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(retry_ms);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket()");
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return std::make_unique<SocketStream>(fd);
+    }
+    const int saved = errno;
+    ::close(fd);
+    const bool retryable = saved == ECONNREFUSED || saved == EINTR;
+    if (!retryable || std::chrono::steady_clock::now() >= deadline) {
+      errno = saved;
+      throw_errno("connect(" + numeric + ":" + std::to_string(port) + ")");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace edea::service

@@ -1,0 +1,91 @@
+// binary.hpp - bounds-checked binary encoding for persisted artifacts.
+//
+// The simulation service persists its result cache across restarts; this
+// header provides the byte-level substrate: an append-only ByteWriter and
+// a bounds-checked ByteReader over trivially copyable values and
+// length-prefixed strings. Values are stored in native byte order - a
+// cache file is a host-local artifact, not an interchange format - and
+// every file carries a magic/version header plus a trailing content
+// digest (see SimulationService::save_cache), so a file from a
+// different-endian host fails validation instead of decoding garbage.
+//
+// ByteReader throws PreconditionError on any attempt to read past the end
+// of the buffer: a truncated or corrupted file must be rejected loudly,
+// never silently decoded into a partial cache.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+#include "util/check.hpp"
+
+namespace edea::util {
+
+/// Append-only binary encoder. Feed trivially copyable values and
+/// length-prefixed strings; read the accumulated bytes with `buffer()`.
+class ByteWriter {
+ public:
+  /// Appends the object representation of a trivially copyable value.
+  /// Like Fnv1a64::pod, only feed types without internal padding.
+  template <typename T>
+  void pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pod() requires a trivially copyable type");
+    const auto* p = reinterpret_cast<const char*>(&value);
+    buffer_.append(p, sizeof(T));
+  }
+
+  /// Appends a string as a 64-bit length prefix followed by the bytes.
+  void str(std::string_view s) {
+    pod(static_cast<std::uint64_t>(s.size()));
+    buffer_.append(s.data(), s.size());
+  }
+
+  [[nodiscard]] const std::string& buffer() const noexcept { return buffer_; }
+
+ private:
+  std::string buffer_;
+};
+
+/// Sequential binary decoder over a fixed buffer. Every read is bounds
+/// checked; reading past the end throws PreconditionError.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  template <typename T>
+  [[nodiscard]] T pod() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "pod() requires a trivially copyable type");
+    EDEA_REQUIRE(remaining() >= sizeof(T),
+                 "binary buffer truncated: value extends past the end");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  [[nodiscard]] std::string str() {
+    const auto length = pod<std::uint64_t>();
+    EDEA_REQUIRE(length <= remaining(),
+                 "binary buffer truncated: string extends past the end");
+    std::string value(data_.substr(pos_, static_cast<std::size_t>(length)));
+    pos_ += static_cast<std::size_t>(length);
+    return value;
+  }
+
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::string_view data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace edea::util

@@ -1,0 +1,284 @@
+// cache_persistence_test - the restart-surviving result cache of the
+// simulation service: save -> load -> hit round trips (including error
+// outcomes), bit-identical protocol lines from persisted summaries,
+// merge-on-resave, and loud rejection of corrupted, truncated, or
+// version-skewed cache files.
+#include "service/simulation_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/sweep_runner.hpp"
+#include "nn/model_zoo.hpp"
+#include "service/protocol.hpp"
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::service {
+namespace {
+
+/// Small two-layer DSC network (fast enough to simulate many times).
+std::vector<nn::DscLayerSpec> tiny_specs() {
+  nn::DscLayerSpec a;
+  a.index = 0;
+  a.in_rows = 8;
+  a.in_cols = 8;
+  a.in_channels = 16;
+  a.out_channels = 32;
+  nn::DscLayerSpec b;
+  b.index = 1;
+  b.in_rows = 8;
+  b.in_cols = 8;
+  b.in_channels = 32;
+  b.stride = 2;
+  b.out_channels = 32;
+  return {a, b};
+}
+
+nn::Int8Tensor tiny_input(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Int8Tensor input(nn::Shape{8, 8, 16});
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-64, 64));
+  }
+  return input;
+}
+
+struct Fixture {
+  std::vector<nn::QuantDscLayer> layers =
+      nn::make_random_quant_network(tiny_specs(), 77);
+  nn::Int8Tensor input = tiny_input(78);
+
+  [[nodiscard]] core::SweepJob job(const std::string& name, int td = 8,
+                                   int tk = 16) const {
+    core::SweepJob j;
+    j.name = name;
+    j.config.td = td;
+    j.config.tk = tk;
+    j.layers = &layers;
+    j.input = &input;
+    return j;
+  }
+
+  [[nodiscard]] core::SweepJob infeasible(const std::string& name) const {
+    core::SweepJob j = job(name);
+    j.config.kernel = 5;  // cannot map 3x3 layers -> error outcome
+    return j;
+  }
+};
+
+std::string temp_cache_path(const std::string& name) {
+  return testing::TempDir() + "edea_" + name + ".cache";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void write_file(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(out.good()) << path;
+  out << bytes;
+}
+
+TEST(CachePersistenceTest, SaveLoadRoundTripServesHitsBitIdentically) {
+  const std::string path = temp_cache_path("roundtrip");
+  Fixture fx;
+
+  // First life: simulate three points (one infeasible), persist.
+  core::SweepOutcome first_ok, first_err;
+  {
+    SimulationService svc;
+    first_ok = svc.submit(fx.job("a", 8, 16)).get();
+    ASSERT_TRUE(first_ok.ok) << first_ok.error;
+    ASSERT_TRUE(svc.submit(fx.job("b", 16, 32)).get().ok);
+    first_err = svc.submit(fx.infeasible("bad")).get();
+    ASSERT_FALSE(first_err.ok);
+    EXPECT_EQ(svc.save_cache(path), 3u);
+  }
+
+  // Second life: every point is a hit, no simulation, summary-only, and
+  // the protocol line matches the first life's byte for byte.
+  SimulationService svc;
+  EXPECT_EQ(svc.load_cache(path), 3u);
+  EXPECT_EQ(svc.cache_stats().entries, 3u);
+
+  core::SweepOutcome replay = svc.submit(fx.job("a", 8, 16)).get();
+  EXPECT_TRUE(replay.cache_hit);
+  EXPECT_TRUE(replay.summary_only);
+  EXPECT_TRUE(replay.ok);
+  EXPECT_EQ(replay.summary, first_ok.summary);
+  core::SweepOutcome first_as_hit = first_ok;
+  first_as_hit.cache_hit = true;
+  EXPECT_EQ(format_outcome_line(replay), format_outcome_line(first_as_hit));
+
+  core::SweepOutcome replay_err = svc.submit(fx.infeasible("bad")).get();
+  EXPECT_TRUE(replay_err.cache_hit);
+  EXPECT_FALSE(replay_err.ok);
+  EXPECT_EQ(replay_err.error, first_err.error);
+
+  const CacheStats stats = svc.cache_stats();
+  EXPECT_EQ(stats.hits, 2u);
+  EXPECT_EQ(stats.misses, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistenceTest, ResaveMergesPersistedAndLiveEntries) {
+  const std::string path = temp_cache_path("merge");
+  Fixture fx;
+  {
+    SimulationService svc;
+    ASSERT_TRUE(svc.submit(fx.job("a", 8, 16)).get().ok);
+    EXPECT_EQ(svc.save_cache(path), 1u);
+  }
+  {
+    // Second life serves the old point from persistence and simulates a
+    // new one; the resave must carry both.
+    SimulationService svc;
+    EXPECT_EQ(svc.load_cache(path), 1u);
+    EXPECT_TRUE(svc.submit(fx.job("a", 8, 16)).get().cache_hit);
+    ASSERT_TRUE(svc.submit(fx.job("b", 16, 32)).get().ok);
+    EXPECT_EQ(svc.save_cache(path), 2u);
+  }
+  SimulationService svc;
+  EXPECT_EQ(svc.load_cache(path), 2u);
+  EXPECT_TRUE(svc.submit(fx.job("a", 8, 16)).get().cache_hit);
+  EXPECT_TRUE(svc.submit(fx.job("b", 16, 32)).get().cache_hit);
+  EXPECT_EQ(svc.cache_stats().misses, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistenceTest, SavedFileBytesAreDeterministic) {
+  const std::string path_a = temp_cache_path("det_a");
+  const std::string path_b = temp_cache_path("det_b");
+  Fixture fx;
+  for (const std::string& path : {path_a, path_b}) {
+    SimulationService svc;
+    // Insertion orders differ; the file must not.
+    if (path == path_a) {
+      ASSERT_TRUE(svc.submit(fx.job("x", 8, 16)).get().ok);
+      ASSERT_TRUE(svc.submit(fx.job("y", 16, 32)).get().ok);
+    } else {
+      ASSERT_TRUE(svc.submit(fx.job("y", 16, 32)).get().ok);
+      ASSERT_TRUE(svc.submit(fx.job("x", 8, 16)).get().ok);
+    }
+    EXPECT_EQ(svc.save_cache(path), 2u);
+  }
+  EXPECT_EQ(read_file(path_a), read_file(path_b));
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(CachePersistenceTest, MissingFileIsAFreshStartNotAnError) {
+  SimulationService svc;
+  EXPECT_EQ(svc.load_cache(temp_cache_path("does_not_exist")), 0u);
+  EXPECT_EQ(svc.cache_stats().entries, 0u);
+}
+
+TEST(CachePersistenceTest, CorruptedFileIsRejectedAndCacheUnchanged) {
+  const std::string path = temp_cache_path("corrupt");
+  Fixture fx;
+  {
+    SimulationService svc;
+    ASSERT_TRUE(svc.submit(fx.job("a")).get().ok);
+    EXPECT_EQ(svc.save_cache(path), 1u);
+  }
+  std::string bytes = read_file(path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 0x5A);
+  write_file(path, bytes);
+
+  SimulationService svc;
+  EXPECT_THROW((void)svc.load_cache(path), PreconditionError);
+  EXPECT_EQ(svc.cache_stats().entries, 0u);
+  // The service stays fully functional: the point simulates as a miss.
+  const core::SweepOutcome out = svc.submit(fx.job("a")).get();
+  EXPECT_TRUE(out.ok);
+  EXPECT_FALSE(out.cache_hit);
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistenceTest, TruncatedFileIsRejected) {
+  const std::string path = temp_cache_path("truncated");
+  Fixture fx;
+  {
+    SimulationService svc;
+    ASSERT_TRUE(svc.submit(fx.job("a")).get().ok);
+    EXPECT_EQ(svc.save_cache(path), 1u);
+  }
+  const std::string bytes = read_file(path);
+  // Every proper prefix must be rejected - the checksum trails the file,
+  // so truncation at any point loses or garbles it.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{7}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    SCOPED_TRACE("keep=" + std::to_string(keep));
+    write_file(path, bytes.substr(0, keep));
+    SimulationService svc;
+    EXPECT_THROW((void)svc.load_cache(path), PreconditionError);
+    EXPECT_EQ(svc.cache_stats().entries, 0u);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistenceTest, VersionSkewAndTrailingGarbageAreRejected) {
+  const std::string path = temp_cache_path("skew");
+  Fixture fx;
+  {
+    SimulationService svc;
+    ASSERT_TRUE(svc.submit(fx.job("a")).get().ok);
+    EXPECT_EQ(svc.save_cache(path), 1u);
+  }
+  const std::string bytes = read_file(path);
+
+  // Flipping the version (bytes 8..11, after the 8-byte magic) while
+  // leaving everything else intact fails the checksum; a file that also
+  // "fixed" its checksum would still fail the version gate - either way
+  // the load must throw.
+  std::string skewed = bytes;
+  skewed[8] = static_cast<char>(skewed[8] + 1);
+  write_file(path, skewed);
+  {
+    SimulationService svc;
+    EXPECT_THROW((void)svc.load_cache(path), PreconditionError);
+  }
+
+  // Appending bytes invalidates the trailing checksum too.
+  write_file(path, bytes + "garbage");
+  {
+    SimulationService svc;
+    EXPECT_THROW((void)svc.load_cache(path), PreconditionError);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistenceTest, ZeroCapacityServiceIgnoresPersistence) {
+  const std::string path = temp_cache_path("nocache");
+  Fixture fx;
+  {
+    SimulationService svc;
+    ASSERT_TRUE(svc.submit(fx.job("a")).get().ok);
+    EXPECT_EQ(svc.save_cache(path), 1u);
+  }
+  ServiceOptions options;
+  options.cache_capacity = 0;  // memoization disabled disables persistence
+  SimulationService svc(options);
+  EXPECT_EQ(svc.load_cache(path), 0u);
+  EXPECT_FALSE(svc.submit(fx.job("a")).get().cache_hit);
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistenceTest, UnwritablePathThrowsResourceError) {
+  SimulationService svc;
+  EXPECT_THROW((void)svc.save_cache("/nonexistent-dir/edea.cache"),
+               ResourceError);
+}
+
+}  // namespace
+}  // namespace edea::service

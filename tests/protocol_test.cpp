@@ -110,8 +110,31 @@ TEST(ProtocolFormatTest, StatsLineIsExact) {
   stats.misses = 9;
   stats.evictions = 1;
   stats.entries = 8;
+  stats.in_flight = 2;
   EXPECT_EQ(format_stats_line(stats),
-            "stats hits=3 misses=9 evictions=1 entries=8");
+            "stats hits=3 misses=9 evictions=1 entries=8 inflight=2");
+}
+
+TEST(ProtocolFormatTest, SummaryOnlyOutcomeFormatsLikeTheLiveOne) {
+  // A persisted-cache hit after a restart carries only the RunSummary;
+  // its line must be byte-identical to the live cached line.
+  core::SweepOutcome live;
+  live.name = "edeanet-64@7";
+  live.ok = true;
+  live.cache_hit = true;
+  live.summary.layer_count = 6;
+  live.summary.total_cycles = 4242;
+  live.summary.total_ops = 990;
+  live.summary.average_gops = 1.23456;
+  live.summary.output_hash = 0xDEADBEEFull;
+
+  core::SweepOutcome persisted = live;  // same summary, but no result
+  persisted.summary_only = true;
+  persisted.result = core::NetworkRunResult{};
+
+  EXPECT_EQ(format_outcome_line(live), format_outcome_line(persisted));
+  EXPECT_NE(format_outcome_line(live).find("cycles=4242"),
+            std::string::npos);
 }
 
 TEST(ProtocolRoundTripTest, IdenticalRequestLinesYieldIdenticalKeys) {

@@ -1,0 +1,105 @@
+// server_cli_test - the simulation server's command line as a library
+// contract: the --help text documents every flag (the satellite
+// acceptance: each documented option appears in the output), and the
+// parser accepts the documented grammar while rejecting malformed or
+// contradictory invocations with a reason.
+#include "service/server_cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace edea::service {
+namespace {
+
+ServerConfig parse(const std::vector<const char*>& args) {
+  return parse_server_args(static_cast<int>(args.size()), args.data());
+}
+
+TEST(ServerCliTest, HelpTextMentionsEveryDocumentedFlag) {
+  const std::string usage = server_usage();
+  for (const char* flag :
+       {"--help", "--listen", "--max-sessions", "--cache-file", "--workers",
+        "--cache", "--tile-parallelism", "--verify"}) {
+    SCOPED_TRACE(flag);
+    EXPECT_NE(usage.find(flag), std::string::npos)
+        << "flag missing from simulation_server --help output";
+  }
+  // Both serving modes are shown as invocation forms.
+  EXPECT_NE(usage.find("stdio mode"), std::string::npos);
+  EXPECT_NE(usage.find("TCP socket mode"), std::string::npos);
+}
+
+TEST(ServerCliTest, DefaultsMatchTheServiceDefaults) {
+  const ServerConfig config = parse({});
+  EXPECT_TRUE(config.error.empty()) << config.error;
+  EXPECT_FALSE(config.help);
+  EXPECT_FALSE(config.verify);
+  EXPECT_FALSE(config.listen);
+  EXPECT_EQ(config.max_sessions, 0u);
+  EXPECT_TRUE(config.cache_file.empty());
+  EXPECT_EQ(config.service.worker_threads, 0u);
+  EXPECT_EQ(config.service.cache_capacity, ServiceOptions().cache_capacity);
+  EXPECT_EQ(config.service.tile_parallelism, 1);
+}
+
+TEST(ServerCliTest, EveryFlagParses) {
+  const ServerConfig config =
+      parse({"--listen", "47163", "--max-sessions", "2", "--cache-file",
+             "/tmp/edea.cache", "--workers", "3", "--cache", "64",
+             "--tile-parallelism", "4"});
+  ASSERT_TRUE(config.error.empty()) << config.error;
+  EXPECT_TRUE(config.listen);
+  EXPECT_EQ(config.port, 47163);
+  EXPECT_EQ(config.max_sessions, 2u);
+  EXPECT_EQ(config.cache_file, "/tmp/edea.cache");
+  EXPECT_EQ(config.service.worker_threads, 3u);
+  EXPECT_EQ(config.service.cache_capacity, 64u);
+  EXPECT_EQ(config.service.tile_parallelism, 4);
+}
+
+TEST(ServerCliTest, HelpAndVerifyFlagsParse) {
+  EXPECT_TRUE(parse({"--help"}).help);
+  EXPECT_TRUE(parse({"--verify"}).verify);
+}
+
+TEST(ServerCliTest, MalformedValuesAreRejectedWithAReason) {
+  for (const std::vector<const char*>& args :
+       std::vector<std::vector<const char*>>{
+           {"--listen"},                     // missing value
+           {"--listen", "65536"},            // port out of range
+           {"--listen", "-1"},               // negative
+           {"--listen", "4x"},               // trailing junk
+           {"--max-sessions", "two"},        // non-numeric
+           {"--workers", "-3"},              // negative wraps in stoul
+           {"--cache", "10bb"},              // trailing junk
+           {"--tile-parallelism", "0"},      // zero width is a caller bug
+           {"--tile-parallelism", "-4"},     // negative width
+           {"--cache-file"},                 // missing value
+           {"--wat"},                        // unknown flag
+       }) {
+    SCOPED_TRACE(args.front());
+    const ServerConfig config = parse(args);
+    EXPECT_FALSE(config.error.empty());
+  }
+}
+
+TEST(ServerCliTest, ContradictoryModesAreRejected) {
+  // --verify compares against an in-process serial reference; in socket
+  // mode that is the client's job (simulation_client --verify).
+  EXPECT_FALSE(parse({"--verify", "--listen", "0"}).error.empty());
+  // --max-sessions is meaningless without a socket to accept on.
+  EXPECT_FALSE(parse({"--max-sessions", "1"}).error.empty());
+  // ... but fine together with --listen.
+  EXPECT_TRUE(parse({"--listen", "0", "--max-sessions", "1"}).error.empty());
+  // Persistence with memoization disabled would save an empty cache over
+  // the file at shutdown, destroying every persisted design point.
+  EXPECT_FALSE(
+      parse({"--cache", "0", "--cache-file", "/tmp/c.bin"}).error.empty());
+  EXPECT_TRUE(
+      parse({"--cache", "8", "--cache-file", "/tmp/c.bin"}).error.empty());
+}
+
+}  // namespace
+}  // namespace edea::service

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <future>
+#include <latch>
 #include <limits>
 #include <thread>
 #include <vector>
@@ -226,6 +227,71 @@ TEST(SimulationServiceTest, LruEvictionIsCountedAndBounded) {
   EXPECT_EQ(stats.hits, 0u);
   EXPECT_EQ(stats.evictions, 2u);
   EXPECT_EQ(stats.entries, 1u);
+}
+
+TEST(SimulationServiceTest, EvictionOrderIsLeastRecentlyUsedNotFifo) {
+  Fixture fx;
+  ServiceOptions options;
+  options.cache_capacity = 2;
+  SimulationService svc(options);
+
+  ASSERT_TRUE(svc.submit(fx.job("a", 8, 16)).get().ok);   // cache: [a]
+  ASSERT_TRUE(svc.submit(fx.job("b", 16, 16)).get().ok);  // cache: [b a]
+  // Touch "a": it becomes most recently used, so the next insertion must
+  // evict "b" - FIFO would (wrongly) evict "a" as the oldest insertion.
+  EXPECT_TRUE(svc.submit(fx.job("a-touch", 8, 16)).get().cache_hit);
+  ASSERT_TRUE(svc.submit(fx.job("c", 8, 32)).get().ok);   // evicts b
+
+  EXPECT_TRUE(svc.submit(fx.job("a-again", 8, 16)).get().cache_hit)
+      << "the recently used entry must have survived";
+  EXPECT_FALSE(svc.submit(fx.job("b-again", 16, 16)).get().cache_hit)
+      << "the least recently used entry must have been evicted";
+
+  const CacheStats stats = svc.cache_stats();
+  EXPECT_EQ(stats.misses, 4u);  // a, b, c, b-again
+  EXPECT_EQ(stats.hits, 2u);    // a-touch, a-again
+  EXPECT_EQ(stats.evictions, 2u);  // b (by c), then a or c (by b-again)
+  EXPECT_EQ(stats.entries, 2u);
+}
+
+TEST(SimulationServiceTest, HammeringOneDesignPointCostsExactlyOneMiss) {
+  // N threads fire the *same* design point through one gate: whatever the
+  // interleaving, the first submission simulates and every other one is a
+  // hit - coalesced onto the in-flight simulation or served from the
+  // completed entry, both accounted identically.
+  Fixture fx;
+  SimulationService svc;
+
+  constexpr int kClients = 8;
+  std::latch gate(kClients);
+  std::vector<std::thread> clients;
+  std::vector<core::SweepOutcome> outcomes(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto future = [&] {
+        gate.arrive_and_wait();  // maximize racing submissions
+        return svc.submit(fx.job("hammer-" + std::to_string(c)));
+      }();
+      outcomes[static_cast<std::size_t>(c)] = future.get();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  const CacheStats stats = svc.cache_stats();
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.hits, kClients - 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.in_flight, 0u);
+
+  int flagged_hits = 0;
+  for (int c = 0; c < kClients; ++c) {
+    SCOPED_TRACE("client " + std::to_string(c));
+    flagged_hits += outcomes[static_cast<std::size_t>(c)].cache_hit ? 1 : 0;
+    expect_bit_identical(outcomes[0], outcomes[static_cast<std::size_t>(c)]);
+    EXPECT_EQ(outcomes[static_cast<std::size_t>(c)].name,
+              "hammer-" + std::to_string(c));
+  }
+  EXPECT_EQ(flagged_hits, kClients - 1);
 }
 
 TEST(SimulationServiceTest, ZeroCapacityDisablesMemoization) {
