@@ -5,12 +5,13 @@
 //
 // Two views are printed:
 //   1. the analytic footprint model (matches the paper's numbers exactly),
-//   2. traffic measured by the cycle simulator (EDEA vs the serialized
-//      baseline), which includes halo re-fetches at tile borders.
+//   2. traffic measured by the cycle simulator - both dataflows run
+//      through the backend registry ("edea" vs "serialized",
+//      core/backend.hpp) on the identical quantized network, which
+//      includes halo re-fetches at tile borders.
 #include <iostream>
 #include <vector>
 
-#include "baseline/serialized_accelerator.hpp"
 #include "bench_common.hpp"
 #include "dse/access_model.hpp"
 #include "nn/mobilenet.hpp"
@@ -50,26 +51,22 @@ int main() {
   std::cout << "\n=== Fig. 3 (simulated): external activation traffic, "
                "EDEA vs serialized baseline ===\n";
   {
-    const bench::MobileNetRun& run = bench::run_mobilenet_on_accelerator();
-    baseline::SerializedDscAccelerator serial;
-    // Re-run the same quantized layers through the baseline.
-    nn::Int8Tensor x = run.result.layers.front().output;  // placeholder
-    // Recompute the true chain input: quantized stem of the bench image.
-    nn::SyntheticCifar data(bench::kBenchSeed ^ 0x5eed);
-    const nn::FloatTensor stem =
-        run.net->forward_stem(data.sample(0).image);
-    x = run.qnet->quantize_input(stem);
+    // Both dataflows run through the one registry path on the identical
+    // quantized network; the baseline chains its own layer outputs inside
+    // run_network, so per-layer rows align index for index.
+    const bench::MobileNetRun& run = bench::run_mobilenet_on_backend("edea");
+    const bench::MobileNetRun& base_run =
+        bench::run_mobilenet_on_backend("serialized");
 
     TextTable t({"layer", "EDEA ext. act", "baseline ext. act", "reduction"});
     std::int64_t edea_total = 0, base_total = 0;
     for (std::size_t i = 0; i < run.result.layers.size(); ++i) {
       const auto& fast = run.result.layers[i];
-      const auto base = serial.run_layer(run.qnet->blocks()[i], x);
-      x = base.common.output;
+      const auto& base = base_run.result.layers[i];
       const auto fast_act =
           fast.external.accesses(arch::TrafficClass::kActivation);
       const auto base_act =
-          base.common.external.accesses(arch::TrafficClass::kActivation);
+          base.external.accesses(arch::TrafficClass::kActivation);
       edea_total += fast_act;
       base_total += base_act;
       t.add_row({std::to_string(i), TextTable::num(fast_act),

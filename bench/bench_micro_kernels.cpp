@@ -1,14 +1,24 @@
 // bench_micro_kernels - google-benchmark microbenchmarks of the simulator
-// hot paths: engine steps, the Non-Conv unit, quantization, and the golden
-// reference convolutions. These measure *simulator* (host) performance,
-// not modeled hardware performance - useful when extending the library.
+// hot paths: engine steps, the Non-Conv unit, quantization, the golden
+// reference convolutions, backend-level network runs, and the simulation
+// service's request latencies. These measure *simulator* (host)
+// performance, not modeled hardware performance - useful when extending
+// the library.
+//
+// `--json PATH` (ours, consumed before Google Benchmark sees argv) also
+// emits a machine-readable summary - one object per benchmark with its
+// real/cpu time and iteration count - which is what CI archives as
+// BENCH_micro.json.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <fstream>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/accelerator.hpp"
+#include "core/backend.hpp"
 #include "core/dwc_engine.hpp"
 #include "core/pwc_engine.hpp"
 #include "core/sweep_runner.hpp"
@@ -188,6 +198,37 @@ void BM_AcceleratorLayer(benchmark::State& state) {
 }
 BENCHMARK(BM_AcceleratorLayer);
 
+// --- backend-level network runs: the dataflow dimension -------------------
+//
+// One small DSC layer through each registered backend via the registry -
+// what a cross-backend sweep pays per design point. The serialized
+// baseline simulates *more* modeled work (the external round trip), so
+// its host cost differs from EDEA's; docs/BENCHMARKS.md records both.
+
+void BM_BackendNetwork(benchmark::State& state, const char* backend_id) {
+  nn::DscLayerSpec spec;
+  spec.in_rows = 8;
+  spec.in_cols = 8;
+  spec.in_channels = 64;
+  spec.out_channels = 64;
+  Rng rng(9);
+  const nn::FloatDscLayer fl = nn::make_random_float_layer(spec, rng);
+  const std::vector<nn::QuantDscLayer> network{nn::quantize_layer(
+      fl, nn::QuantScale{0.02f}, nn::QuantScale{0.03f},
+      nn::QuantScale{0.03f})};
+  nn::Int8Tensor input(nn::Shape{8, 8, 64});
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  const auto backend = core::make_backend(backend_id);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend->run_network(network, input));
+  }
+  state.SetItemsProcessed(state.iterations() * spec.total_macs());
+}
+BENCHMARK_CAPTURE(BM_BackendNetwork, edea, "edea");
+BENCHMARK_CAPTURE(BM_BackendNetwork, serialized, "serialized");
+
 // --- simulation service: cache-hit vs cache-miss request latency ----------
 //
 // The service exists because DSE refinement revisits design points; these
@@ -224,9 +265,10 @@ struct ServiceBenchWorkload {
     }
   }
 
-  [[nodiscard]] core::SweepJob job() const {
+  [[nodiscard]] core::SweepJob job(const char* backend = "edea") const {
     core::SweepJob j;
     j.name = "bench";
+    j.backend = backend;
     j.layers = &layers;
     j.input = &input;
     return j;
@@ -238,17 +280,21 @@ struct ServiceBenchWorkload {
   }
 };
 
-void BM_ServiceCacheMiss(benchmark::State& state) {
+void BM_ServiceCacheMiss(benchmark::State& state, const char* backend) {
   const ServiceBenchWorkload& workload = ServiceBenchWorkload::instance();
   service::ServiceOptions options;
   options.cache_capacity = 0;  // memoization off: every submission simulates
   service::SimulationService svc(options);
   for (auto _ : state) {
-    benchmark::DoNotOptimize(svc.submit(workload.job()).get());
+    benchmark::DoNotOptimize(svc.submit(workload.job(backend)).get());
   }
   state.SetItemsProcessed(state.iterations());
 }
-BENCHMARK(BM_ServiceCacheMiss)->UseRealTime();
+// The EDEA-vs-serialized service latency pair docs/BENCHMARKS.md records:
+// what one cold request costs on each dataflow.
+BENCHMARK_CAPTURE(BM_ServiceCacheMiss, edea, "edea")->UseRealTime();
+BENCHMARK_CAPTURE(BM_ServiceCacheMiss, serialized, "serialized")
+    ->UseRealTime();
 
 void BM_ServiceCacheHit(benchmark::State& state) {
   const ServiceBenchWorkload& workload = ServiceBenchWorkload::instance();
@@ -285,6 +331,121 @@ void BM_ServiceCachePersistedHit(benchmark::State& state) {
 }
 BENCHMARK(BM_ServiceCachePersistedHit)->UseRealTime();
 
+// --- --json reporting ------------------------------------------------------
+
+/// Console reporter that also collects every finished run, so main() can
+/// emit the machine-readable summary CI archives. Collection happens in
+/// ReportRuns (after each benchmark finishes), display is delegated to
+/// the stock console reporter - the human-readable output is unchanged.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double real_time_ns = 0.0;
+    double cpu_time_ns = 0.0;
+    std::int64_t iterations = 0;
+  };
+
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    // No skip filtering: the skip-marker field was renamed across Google
+    // Benchmark versions (error_occurred -> skipped), and a skipped run's
+    // zero timings in the JSON are harmless next to a broken build.
+    for (const Run& run : runs) {
+      Row row;
+      row.name = run.benchmark_name();
+      row.real_time_ns = run.GetAdjustedRealTime();
+      row.cpu_time_ns = run.GetAdjustedCPUTime();
+      row.iterations = static_cast<std::int64_t>(run.iterations);
+      rows_.push_back(std::move(row));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept {
+    return rows_;
+  }
+
+ private:
+  std::vector<Row> rows_;
+};
+
+/// JSON string escaping for benchmark names (quotes/backslashes only -
+/// names are ASCII identifiers plus '/' and ':').
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Writes the collected rows as a JSON object: benchmark name -> its
+/// timings. Returns false (with a message on stderr) when the file cannot
+/// be written - CI must fail loudly, not archive nothing.
+bool write_json(const std::string& path,
+                const std::vector<CollectingReporter::Row>& rows) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    std::cerr << "bench_micro_kernels: cannot write --json file '" << path
+              << "'\n";
+    return false;
+  }
+  out << "{\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    out << "  \"" << json_escape(r.name) << "\": {"
+        << "\"real_time_ns\": " << r.real_time_ns << ", "
+        << "\"cpu_time_ns\": " << r.cpu_time_ns << ", "
+        << "\"iterations\": " << r.iterations << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "}\n";
+  out.flush();
+  if (!out.good()) {
+    std::cerr << "bench_micro_kernels: failed writing '" << path << "'\n";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Consume our own --json PATH before Google Benchmark validates the
+  // remaining flags (it rejects options it does not know).
+  std::string json_path;
+  std::vector<char*> passthrough;
+  passthrough.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_micro_kernels: --json needs a file path\n";
+        return 2;
+      }
+      json_path = argv[++i];
+      continue;
+    }
+    passthrough.push_back(argv[i]);
+  }
+  int pass_argc = static_cast<int>(passthrough.size());
+
+  benchmark::Initialize(&pass_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(pass_argc,
+                                             passthrough.data())) {
+    return 1;
+  }
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty() && !write_json(json_path, reporter.rows())) {
+    return 1;
+  }
+  return 0;
+}

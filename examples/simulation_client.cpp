@@ -4,7 +4,11 @@
 //
 //   simulation_server --listen 47163 &
 //   simulation_client --connect 127.0.0.1:47163 [--verify]
-//       [--expect-all-hits] < examples/simulation_requests.txt
+//       [--expect-all-hits] [--backend ID] < examples/simulation_requests.txt
+//
+// Run `simulation_client --help` for every flag; see
+// service/client_cli.hpp for the parsed grammar. --backend mirrors the
+// server's default backend in the in-process --verify reference.
 //
 // --verify recomputes the reference responses *in process* by running the
 // same request lines through the same Session + SimulationService code
@@ -27,63 +31,12 @@
 #include <utility>
 #include <vector>
 
+#include "service/client_cli.hpp"
 #include "service/session.hpp"
 #include "service/simulation_service.hpp"
 #include "service/transport.hpp"
 
 namespace {
-
-struct ClientConfig {
-  std::string host = "127.0.0.1";
-  std::uint16_t port = 0;
-  bool connect_given = false;
-  bool verify = false;
-  bool expect_all_hits = false;
-  std::string error;
-};
-
-ClientConfig parse_args(int argc, char** argv) {
-  ClientConfig config;
-  for (int i = 1; i < argc && config.error.empty(); ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--verify") {
-      config.verify = true;
-    } else if (arg == "--expect-all-hits") {
-      config.expect_all_hits = true;
-    } else if (arg == "--connect" && i + 1 < argc) {
-      const std::string target = argv[++i];
-      const std::size_t colon = target.rfind(':');
-      if (colon == std::string::npos || colon + 1 >= target.size()) {
-        config.error = "--connect needs HOST:PORT, got '" + target + "'";
-        break;
-      }
-      config.host = target.substr(0, colon);
-      try {
-        std::size_t consumed = 0;
-        const unsigned long port = std::stoul(target.substr(colon + 1),
-                                              &consumed);
-        if (consumed != target.size() - colon - 1 || port > 65535) {
-          config.error = "bad port in '" + target + "'";
-          break;
-        }
-        config.port = static_cast<std::uint16_t>(port);
-      } catch (const std::exception&) {
-        config.error = "bad port in '" + target + "'";
-        break;
-      }
-      config.connect_given = true;
-    } else {
-      config.error = "unknown option '" + arg + "'";
-    }
-  }
-  if (config.error.empty() && !config.connect_given) {
-    config.error = "--connect HOST:PORT is required";
-  }
-  if (config.error.empty() && config.expect_all_hits && !config.verify) {
-    config.error = "--expect-all-hits requires --verify";
-  }
-  return config;
-}
 
 /// Splits a response line into (content with the cache token blanked,
 /// cache token). Lines without a cache token come back unchanged with an
@@ -105,8 +58,11 @@ std::pair<std::string, std::string> split_cache_token(
 /// The in-process reference: the exact stdio code path (Session over
 /// string streams against a fresh default service), producing the
 /// response lines the stdio driver would print for `request_lines`.
+/// `default_backend` mirrors the server's --backend ("" = protocol
+/// default).
 std::vector<std::string> reference_responses(
-    const std::vector<std::string>& request_lines) {
+    const std::vector<std::string>& request_lines,
+    const std::string& default_backend) {
   std::ostringstream joined;
   for (const std::string& line : request_lines) joined << line << "\n";
   std::istringstream in(joined.str());
@@ -115,7 +71,9 @@ std::vector<std::string> reference_responses(
   edea::service::SimulationService svc;
   edea::service::WorkloadCatalog catalog;
   edea::service::StdioStream stream(in, out);
-  (void)edea::service::Session(svc, catalog).serve(stream);
+  edea::service::SessionOptions options;
+  if (!default_backend.empty()) options.backend = default_backend;
+  (void)edea::service::Session(svc, catalog, options).serve(stream);
 
   std::vector<std::string> lines;
   std::istringstream replay(out.str());
@@ -129,12 +87,16 @@ std::vector<std::string> reference_responses(
 int main(int argc, char** argv) {
   using namespace edea;
 
-  const ClientConfig config = parse_args(argc, argv);
+  const service::ClientConfig config =
+      service::parse_client_args(argc - 1, argv + 1);
   if (!config.error.empty()) {
-    std::cerr << "simulation_client: " << config.error << "\n"
-              << "usage: simulation_client --connect HOST:PORT [--verify] "
-                 "[--expect-all-hits] < requests.txt\n";
+    std::cerr << "simulation_client: " << config.error << "\n\n"
+              << service::client_usage();
     return 2;
+  }
+  if (config.help) {
+    std::cout << service::client_usage();
+    return 0;
   }
 
   std::vector<std::string> request_lines;
@@ -171,7 +133,8 @@ int main(int argc, char** argv) {
 
   if (!config.verify) return 0;
 
-  const std::vector<std::string> expected = reference_responses(request_lines);
+  const std::vector<std::string> expected =
+      reference_responses(request_lines, config.backend);
   bool all_ok = true;
   if (responses.size() != expected.size()) {
     std::cerr << "VERIFY FAIL: " << responses.size() << " responses, expected "

@@ -22,6 +22,7 @@
 #include <iostream>
 #include <map>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -79,18 +80,19 @@ bool verify_session(const edea::service::SessionStats& stats,
   }
 
   // Structural cache accounting: within one session, the first occurrence
-  // of each (workload, config) key either simulates (a miss) or lands in
-  // the preloaded persisted cache (a hit); every repeat is a hit. This
-  // prediction only holds when nothing gets evicted, i.e. the capacity
-  // covers every distinct key; with a smaller --cache, eviction timing
-  // decides which repeats re-simulate, so only bit-identity is checked.
-  std::map<std::pair<std::uint64_t, std::uint64_t>, int> seen;
+  // of each (workload, config, backend) key either simulates (a miss) or
+  // lands in the preloaded persisted cache (a hit); every repeat is a hit.
+  // This prediction only holds when nothing gets evicted, i.e. the
+  // capacity covers every distinct key; with a smaller --cache, eviction
+  // timing decides which repeats re-simulate, so only bit-identity is
+  // checked.
+  std::map<std::tuple<std::uint64_t, std::uint64_t, std::string>, int> seen;
   std::uint64_t expect_misses = 0;
   for (std::size_t i = 0; i < stats.jobs.size(); ++i) {
     const SweepJob& job = stats.jobs[i];
-    const auto key = std::make_pair(
+    const auto key = std::make_tuple(
         edea::core::network_fingerprint(*job.layers, *job.input),
-        job.config.hash());
+        job.config.hash(), stats.outcomes[i].backend);
     if (seen[key]++ == 0 && !stats.outcomes[i].summary_only) ++expect_misses;
   }
   if (cache_capacity >= seen.size()) {
@@ -188,8 +190,10 @@ int main(int argc, char** argv) {
     g_transport = &transport;
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
+    service::SessionOptions session_options;
+    session_options.backend = config.backend;
     transport.serve([&](service::Stream& stream) {
-      service::Session(svc, catalog).serve(stream);
+      service::Session(svc, catalog, session_options).serve(stream);
     });
     std::signal(SIGINT, SIG_DFL);
     std::signal(SIGTERM, SIG_DFL);
@@ -198,6 +202,7 @@ int main(int argc, char** argv) {
     // --- stdio mode: one session over stdin/stdout ------------------------
     service::SessionOptions session_options;
     session_options.record_traffic = config.verify;
+    session_options.backend = config.backend;
     service::StdioStream stream(std::cin, std::cout);
     service::Session session(svc, catalog, session_options);
     const service::SessionStats stats = session.serve(stream);

@@ -17,6 +17,29 @@ SerializedDscAccelerator::SerializedDscAccelerator(core::EdeaConfig config)
   config_.validate();
 }
 
+void SerializedDscAccelerator::set_tile_parallelism(int parallelism) {
+  EDEA_REQUIRE(parallelism >= 1,
+               "tile_parallelism must be >= 1 (the serialized baseline "
+               "executes tiles serially at every accepted width)");
+  tile_parallelism_ = parallelism;
+}
+
+core::NetworkRunResult SerializedDscAccelerator::run_network(
+    const std::vector<nn::QuantDscLayer>& layers,
+    const nn::Int8Tensor& input) {
+  EDEA_REQUIRE(!layers.empty(), "network must have at least one layer");
+  core::NetworkRunResult net;
+  net.layers.reserve(layers.size());
+  nn::Int8Tensor x = input;
+  for (const nn::QuantDscLayer& layer : layers) {
+    SerializedLayerResult r = run_layer(layer, x);
+    x = r.common.output;
+    net.layers.push_back(std::move(r.common));
+  }
+  net.output = x;
+  return net;
+}
+
 SerializedLayerResult SerializedDscAccelerator::run_layer(
     const nn::QuantDscLayer& layer, const nn::Int8Tensor& input) {
   const nn::DscLayerSpec& spec = layer.spec;
@@ -24,6 +47,17 @@ SerializedLayerResult SerializedDscAccelerator::run_layer(
                    input.dim(1) == spec.in_cols &&
                    input.dim(2) == spec.in_channels,
                "layer input shape mismatch");
+  // Same mapping preconditions as the EDEA backend: the engines are wired
+  // for the configured kernel extent, and a mismatched layer must fail
+  // loudly here - indexing a 3x3 weight tensor with a 5x5 kernel would
+  // read out of bounds, not simulate a different design.
+  EDEA_REQUIRE(spec.kernel == config_.kernel,
+               "layer kernel " + std::to_string(spec.kernel) +
+                   " does not match the engine's " +
+                   std::to_string(config_.kernel) + "x" +
+                   std::to_string(config_.kernel) + " datapath");
+  EDEA_REQUIRE(spec.stride == 1 || spec.stride == 2,
+               "the DWC engine supports strides 1 and 2");
 
   Tiler tiler(config_, spec);
   dwc_.reset_activity();

@@ -13,6 +13,7 @@
 #pragma once
 
 #include "arch/ext_memory.hpp"
+#include "core/backend.hpp"
 #include "core/config.hpp"
 #include "core/dwc_engine.hpp"
 #include "core/nonconv_unit.hpp"
@@ -33,7 +34,11 @@ struct SerializedLayerResult {
   std::int64_t intermediate_external_reads = 0;   ///< N*M*D
 };
 
-class SerializedDscAccelerator {
+/// The "serialized" entry of the backend registry (core/backend.hpp):
+/// a full-network accelerator model of the comparison architecture.
+/// run_layer remains available for single-layer studies that want the
+/// phase-split extras of SerializedLayerResult.
+class SerializedDscAccelerator final : public core::AcceleratorBackend {
  public:
   explicit SerializedDscAccelerator(
       core::EdeaConfig config = core::EdeaConfig::paper());
@@ -41,8 +46,31 @@ class SerializedDscAccelerator {
   [[nodiscard]] SerializedLayerResult run_layer(
       const nn::QuantDscLayer& layer, const nn::Int8Tensor& input);
 
-  [[nodiscard]] const core::EdeaConfig& config() const noexcept {
+  /// Runs a stack of DSC layers back to back, chaining outputs - the
+  /// promoted full-network entry point sweeps/DSE/service consume. Output
+  /// tensors are bit-exact with the "edea" backend (shared arithmetic);
+  /// cycles and external traffic differ as the paper predicts.
+  [[nodiscard]] core::NetworkRunResult run_network(
+      const std::vector<nn::QuantDscLayer>& layers,
+      const nn::Int8Tensor& input) override;
+
+  /// Accepted for backend-interface parity and validated (>= 1), but the
+  /// serialized baseline always executes its tiles serially: its two
+  /// whole-layer phases share the externally-stored intermediate map, so
+  /// there is no host-parallel implementation. Results are trivially
+  /// bit-identical at every accepted width, which is all the backend
+  /// contract requires.
+  void set_tile_parallelism(int parallelism) override;
+  [[nodiscard]] int tile_parallelism() const noexcept override {
+    return tile_parallelism_;
+  }
+
+  [[nodiscard]] const core::EdeaConfig& config() const noexcept override {
     return config_;
+  }
+
+  [[nodiscard]] std::string_view backend_id() const noexcept override {
+    return "serialized";
   }
 
  private:
@@ -50,6 +78,7 @@ class SerializedDscAccelerator {
   core::DwcEngine dwc_;
   core::PwcEngine pwc_;
   core::NonConvUnitArray nonconv_;
+  int tile_parallelism_ = 1;
 };
 
 /// Analytic utilization model of a *unified* convolution engine ([2]-[4]):

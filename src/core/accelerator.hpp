@@ -28,6 +28,7 @@
 
 #include "arch/ext_memory.hpp"
 #include "arch/sram.hpp"
+#include "core/backend.hpp"
 #include "core/config.hpp"
 #include "core/dwc_engine.hpp"
 #include "core/nonconv_unit.hpp"
@@ -44,10 +45,11 @@ namespace detail {
 class TileWorker;  // per-worker engine/buffer/counter state (accelerator.cpp)
 }
 
-class EdeaAccelerator {
+/// The "edea" entry of the backend registry (core/backend.hpp).
+class EdeaAccelerator final : public AcceleratorBackend {
  public:
   explicit EdeaAccelerator(EdeaConfig config = EdeaConfig::paper());
-  ~EdeaAccelerator();
+  ~EdeaAccelerator() override;
 
   EdeaAccelerator(const EdeaAccelerator&) = delete;
   EdeaAccelerator& operator=(const EdeaAccelerator&) = delete;
@@ -59,7 +61,7 @@ class EdeaAccelerator {
   /// Runs a stack of DSC layers back to back (e.g. all of MobileNetV1).
   [[nodiscard]] NetworkRunResult run_network(
       const std::vector<nn::QuantDscLayer>& layers,
-      const nn::Int8Tensor& input);
+      const nn::Int8Tensor& input) override;
 
   /// Attaches a pipeline trace sink; the next run_layer records its first
   /// pass (Fig. 7 diagram). Pass nullptr to detach. While a trace is
@@ -76,12 +78,18 @@ class EdeaAccelerator {
   /// a PreconditionError: there is no "auto" policy at this level - tile
   /// workers compete with sweep-level jobs for the same pool, so callers
   /// must state the per-layer width explicitly.
-  void set_tile_parallelism(int parallelism);
-  [[nodiscard]] int tile_parallelism() const noexcept {
+  void set_tile_parallelism(int parallelism) override;
+  [[nodiscard]] int tile_parallelism() const noexcept override {
     return tile_parallelism_;
   }
 
-  [[nodiscard]] const EdeaConfig& config() const noexcept { return config_; }
+  [[nodiscard]] const EdeaConfig& config() const noexcept override {
+    return config_;
+  }
+
+  [[nodiscard]] std::string_view backend_id() const noexcept override {
+    return kDefaultBackendId;  // "edea"
+  }
 
   /// Structural views of the engines (worker 0's instances; all workers
   /// are identically configured).

@@ -14,13 +14,22 @@ SweepOutcome evaluate_job(const SweepJob& job, int tile_parallelism) {
                "sweep job '" + job.name + "' must reference a network");
   EDEA_REQUIRE(tile_parallelism >= 1,
                "tile_parallelism must be >= 1 (1 = serial tiles)");
+  const std::string backend_id =
+      job.backend.empty() ? std::string(kDefaultBackendId) : job.backend;
+  EDEA_REQUIRE(backend_known(backend_id),
+               "sweep job '" + job.name + "' names unknown backend '" +
+                   backend_id + "' (known: " + known_backends_string() + ")");
   SweepOutcome out;
   out.name = job.name;
   out.config = job.config;
+  out.backend = backend_id;
   try {
-    EdeaAccelerator accel(job.config);
-    accel.set_tile_parallelism(tile_parallelism);
-    out.result = accel.run_network(*job.layers, *job.input);
+    // The backend constructor validates the configuration; an infeasible
+    // point throws here or during the run, and either way is data.
+    std::unique_ptr<AcceleratorBackend> accel =
+        make_backend(backend_id, job.config);
+    accel->set_tile_parallelism(tile_parallelism);
+    out.result = accel->run_network(*job.layers, *job.input);
     out.summary = out.result.summary(job.config.clock_ghz);
     out.ok = true;
   } catch (const std::exception& e) {
@@ -71,13 +80,15 @@ std::vector<SweepOutcome> SweepRunner::run(
   // tile_parallelism workers (those always borrow the process-wide shared
   // pool, never this sweep's dedicated one - see docs/ARCHITECTURE.md).
   const int tile_parallelism = options_.tile_parallelism;
-  util::run_indexed(options_.parallelism,
-                    static_cast<std::int64_t>(jobs.size()),
-                    [&jobs, &outcomes, tile_parallelism](std::int64_t i) {
-                      outcomes[static_cast<std::size_t>(i)] = evaluate_job(
-                          jobs[static_cast<std::size_t>(i)],
-                          tile_parallelism);
-                    });
+  const std::string& default_backend = options_.backend;
+  util::run_indexed(
+      options_.parallelism, static_cast<std::int64_t>(jobs.size()),
+      [&jobs, &outcomes, tile_parallelism, &default_backend](std::int64_t i) {
+        SweepJob job = jobs[static_cast<std::size_t>(i)];
+        if (job.backend.empty()) job.backend = default_backend;
+        outcomes[static_cast<std::size_t>(i)] =
+            evaluate_job(job, tile_parallelism);
+      });
   return outcomes;
 }
 

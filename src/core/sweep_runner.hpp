@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "core/backend.hpp"
 #include "core/config.hpp"
 #include "core/run_result.hpp"
 #include "nn/layers.hpp"
@@ -32,6 +33,12 @@ struct SweepJob {
   EdeaConfig config = EdeaConfig::paper();
   const std::vector<nn::QuantDscLayer>* layers = nullptr;
   const nn::Int8Tensor* input = nullptr;
+  /// Accelerator backend id (core/backend.hpp registry) this job simulates
+  /// on. Empty means "the caller's default": evaluate_job resolves it to
+  /// kDefaultBackendId, SweepRunner to its SweepOptions::backend. An
+  /// unknown id is a PreconditionError - a typo'd backend is a caller bug,
+  /// not a design point.
+  std::string backend;
 };
 
 /// Result of one job. A job whose configuration cannot map the network
@@ -40,6 +47,11 @@ struct SweepJob {
 struct SweepOutcome {
   std::string name;
   EdeaConfig config;
+  /// The resolved backend id this outcome was simulated on (never empty -
+  /// an empty SweepJob::backend resolves before evaluation). Part of the
+  /// protocol line and of the service cache key: the same workload and
+  /// configuration on different dataflows are different experiments.
+  std::string backend = std::string(kDefaultBackendId);
   bool ok = false;
   std::string error;
   NetworkRunResult result;
@@ -76,6 +88,11 @@ struct SweepOptions {
   /// bit-identical at every width.
   int tile_parallelism = 1;
 
+  /// Backend id applied to jobs whose SweepJob::backend is empty - the
+  /// sweep-wide default dataflow. Jobs naming their own backend override
+  /// it, so one sweep can mix backends (the cross-dataflow experiment).
+  std::string backend = std::string(kDefaultBackendId);
+
   void validate() const {
     EDEA_REQUIRE(
         parallelism >= 0,
@@ -83,16 +100,21 @@ struct SweepOptions {
     EDEA_REQUIRE(tile_parallelism >= 1,
                  "tile_parallelism must be >= 1 (1 = serial tiles; there is "
                  "no auto policy at tile level)");
+    EDEA_REQUIRE(backend_known(backend),
+                 "unknown sweep backend '" + backend +
+                     "' (known: " + known_backends_string() + ")");
   }
 };
 
-/// Runs one job on a fresh accelerator. Never propagates simulation
-/// failures: an infeasible configuration (ResourceError, ...) comes back
-/// with ok == false and the failure text in `error`, so callers that fan
-/// jobs out (SweepRunner, the simulation service) can treat infeasible
-/// points as data. Null network/input pointers are still a hard
-/// PreconditionError - that is a caller bug, not a design point - and so
-/// is a tile_parallelism < 1 (see SweepOptions::tile_parallelism).
+/// Runs one job on a fresh accelerator built from the job's backend id
+/// through the registry (empty resolves to kDefaultBackendId). Never
+/// propagates simulation failures: an infeasible configuration
+/// (ResourceError, ...) comes back with ok == false and the failure text
+/// in `error`, so callers that fan jobs out (SweepRunner, the simulation
+/// service) can treat infeasible points as data. Null network/input
+/// pointers are still a hard PreconditionError - that is a caller bug,
+/// not a design point - and so are a tile_parallelism < 1 (see
+/// SweepOptions::tile_parallelism) and an unknown backend id.
 [[nodiscard]] SweepOutcome evaluate_job(const SweepJob& job,
                                         int tile_parallelism = 1);
 

@@ -2,7 +2,10 @@
 
 #include <sstream>
 
+#include "core/backend.hpp"
+#include "nn/model_zoo.hpp"
 #include "util/check.hpp"
+#include "util/random.hpp"
 #include "util/thread_pool.hpp"
 
 namespace edea::dse {
@@ -48,6 +51,59 @@ ExplorationResult Explorer::explore(int parallelism) const {
     // Tie-break toward parallelism (see ExplorationResult doc comment).
     if (better_access || (tied_access && cand.pe.total() > best.pe.total())) {
       result.best_index = i;
+    }
+  }
+  return result;
+}
+
+BackendSweepResult Explorer::explore_backends(
+    const std::vector<std::string>& backends, const core::EdeaConfig& config,
+    std::uint64_t seed, int parallelism) const {
+  EDEA_REQUIRE(!backends.empty(),
+               "explore_backends needs at least one backend id");
+  for (const std::string& id : backends) {
+    EDEA_REQUIRE(core::backend_known(id),
+                 "explore_backends: unknown backend '" + id + "' (known: " +
+                     core::known_backends_string() + ")");
+  }
+
+  // Materialize the workload once; every backend consumes the identical
+  // quantized layers and input (that is what makes the sweep controlled).
+  const std::vector<nn::QuantDscLayer> layers =
+      nn::make_random_quant_network(specs_, seed);
+  Rng rng(seed ^ 0xD5E0B4CEu);
+  nn::Int8Tensor input(nn::Shape{specs_.front().in_rows,
+                                 specs_.front().in_cols,
+                                 specs_.front().in_channels});
+  for (auto& v : input.storage()) {
+    v = rng.bernoulli(0.4) ? std::int8_t{0}
+                           : static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+
+  std::vector<core::SweepJob> jobs;
+  jobs.reserve(backends.size());
+  for (const std::string& id : backends) {
+    core::SweepJob job;
+    job.name = id;
+    job.config = config;
+    job.backend = id;
+    job.layers = &layers;
+    job.input = &input;
+    jobs.push_back(std::move(job));
+  }
+
+  core::SweepOptions options;
+  options.parallelism = parallelism;
+  BackendSweepResult result;
+  result.outcomes = core::SweepRunner(options).run(jobs);
+
+  for (std::size_t i = 1; i < result.outcomes.size(); ++i) {
+    const core::SweepOutcome& cand = result.outcomes[i];
+    const core::SweepOutcome& best = result.outcomes[result.fastest_index];
+    if (!cand.ok) continue;
+    if (!best.ok ||
+        cand.summary.total_cycles < best.summary.total_cycles) {
+      result.fastest_index = i;
     }
   }
   return result;

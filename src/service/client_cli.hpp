@@ -1,0 +1,42 @@
+// client_cli.hpp - command line of the simulation client example, as a
+// library component so the flag grammar and the --help text are unit
+// testable (tests/server_cli_test.cpp asserts every documented flag
+// appears in the help output) - the same treatment server_cli.hpp gives
+// the server, applied to the client.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace edea::service {
+
+/// Parsed client command line. `error` empty means the parse succeeded.
+struct ClientConfig {
+  bool help = false;             ///< --help: print usage, exit 0
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;        ///< --connect HOST:PORT
+  bool connect_given = false;
+  bool verify = false;           ///< --verify: byte-compare vs stdio reference
+  bool expect_all_hits = false;  ///< --expect-all-hits: persisted replay
+  /// --backend ID: default backend of the *in-process reference* session
+  /// --verify recomputes against. Must mirror the server's --backend or
+  /// the reference diverges by construction. Validated against the
+  /// registry at parse time.
+  std::string backend;  ///< empty = the protocol default ("edea")
+
+  std::string error;  ///< non-empty: bad usage, message says why
+};
+
+/// Parses argv (past argv[0]). Never throws; any problem - unknown flag,
+/// missing or malformed value (bad HOST:PORT, unknown backend id,
+/// --expect-all-hits without --verify, missing --connect) - comes back in
+/// `error`.
+[[nodiscard]] ClientConfig parse_client_args(int argc,
+                                             const char* const* argv);
+
+/// The full usage/help text: every flag with its value shape and a
+/// one-line description - the single source of truth the --help test pins
+/// each documented option against.
+[[nodiscard]] std::string client_usage();
+
+}  // namespace edea::service

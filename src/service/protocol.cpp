@@ -71,6 +71,14 @@ std::string apply_override(Request& request, const std::string& key,
     if (!parse_u64(value, &request.seed)) return "bad seed '" + value + "'";
     return "";
   }
+  if (key == "backend") {
+    if (!core::backend_known(value)) {
+      return "unknown backend '" + value +
+             "' (known: " + core::known_backends_string() + ")";
+    }
+    request.backend = value;
+    return "";
+  }
   if (key == "clock_ghz") {
     if (!parse_double(value, &request.config.clock_ghz)) {
       return "bad clock_ghz '" + value + "'";
@@ -111,9 +119,15 @@ std::string Request::job_name() const {
   return network + "@" + std::to_string(seed);
 }
 
-ParsedLine parse_request_line(const std::string& line) {
+ParsedLine parse_request_line(const std::string& line,
+                              const std::string& default_backend) {
+  EDEA_REQUIRE(core::backend_known(default_backend),
+               "default backend '" + default_backend +
+                   "' is not registered (known: " +
+                   core::known_backends_string() + ")");
   const std::vector<std::string> tokens = tokenize(line);
   ParsedLine parsed;
+  parsed.request.backend = default_backend;
   if (tokens.empty() || tokens.front().front() == '#') {
     return parsed;  // kEmpty
   }
@@ -150,13 +164,15 @@ std::string format_outcome_line(const core::SweepOutcome& outcome) {
   const std::string cache = outcome.cache_hit ? "hit" : "miss";
   if (!outcome.ok) {
     return "error " + outcome.name + " " + outcome.config.to_string() +
-           " cache=" + cache + " msg=" + outcome.error;
+           " backend=" + outcome.backend + " cache=" + cache +
+           " msg=" + outcome.error;
   }
   // The captured summary, not a recomputation from `result`: outcomes
   // served from the persisted cache of a restarted service carry *only*
   // the summary, and both kinds must format bit-identically.
   const core::RunSummary& s = outcome.summary;
   return "ok " + outcome.name + " " + outcome.config.to_string() +
+         " backend=" + outcome.backend +
          " cycles=" + std::to_string(s.total_cycles) +
          " ops=" + std::to_string(s.total_ops) +
          " gops=" + format_gops(s.average_gops) +

@@ -9,14 +9,21 @@
 //
 // <network> is a model-zoo name (nn::zoo_specs). Recognized keys:
 //   seed       workload seed (weights + input), default 1
+//   backend    accelerator backend id (core/backend.hpp registry):
+//              edea (default) or serialized; an unknown id is a protocol
+//              error - the registry is the protocol's vocabulary, and a
+//              typo'd dataflow must fail loudly, not simulate something
+//              else
 //   tn tm td tk kernel init_cycles max_tile_out   EdeaConfig overrides
 //   clock_ghz  clock in GHz
 //
 // Responses (one per `run`, in request order; <network>@<seed> is the
-// request's job_name(), <config> is EdeaConfig::to_string()):
-//   ok <network>@<seed> <config> cycles=<n> ops=<n> gops=<x> layers=<n>
-//      out=<hex64> cache=hit|miss
-//   error <network>@<seed> <config> cache=hit|miss msg=<text>
+// request's job_name(), <config> is EdeaConfig::to_string(), <backend>
+// the resolved backend id):
+//   ok <network>@<seed> <config> backend=<backend> cycles=<n> ops=<n>
+//      gops=<x> layers=<n> out=<hex64> cache=hit|miss
+//   error <network>@<seed> <config> backend=<backend> cache=hit|miss
+//      msg=<text>
 //
 // A `stats` request answers with one line of exact service counters:
 //   stats hits=<n> misses=<n> evictions=<n> entries=<n> inflight=<n>
@@ -33,6 +40,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/backend.hpp"
 #include "core/config.hpp"
 #include "core/sweep_runner.hpp"
 #include "service/simulation_service.hpp"
@@ -44,6 +52,9 @@ struct Request {
   std::string network;             ///< model-zoo name (unresolved)
   std::uint64_t seed = 1;          ///< synthetic weight/input seed
   core::EdeaConfig config;         ///< paper defaults + line overrides
+  /// Resolved backend id: the line's backend= override, else the parse
+  /// call's default. Always a registered id - unknown ids never parse.
+  std::string backend = std::string(core::kDefaultBackendId);
 
   /// Canonical job name: "<network>@<seed>" - what outcome lines echo.
   [[nodiscard]] std::string job_name() const;
@@ -62,9 +73,16 @@ struct ParsedLine {
   std::string error;
 };
 
-/// Parses one request line. Never throws: malformed input is a kError
-/// result (a service must survive bad clients).
-[[nodiscard]] ParsedLine parse_request_line(const std::string& line);
+/// Parses one request line. Never throws on wire input: malformed lines -
+/// including unknown backend= ids - are a kError result (a service must
+/// survive bad clients). `default_backend` is what `run` requests resolve
+/// to when the line carries no backend= key (the server's --backend); it
+/// is caller configuration, not wire data, so an unknown default is a
+/// PreconditionError.
+[[nodiscard]] ParsedLine parse_request_line(
+    const std::string& line,
+    const std::string& default_backend = std::string(
+        core::kDefaultBackendId));
 
 /// Formats the response line for one completed request.
 [[nodiscard]] std::string format_outcome_line(

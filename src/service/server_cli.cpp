@@ -7,10 +7,12 @@ namespace edea::service {
 
 namespace {
 
-/// Parses a non-negative integer <= `max`. Rejects negatives explicitly:
-/// std::stoul would silently wrap "-2" into a huge count.
+/// Parses a non-negative integer <= `max`. Must start with a digit:
+/// std::stoull would silently wrap "-2" into a huge count, skip leading
+/// whitespace in " 80", and accept a '+' sign - none of which belongs in
+/// a port or thread count.
 bool parse_count(const std::string& text, std::size_t max, std::size_t* out) {
-  if (text.empty() || text.front() == '-') return false;
+  if (text.empty() || text.front() < '0' || text.front() > '9') return false;
   try {
     std::size_t consumed = 0;
     const unsigned long long value = std::stoull(text, &consumed);
@@ -44,6 +46,10 @@ std::string server_usage() {
       "                         at startup (if it exists) and save it back\n"
       "                         on shutdown, so repeated design points\n"
       "                         survive restarts\n"
+      "  --backend ID           default accelerator backend for requests\n"
+      "                         that carry no backend= key; one of the\n"
+      "                         registered dataflows (edea, serialized;\n"
+      "                         default edea)\n"
       "  --workers N            service worker threads (0 = shared pool;\n"
       "                         default 0)\n"
       "  --cache N              result-cache capacity in completed entries\n"
@@ -106,6 +112,14 @@ ServerConfig parse_server_args(int argc, const char* const* argv) {
         break;
       }
       config.cache_file = value;
+    } else if (arg == "--backend") {
+      if (!value_of(i, arg, &value)) break;
+      if (!core::backend_known(value)) {
+        config.error = "--backend: unknown backend '" + value + "' (known: " +
+                       core::known_backends_string() + ")";
+        break;
+      }
+      config.backend = value;
     } else if (arg == "--workers") {
       if (!value_of(i, arg, &value)) break;
       if (!parse_count(value, std::numeric_limits<unsigned>::max(), &count)) {

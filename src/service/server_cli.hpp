@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <string>
 
+#include "core/backend.hpp"
 #include "service/simulation_service.hpp"
 
 namespace edea::service {
@@ -20,6 +21,9 @@ struct ServerConfig {
   std::size_t max_sessions = 0;  ///< --max-sessions N (0 = unlimited)
   std::string cache_file;        ///< --cache-file PATH ("" = no persistence)
   ServiceOptions service;        ///< --workers / --cache / --tile-parallelism
+  /// --backend ID: default backend for requests without a backend= key.
+  /// Validated against the registry at parse time (default "edea").
+  std::string backend = std::string(core::kDefaultBackendId);
 
   std::string error;  ///< non-empty: bad usage, message says why
 };

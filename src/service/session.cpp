@@ -65,7 +65,12 @@ const WorkloadCatalog::Workload& WorkloadCatalog::resolve(
 
 Session::Session(SimulationService& service, WorkloadCatalog& catalog,
                  SessionOptions options)
-    : service_(service), catalog_(catalog), options_(options) {}
+    : service_(service), catalog_(catalog), options_(std::move(options)) {
+  EDEA_REQUIRE(core::backend_known(options_.backend),
+               "session default backend '" + options_.backend +
+                   "' is not registered (known: " +
+                   core::known_backends_string() + ")");
+}
 
 SessionStats Session::serve(Stream& stream) {
   SessionStats stats;
@@ -148,7 +153,7 @@ SessionStats Session::serve(Stream& stream) {
 
   std::string raw;
   while (stream.read_line(raw)) {
-    const ParsedLine parsed = parse_request_line(raw);
+    const ParsedLine parsed = parse_request_line(raw, options_.backend);
     if (parsed.kind == ParsedLine::Kind::kEmpty) continue;
     const std::uint64_t id = ++stats.requests;
 
@@ -184,6 +189,7 @@ SessionStats Session::serve(Stream& stream) {
           core::SweepJob job;
           job.name = request.job_name();
           job.config = request.config;
+          job.backend = request.backend;
           job.layers = &workload.layers;
           job.input = &workload.input;
           if (options_.record_traffic) stats.jobs.push_back(job);
@@ -200,6 +206,7 @@ SessionStats Session::serve(Stream& stream) {
           core::SweepOutcome unresolved;
           unresolved.name = request.job_name();
           unresolved.config = request.config;
+          unresolved.backend = request.backend;
           unresolved.error = e.what();
           reply.kind = Reply::Kind::kText;
           reply.record = false;

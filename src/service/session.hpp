@@ -76,6 +76,12 @@ struct SessionOptions {
   /// SessionStats - what the stdio server's --verify gate replays against
   /// a serial SweepRunner.
   bool record_traffic = false;
+
+  /// Backend id `run` requests resolve to when the line carries no
+  /// backend= key (the server's --backend flag). Must name a registered
+  /// backend - validated at Session construction, because a wrong server
+  /// default is an operator error, not a client's protocol error.
+  std::string backend = std::string(core::kDefaultBackendId);
 };
 
 /// What one serve() call did. Counters cover the whole session; the

@@ -23,7 +23,10 @@ namespace {
 // Encoded so the *file bytes* (little-endian pod write) spell "EDEACAS\0":
 // 'E'=0x45 'D'=0x44 'E'=0x45 'A'=0x41 'C'=0x43 'A'=0x41 'S'=0x53 0x00.
 constexpr std::uint64_t kCacheMagic = 0x0053414341454445ull;
-constexpr std::uint32_t kCacheVersion = 1;
+// Version 2: entries gained the backend id (the cache key became
+// (fingerprint, config, backend)). Version-1 files cannot say which
+// dataflow produced their summaries, so they are rejected, not migrated.
+constexpr std::uint32_t kCacheVersion = 2;
 
 }  // namespace
 
@@ -60,10 +63,18 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
   // entry (NaN != NaN); reject at the boundary instead.
   EDEA_REQUIRE(std::isfinite(job.config.clock_ghz),
                "service request '" + job.name + "' has a non-finite clock");
+  // Resolve the backend up front: the cache key must use the id the
+  // simulation will actually run on, and an unknown id must fail the
+  // submitter here, not surface later as a broken future from the pool.
+  if (job.backend.empty()) job.backend = std::string(core::kDefaultBackendId);
+  EDEA_REQUIRE(core::backend_known(job.backend),
+               "service request '" + job.name + "' names unknown backend '" +
+                   job.backend +
+                   "' (known: " + core::known_backends_string() + ")");
 
   // The fingerprint walks the whole workload - keep it outside the lock.
   const Key key{core::network_fingerprint(*job.layers, *job.input),
-                job.config};
+                job.config, job.backend};
 
   std::promise<core::SweepOutcome> promise;
   std::future<core::SweepOutcome> future = promise.get_future();
@@ -138,6 +149,7 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
     core::SweepOutcome out;
     out.name = std::move(job.name);
     out.config = job.config;
+    out.backend = key.backend;
     out.ok = persisted.ok;
     out.error = std::move(persisted.error);
     out.summary = persisted.summary;
@@ -270,7 +282,10 @@ std::size_t SimulationService::save_cache(const std::string& path) const {
               if (a.first.fingerprint != b.first.fingerprint) {
                 return a.first.fingerprint < b.first.fingerprint;
               }
-              return a.first.config.hash() < b.first.config.hash();
+              if (a.first.config.hash() != b.first.config.hash()) {
+                return a.first.config.hash() < b.first.config.hash();
+              }
+              return a.first.backend < b.first.backend;
             });
 
   util::ByteWriter w;
@@ -280,6 +295,7 @@ std::size_t SimulationService::save_cache(const std::string& path) const {
   for (const auto& [key, result] : entries) {
     w.pod(key.fingerprint);
     key.config.encode(w);
+    w.str(key.backend);
     w.pod(static_cast<std::uint8_t>(result.ok ? 1 : 0));
     w.str(result.error);
     result.summary.encode(w);
@@ -349,6 +365,12 @@ std::size_t SimulationService::load_cache(const std::string& path) {
     Key key;
     key.fingerprint = r.pod<std::uint64_t>();
     key.config = core::EdeaConfig::decode(r);
+    key.backend = r.str();
+    EDEA_REQUIRE(core::backend_known(key.backend),
+                 "cache file '" + path + "' names unknown backend '" +
+                     key.backend +
+                     "' (known: " + core::known_backends_string() +
+                     ") - entries could never be served");
     PersistedResult result;
     result.ok = r.pod<std::uint8_t>() != 0;
     result.error = r.str();

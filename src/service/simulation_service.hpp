@@ -2,12 +2,15 @@
 // sweep runtime.
 //
 // Design-space studies are embarrassingly request-parallel: every request
-// is an independent (network, accelerator config) simulation. The service
-// accepts such requests asynchronously, runs them on a util::ThreadPool,
-// and memoizes completed results in a bounded LRU cache keyed by
-// (network fingerprint, EdeaConfig) - in DSE refinement the same points
-// are revisited constantly, and a revisit should cost a hash lookup, not
-// a simulation.
+// is an independent (network, accelerator config, backend) simulation.
+// The service accepts such requests asynchronously, runs them on a
+// util::ThreadPool, and memoizes completed results in a bounded LRU cache
+// keyed by (network fingerprint, EdeaConfig, backend id) - in DSE
+// refinement the same points are revisited constantly, and a revisit
+// should cost a hash lookup, not a simulation. The backend id is part of
+// the key because the same workload and configuration on different
+// dataflows are different experiments (different cycles and traffic, see
+// core/backend.hpp).
 //
 // Concurrency contract:
 //   - submit()/submit_batch()/serve()/cache_stats() are thread-safe; many
@@ -118,15 +121,18 @@ class SimulationService {
 
   // --- cache persistence (survives service restarts) -----------------------
   //
-  // A cache file stores (network fingerprint, EdeaConfig) -> outcome
-  // *summaries* - everything the line protocol reports (ok/error text plus
-  // the RunSummary), not per-layer tensors - in a versioned, checksummed
-  // binary format (util/binary.hpp + util/hash.hpp). A request that hits a
-  // persisted entry resolves immediately with a summary-only outcome
-  // (SweepOutcome::summary_only) that formats bit-identically to the line
-  // the original simulation produced, and is accounted as a cache hit.
-  // Persisted entries are pinned: they never count against cache_capacity
-  // and are never evicted (the file bounds them).
+  // A cache file stores (network fingerprint, EdeaConfig, backend id) ->
+  // outcome *summaries* - everything the line protocol reports (ok/error
+  // text plus the RunSummary), not per-layer tensors - in a versioned,
+  // checksummed binary format (util/binary.hpp + util/hash.hpp). The
+  // format is at version 2 (version 1 predates backend-keyed entries);
+  // files of any other version are rejected loudly, never migrated - a
+  // v1 file cannot say which dataflow produced its summaries. A request
+  // that hits a persisted entry resolves immediately with a summary-only
+  // outcome (SweepOutcome::summary_only) that formats bit-identically to
+  // the line the original simulation produced, and is accounted as a
+  // cache hit. Persisted entries are pinned: they never count against
+  // cache_capacity and are never evicted (the file bounds them).
 
   /// Writes every completed result - live LRU entries plus previously
   /// loaded persisted entries - to `path`, atomically enough for a service
@@ -146,20 +152,22 @@ class SimulationService {
   std::size_t load_cache(const std::string& path);
 
  private:
-  /// Cache key: the workload fingerprint plus the exact configuration.
-  /// The fingerprint is a content hash (collisions possible in principle),
-  /// the config is compared field-by-field, and the map's equality uses
-  /// both - a collision across different configs can never alias.
+  /// Cache key: the workload fingerprint plus the exact configuration
+  /// plus the backend id. The fingerprint is a content hash (collisions
+  /// possible in principle); the config and backend are compared exactly,
+  /// and the map's equality uses all three - a collision across different
+  /// configs or dataflows can never alias.
   struct Key {
     std::uint64_t fingerprint = 0;
     core::EdeaConfig config;
+    std::string backend;
 
     friend bool operator==(const Key&, const Key&) = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {
       util::Fnv1a64 h;
-      h.pod(k.fingerprint).pod(k.config.hash());
+      h.pod(k.fingerprint).pod(k.config.hash()).str(k.backend);
       return static_cast<std::size_t>(h.digest());
     }
   };

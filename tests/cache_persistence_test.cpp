@@ -130,6 +130,50 @@ TEST(CachePersistenceTest, SaveLoadRoundTripServesHitsBitIdentically) {
   std::remove(path.c_str());
 }
 
+TEST(CachePersistenceTest, EntriesAreKeyedPerBackendAcrossRestarts) {
+  const std::string path = temp_cache_path("backends");
+  Fixture fx;
+
+  // Same workload and config on both dataflows: two distinct keys, two
+  // distinct summaries (cycles diverge; outputs hash identically).
+  core::SweepOutcome edea_first, serial_first;
+  {
+    SimulationService svc;
+    core::SweepJob fast = fx.job("fast");
+    fast.backend = "edea";
+    core::SweepJob slow = fx.job("slow");
+    slow.backend = "serialized";
+    edea_first = svc.submit(fast).get();
+    serial_first = svc.submit(slow).get();
+    ASSERT_TRUE(edea_first.ok) << edea_first.error;
+    ASSERT_TRUE(serial_first.ok) << serial_first.error;
+    EXPECT_EQ(svc.cache_stats().misses, 2u);  // no aliasing between keys
+    EXPECT_EQ(svc.save_cache(path), 2u);
+  }
+  EXPECT_EQ(edea_first.summary.output_hash, serial_first.summary.output_hash);
+  EXPECT_NE(edea_first.summary.total_cycles, serial_first.summary.total_cycles);
+
+  // Restart: each backend's request hits its own persisted entry and
+  // reproduces that backend's summary, not the other's.
+  SimulationService svc;
+  EXPECT_EQ(svc.load_cache(path), 2u);
+  core::SweepJob fast = fx.job("fast");
+  fast.backend = "edea";
+  core::SweepJob slow = fx.job("slow");
+  slow.backend = "serialized";
+  const core::SweepOutcome edea_replay = svc.submit(fast).get();
+  const core::SweepOutcome serial_replay = svc.submit(slow).get();
+  EXPECT_TRUE(edea_replay.cache_hit);
+  EXPECT_TRUE(serial_replay.cache_hit);
+  EXPECT_TRUE(edea_replay.summary_only);
+  EXPECT_EQ(edea_replay.backend, "edea");
+  EXPECT_EQ(serial_replay.backend, "serialized");
+  EXPECT_EQ(edea_replay.summary, edea_first.summary);
+  EXPECT_EQ(serial_replay.summary, serial_first.summary);
+  EXPECT_EQ(svc.cache_stats().misses, 0u);
+  std::remove(path.c_str());
+}
+
 TEST(CachePersistenceTest, ResaveMergesPersistedAndLiveEntries) {
   const std::string path = temp_cache_path("merge");
   Fixture fx;

@@ -6,6 +6,7 @@
 #include "core/config.hpp"
 #include "dse/explorer.hpp"
 #include "nn/mobilenet.hpp"
+#include "nn/model_zoo.hpp"
 #include "util/check.hpp"
 
 namespace edea::dse {
@@ -301,6 +302,59 @@ TEST(IntermediateAccess, StreamingNeverIncreasesAccesses) {
     EXPECT_LT(a.streaming_total(), a.baseline_total());
     EXPECT_EQ(a.baseline_total() - a.streaming_total(), a.intermediate);
   }
+}
+
+// ------------------------------------------------ cross-backend sweeps ---
+
+TEST(BackendSweep, SimulatesEveryRequestedDataflowAndPicksTheFastest) {
+  // The compact zoo network keeps the simulated sweep quick; the ordering
+  // claims are the same ones backend_test pins on every network.
+  Explorer explorer(nn::edeanet_specs());
+  const BackendSweepResult result =
+      explorer.explore_backends({"edea", "serialized"});
+
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  EXPECT_EQ(result.outcomes[0].backend, "edea");
+  EXPECT_EQ(result.outcomes[1].backend, "serialized");
+  ASSERT_TRUE(result.outcomes[0].ok) << result.outcomes[0].error;
+  ASSERT_TRUE(result.outcomes[1].ok) << result.outcomes[1].error;
+
+  // Bit-exact outputs, the Fig. 3 latency ordering, EDEA selected.
+  EXPECT_EQ(result.outcomes[0].summary.output_hash,
+            result.outcomes[1].summary.output_hash);
+  EXPECT_LT(result.outcomes[0].summary.total_cycles,
+            result.outcomes[1].summary.total_cycles);
+  EXPECT_EQ(result.fastest_index, 0u);
+
+  // Deterministic: a parallel sweep returns the identical outcomes.
+  const BackendSweepResult parallel =
+      explorer.explore_backends({"edea", "serialized"},
+                                core::EdeaConfig::paper(), 1, 2);
+  ASSERT_EQ(parallel.outcomes.size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(parallel.outcomes[i].summary,
+              result.outcomes[i].summary);
+  }
+  EXPECT_EQ(parallel.fastest_index, result.fastest_index);
+}
+
+TEST(BackendSweep, InfeasibleConfigurationsAreDataNotErrors) {
+  Explorer explorer(nn::edeanet_specs());
+  core::EdeaConfig config;
+  config.kernel = 5;  // cannot map the 3x3 network on either dataflow
+  const BackendSweepResult result =
+      explorer.explore_backends({"edea", "serialized"}, config);
+  ASSERT_EQ(result.outcomes.size(), 2u);
+  EXPECT_FALSE(result.outcomes[0].ok);
+  EXPECT_FALSE(result.outcomes[1].ok);
+  EXPECT_FALSE(result.outcomes[0].error.empty());
+}
+
+TEST(BackendSweep, RejectsUnknownIdsAndEmptyLists) {
+  Explorer explorer(nn::edeanet_specs());
+  EXPECT_THROW((void)explorer.explore_backends({}), PreconditionError);
+  EXPECT_THROW((void)explorer.explore_backends({"edea", "warp-drive"}),
+               PreconditionError);
 }
 
 }  // namespace

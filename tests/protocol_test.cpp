@@ -137,6 +137,63 @@ TEST(ProtocolFormatTest, SummaryOnlyOutcomeFormatsLikeTheLiveOne) {
             std::string::npos);
 }
 
+TEST(ProtocolParseTest, BackendKeyResolvesAgainstTheRegistry) {
+  // Default: the protocol default backend.
+  const ParsedLine def = parse_request_line("run edeanet-64");
+  ASSERT_EQ(def.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(def.request.backend, "edea");
+
+  // Explicit override to another registered dataflow.
+  const ParsedLine serialized =
+      parse_request_line("run edeanet-64 backend=serialized");
+  ASSERT_EQ(serialized.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(serialized.request.backend, "serialized");
+
+  // Unknown ids are protocol errors naming the known vocabulary - a
+  // typo'd dataflow must never silently simulate something else.
+  const ParsedLine unknown =
+      parse_request_line("run edeanet-64 backend=warp-drive");
+  ASSERT_EQ(unknown.kind, ParsedLine::Kind::kError);
+  EXPECT_NE(unknown.error.find("unknown backend 'warp-drive'"),
+            std::string::npos)
+      << unknown.error;
+  EXPECT_NE(unknown.error.find("edea"), std::string::npos) << unknown.error;
+  EXPECT_NE(unknown.error.find("serialized"), std::string::npos)
+      << unknown.error;
+}
+
+TEST(ProtocolParseTest, CallerDefaultBackendAppliesWhenLineNamesNone) {
+  // The server's --backend: requests without backend= resolve to it ...
+  const ParsedLine def = parse_request_line("run edeanet-64", "serialized");
+  ASSERT_EQ(def.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(def.request.backend, "serialized");
+  // ... and an explicit key still wins.
+  const ParsedLine exp =
+      parse_request_line("run edeanet-64 backend=edea", "serialized");
+  ASSERT_EQ(exp.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(exp.request.backend, "edea");
+  // An unregistered *default* is caller configuration gone wrong, not a
+  // client's malformed line - precondition, not protocol error.
+  EXPECT_THROW((void)parse_request_line("run edeanet-64", "warp-drive"),
+               PreconditionError);
+}
+
+TEST(ProtocolFormatTest, OutcomeLinesEchoTheBackend) {
+  core::SweepOutcome outcome;
+  outcome.name = "edeanet-64@7";
+  outcome.ok = true;
+  EXPECT_NE(format_outcome_line(outcome).find(" backend=edea "),
+            std::string::npos)
+      << format_outcome_line(outcome);
+  outcome.backend = "serialized";
+  EXPECT_NE(format_outcome_line(outcome).find(" backend=serialized "),
+            std::string::npos);
+  outcome.ok = false;
+  outcome.error = "boom";
+  EXPECT_NE(format_outcome_line(outcome).find(" backend=serialized "),
+            std::string::npos);
+}
+
 TEST(ProtocolRoundTripTest, IdenticalRequestLinesYieldIdenticalKeys) {
   const ParsedLine a = parse_request_line("run edeanet-64 seed=7 td=16");
   const ParsedLine b = parse_request_line("run edeanet-64 td=16 seed=7");

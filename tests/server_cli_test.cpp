@@ -1,7 +1,7 @@
-// server_cli_test - the simulation server's command line as a library
-// contract: the --help text documents every flag (the satellite
+// server_cli_test - the simulation server's and client's command lines as
+// library contracts: the --help texts document every flag (the satellite
 // acceptance: each documented option appears in the output), and the
-// parser accepts the documented grammar while rejecting malformed or
+// parsers accept the documented grammar while rejecting malformed or
 // contradictory invocations with a reason.
 #include "service/server_cli.hpp"
 
@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "service/client_cli.hpp"
+
 namespace edea::service {
 namespace {
 
@@ -17,11 +19,15 @@ ServerConfig parse(const std::vector<const char*>& args) {
   return parse_server_args(static_cast<int>(args.size()), args.data());
 }
 
+ClientConfig parse_client(const std::vector<const char*>& args) {
+  return parse_client_args(static_cast<int>(args.size()), args.data());
+}
+
 TEST(ServerCliTest, HelpTextMentionsEveryDocumentedFlag) {
   const std::string usage = server_usage();
   for (const char* flag :
        {"--help", "--listen", "--max-sessions", "--cache-file", "--workers",
-        "--cache", "--tile-parallelism", "--verify"}) {
+        "--cache", "--tile-parallelism", "--backend", "--verify"}) {
     SCOPED_TRACE(flag);
     EXPECT_NE(usage.find(flag), std::string::npos)
         << "flag missing from simulation_server --help output";
@@ -42,13 +48,14 @@ TEST(ServerCliTest, DefaultsMatchTheServiceDefaults) {
   EXPECT_EQ(config.service.worker_threads, 0u);
   EXPECT_EQ(config.service.cache_capacity, ServiceOptions().cache_capacity);
   EXPECT_EQ(config.service.tile_parallelism, 1);
+  EXPECT_EQ(config.backend, "edea");
 }
 
 TEST(ServerCliTest, EveryFlagParses) {
   const ServerConfig config =
       parse({"--listen", "47163", "--max-sessions", "2", "--cache-file",
              "/tmp/edea.cache", "--workers", "3", "--cache", "64",
-             "--tile-parallelism", "4"});
+             "--tile-parallelism", "4", "--backend", "serialized"});
   ASSERT_TRUE(config.error.empty()) << config.error;
   EXPECT_TRUE(config.listen);
   EXPECT_EQ(config.port, 47163);
@@ -57,6 +64,37 @@ TEST(ServerCliTest, EveryFlagParses) {
   EXPECT_EQ(config.service.worker_threads, 3u);
   EXPECT_EQ(config.service.cache_capacity, 64u);
   EXPECT_EQ(config.service.tile_parallelism, 4);
+  EXPECT_EQ(config.backend, "serialized");
+}
+
+TEST(ServerCliTest, ListenPortMustBeNumericAndInRange) {
+  // The satellite bugfix contract: a port outside [0, 65535] or a
+  // non-numeric string answers a clear range-naming error, never
+  // whatever std::stoi would have done.
+  for (const char* bad :
+       {"65536", "70000", "99999999999999999999", "-1", "-0", "8080x",
+        "abc", "0x1F90", " 80", ""}) {
+    SCOPED_TRACE(std::string("port '") + bad + "'");
+    const ServerConfig config = parse({"--listen", bad});
+    EXPECT_FALSE(config.error.empty());
+    EXPECT_NE(config.error.find("[0, 65535]"), std::string::npos)
+        << config.error;
+    EXPECT_FALSE(config.listen);
+  }
+  // The boundary values themselves are fine.
+  EXPECT_TRUE(parse({"--listen", "0"}).error.empty());
+  const ServerConfig top = parse({"--listen", "65535"});
+  EXPECT_TRUE(top.error.empty());
+  EXPECT_EQ(top.port, 65535);
+}
+
+TEST(ServerCliTest, UnknownBackendIsRejectedNamingTheRegistry) {
+  const ServerConfig config = parse({"--backend", "warp-drive"});
+  ASSERT_FALSE(config.error.empty());
+  EXPECT_NE(config.error.find("warp-drive"), std::string::npos);
+  EXPECT_NE(config.error.find("edea"), std::string::npos);
+  EXPECT_NE(config.error.find("serialized"), std::string::npos);
+  EXPECT_FALSE(parse({"--backend"}).error.empty());  // missing value
 }
 
 TEST(ServerCliTest, HelpAndVerifyFlagsParse) {
@@ -99,6 +137,66 @@ TEST(ServerCliTest, ContradictoryModesAreRejected) {
       parse({"--cache", "0", "--cache-file", "/tmp/c.bin"}).error.empty());
   EXPECT_TRUE(
       parse({"--cache", "8", "--cache-file", "/tmp/c.bin"}).error.empty());
+}
+
+// --- the client's command line (service/client_cli.hpp) --------------------
+
+TEST(ClientCliTest, HelpTextMentionsEveryDocumentedFlag) {
+  const std::string usage = client_usage();
+  for (const char* flag : {"--help", "--connect", "--verify",
+                           "--expect-all-hits", "--backend"}) {
+    SCOPED_TRACE(flag);
+    EXPECT_NE(usage.find(flag), std::string::npos)
+        << "flag missing from simulation_client --help output";
+  }
+  EXPECT_NE(usage.find("HOST:PORT"), std::string::npos);
+}
+
+TEST(ClientCliTest, EveryFlagParses) {
+  const ClientConfig config =
+      parse_client({"--connect", "127.0.0.1:47163", "--verify",
+                    "--expect-all-hits", "--backend", "serialized"});
+  ASSERT_TRUE(config.error.empty()) << config.error;
+  EXPECT_TRUE(config.connect_given);
+  EXPECT_EQ(config.host, "127.0.0.1");
+  EXPECT_EQ(config.port, 47163);
+  EXPECT_TRUE(config.verify);
+  EXPECT_TRUE(config.expect_all_hits);
+  EXPECT_EQ(config.backend, "serialized");
+}
+
+TEST(ClientCliTest, HelpNeedsNoConnect) {
+  const ClientConfig config = parse_client({"--help"});
+  EXPECT_TRUE(config.error.empty()) << config.error;
+  EXPECT_TRUE(config.help);
+}
+
+TEST(ClientCliTest, ConnectIsRequiredAndValidated) {
+  EXPECT_FALSE(parse_client({}).error.empty());
+  EXPECT_FALSE(parse_client({"--verify"}).error.empty());
+  for (const char* bad :
+       {"localhost", ":80", "host:", "host:abc", "host:65536", "host:-1",
+        "host:80x", "host:+80", "host: 80"}) {
+    SCOPED_TRACE(std::string("target '") + bad + "'");
+    EXPECT_FALSE(parse_client({"--connect", bad}).error.empty());
+  }
+  const ClientConfig ok = parse_client({"--connect", "localhost:0"});
+  EXPECT_TRUE(ok.error.empty()) << ok.error;
+  EXPECT_EQ(ok.host, "localhost");
+  EXPECT_EQ(ok.port, 0);
+}
+
+TEST(ClientCliTest, ContradictionsAndUnknownsAreRejected) {
+  // --expect-all-hits asserts a property of the --verify comparison.
+  EXPECT_FALSE(parse_client({"--connect", "h:1", "--expect-all-hits"})
+                   .error.empty());
+  EXPECT_FALSE(parse_client({"--connect", "h:1", "--wat"}).error.empty());
+  const ClientConfig bad_backend =
+      parse_client({"--connect", "h:1", "--backend", "warp-drive"});
+  ASSERT_FALSE(bad_backend.error.empty());
+  EXPECT_NE(bad_backend.error.find("warp-drive"), std::string::npos);
+  EXPECT_FALSE(
+      parse_client({"--connect", "h:1", "--backend"}).error.empty());
 }
 
 }  // namespace

@@ -1,0 +1,142 @@
+// util_binary_test - direct coverage of the binary encoding substrate
+// (util/binary.hpp) the persisted result cache is built on: ByteWriter /
+// ByteReader round trips over pods and length-prefixed strings, exact
+// buffer layout, and loud rejection of every out-of-bounds read - the
+// guarantees cache_persistence_test only exercises indirectly.
+#include "util/binary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "util/check.hpp"
+
+namespace edea::util {
+namespace {
+
+TEST(ByteWriterTest, PodsAppendTheirExactObjectRepresentation) {
+  ByteWriter w;
+  w.pod(std::uint8_t{0xAB});
+  EXPECT_EQ(w.buffer().size(), 1u);
+  w.pod(std::int32_t{-2});
+  EXPECT_EQ(w.buffer().size(), 1u + sizeof(std::int32_t));
+  w.pod(3.5);
+  EXPECT_EQ(w.buffer().size(), 1u + sizeof(std::int32_t) + sizeof(double));
+  EXPECT_EQ(static_cast<unsigned char>(w.buffer()[0]), 0xABu);
+}
+
+TEST(ByteWriterTest, StringsAreLengthPrefixedAndMayContainNuls) {
+  ByteWriter w;
+  const std::string payload("a\0b", 3);
+  w.str(payload);
+  // 64-bit size prefix + the raw bytes, NULs preserved.
+  ASSERT_EQ(w.buffer().size(), sizeof(std::uint64_t) + 3u);
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.str(), payload);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteRoundTripTest, MixedSequenceDecodesFieldForField) {
+  ByteWriter w;
+  w.pod(std::uint64_t{0x1122334455667788ull});
+  w.str("");
+  w.pod(std::int64_t{-42});
+  w.str("hello world");
+  w.pod(1.25);
+  w.pod(std::uint8_t{7});
+
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.pod<std::uint64_t>(), 0x1122334455667788ull);
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.pod<std::int64_t>(), -42);
+  EXPECT_EQ(r.str(), "hello world");
+  EXPECT_EQ(r.pod<double>(), 1.25);
+  EXPECT_EQ(r.pod<std::uint8_t>(), 7u);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteReaderTest, TracksRemainingAndExhaustion) {
+  ByteWriter w;
+  w.pod(std::uint32_t{1});
+  w.pod(std::uint32_t{2});
+  ByteReader r(w.buffer());
+  EXPECT_FALSE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.pod<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 4u);
+  EXPECT_FALSE(r.exhausted());
+  (void)r.pod<std::uint32_t>();
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReaderTest, PodPastTheEndThrowsWithoutAdvancing) {
+  ByteWriter w;
+  w.pod(std::uint16_t{0xBEEF});
+  ByteReader r(w.buffer());
+  // A wider read than what remains must throw ...
+  EXPECT_THROW((void)r.pod<std::uint64_t>(), PreconditionError);
+  // ... and leave the reader usable: the two bytes are still there.
+  EXPECT_EQ(r.remaining(), 2u);
+  EXPECT_EQ(r.pod<std::uint16_t>(), 0xBEEF);
+  // Reading from an exhausted reader throws too.
+  EXPECT_THROW((void)r.pod<std::uint8_t>(), PreconditionError);
+}
+
+TEST(ByteReaderTest, EmptyBufferRejectsEveryRead) {
+  ByteReader r(std::string_view{});
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_THROW((void)r.pod<std::uint8_t>(), PreconditionError);
+  EXPECT_THROW((void)r.str(), PreconditionError);
+}
+
+TEST(ByteReaderTest, TruncatedSizePrefixIsRejected) {
+  // Fewer than the 8 prefix bytes: str() must not read a partial length.
+  ByteReader r(std::string_view("\x03\x00\x00", 3));
+  EXPECT_THROW((void)r.str(), PreconditionError);
+}
+
+TEST(ByteReaderTest, SizePrefixBeyondRemainingIsRejected) {
+  // A valid 8-byte prefix announcing more payload than the buffer holds -
+  // the shape a truncated cache file produces.
+  ByteWriter w;
+  w.pod(std::uint64_t{100});  // claims 100 bytes follow
+  std::string bytes = w.buffer();
+  bytes += "short";
+  ByteReader r(bytes);
+  EXPECT_THROW((void)r.str(), PreconditionError);
+}
+
+TEST(ByteReaderTest, HugeSizePrefixCannotOverflowTheBoundsCheck) {
+  // 2^64-1 would wrap any naive pos+length arithmetic; the check compares
+  // against remaining() and must reject cleanly.
+  ByteWriter w;
+  w.pod(std::numeric_limits<std::uint64_t>::max());
+  w.pod(std::uint8_t{1});
+  ByteReader r(w.buffer());
+  EXPECT_THROW((void)r.str(), PreconditionError);
+}
+
+TEST(ByteRoundTripTest, ZeroLengthStringAtTheExactEndIsFine) {
+  ByteWriter w;
+  w.pod(std::uint64_t{0});
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteRoundTripTest, WriterBufferIsAppendOnlyAcrossReads) {
+  // Reading never mutates the writer's buffer; two readers over the same
+  // buffer decode independently.
+  ByteWriter w;
+  w.str("stable");
+  ByteReader a(w.buffer());
+  ByteReader b(w.buffer());
+  EXPECT_EQ(a.str(), "stable");
+  EXPECT_EQ(b.str(), "stable");
+}
+
+}  // namespace
+}  // namespace edea::util
