@@ -22,6 +22,7 @@
 #include "core/dwc_engine.hpp"
 #include "core/pwc_engine.hpp"
 #include "core/sweep_runner.hpp"
+#include "nn/arena.hpp"
 #include "nn/layers.hpp"
 #include "nn/model_zoo.hpp"
 #include "nn/ops.hpp"
@@ -228,6 +229,56 @@ void BM_BackendNetwork(benchmark::State& state, const char* backend_id) {
 }
 BENCHMARK_CAPTURE(BM_BackendNetwork, edea, "edea");
 BENCHMARK_CAPTURE(BM_BackendNetwork, serialized, "serialized");
+
+// --- arena planning and batched execution ---------------------------------
+//
+// What the planned-memory runtime costs and saves: BM_ArenaPlanSetup is
+// the pure planning overhead (blob registration + first-fit offsets) a
+// run_network call pays before any arithmetic; BM_BatchedNetworkRun
+// divides one batch=N run's wall clock by N, so the per-image latency
+// falling with N is the amortization of that setup (plus worker/buffer
+// construction) across images. docs/BENCHMARKS.md records both.
+
+void BM_ArenaPlanSetup(benchmark::State& state) {
+  const std::vector<nn::DscLayerSpec> specs = nn::zoo_specs("edeanet-64");
+  const std::vector<nn::QuantDscLayer> network =
+      nn::make_random_quant_network(specs, 7);
+  const nn::Shape input_shape{specs.front().in_rows, specs.front().in_cols,
+                              specs.front().in_channels};
+  for (auto _ : state) {
+    nn::MemoryPlanner planner;
+    const nn::NetworkActivationPlan acts =
+        nn::plan_network_activations(planner, network, input_shape, 4);
+    benchmark::DoNotOptimize(acts);
+    benchmark::DoNotOptimize(planner.plan());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(network.size()));
+}
+BENCHMARK(BM_ArenaPlanSetup);
+
+void BM_BatchedNetworkRun(benchmark::State& state) {
+  const int batch = static_cast<int>(state.range(0));
+  const std::vector<nn::DscLayerSpec> specs = nn::zoo_specs("edeanet-64");
+  const std::vector<nn::QuantDscLayer> network =
+      nn::make_random_quant_network(specs, 7);
+  nn::Int8Tensor input(nn::Shape{specs.front().in_rows,
+                                 specs.front().in_cols,
+                                 specs.front().in_channels});
+  Rng rng(11);
+  for (auto& v : input.storage()) {
+    v = static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  for (auto _ : state) {
+    // A fresh backend per run so construction + planning are inside the
+    // measurement - that is exactly the cost batching amortizes.
+    const auto backend = core::make_backend("edea");
+    benchmark::DoNotOptimize(
+        backend->run_network_batch(network, input, batch));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_BatchedNetworkRun)->Arg(1)->Arg(4)->Arg(16);
 
 // --- simulation service: cache-hit vs cache-miss request latency ----------
 //

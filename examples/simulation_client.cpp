@@ -4,7 +4,8 @@
 //
 //   simulation_server --listen 47163 &
 //   simulation_client --connect 127.0.0.1:47163 [--verify]
-//       [--expect-all-hits] [--backend ID] < examples/simulation_requests.txt
+//       [--expect-all-hits] [--backend ID] [--batch N]
+//       < examples/simulation_requests.txt
 //
 // Run `simulation_client --help` for every flag; see
 // service/client_cli.hpp for the parsed grammar. --backend mirrors the
@@ -59,10 +60,10 @@ std::pair<std::string, std::string> split_cache_token(
 /// string streams against a fresh default service), producing the
 /// response lines the stdio driver would print for `request_lines`.
 /// `default_backend` mirrors the server's --backend ("" = protocol
-/// default).
+/// default); `default_batch` its --batch (0 = protocol default).
 std::vector<std::string> reference_responses(
     const std::vector<std::string>& request_lines,
-    const std::string& default_backend) {
+    const std::string& default_backend, int default_batch) {
   std::ostringstream joined;
   for (const std::string& line : request_lines) joined << line << "\n";
   std::istringstream in(joined.str());
@@ -73,6 +74,7 @@ std::vector<std::string> reference_responses(
   edea::service::StdioStream stream(in, out);
   edea::service::SessionOptions options;
   if (!default_backend.empty()) options.backend = default_backend;
+  if (default_batch != 0) options.batch = default_batch;
   (void)edea::service::Session(svc, catalog, options).serve(stream);
 
   std::vector<std::string> lines;
@@ -134,7 +136,7 @@ int main(int argc, char** argv) {
   if (!config.verify) return 0;
 
   const std::vector<std::string> expected =
-      reference_responses(request_lines, config.backend);
+      reference_responses(request_lines, config.backend, config.batch);
   bool all_ok = true;
   if (responses.size() != expected.size()) {
     std::cerr << "VERIFY FAIL: " << responses.size() << " responses, expected "

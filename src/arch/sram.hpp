@@ -5,6 +5,13 @@
 // buffer, and PWC weight buffer. The model provides byte-addressed storage
 // with a hard capacity limit (writing past capacity is a ResourceError: the
 // tiler exists precisely because layers do not fit) and read/write counters.
+//
+// Storage comes in two modes: owning (the buffer allocates its own bytes)
+// and span (the buffer models capacity/counters over externally planned
+// bytes - an nn::Arena slice - so a worker's whole scratch set is one
+// contiguous allocation). Behaviour is identical in both modes; a span
+// buffer simply does not own its lifetime, which the provider (the
+// accelerator's scratch arena) must outlive.
 #pragma once
 
 #include <cstdint>
@@ -19,26 +26,40 @@ namespace edea::arch {
 
 class SramBuffer {
  public:
+  /// Owning mode: allocates (zeroed) storage of `capacity_bytes`.
   SramBuffer(std::string name, std::int64_t capacity_bytes)
-      : name_(std::move(name)), storage_(check_capacity(capacity_bytes)) {}
+      : name_(std::move(name)),
+        storage_(check_capacity(capacity_bytes)),
+        capacity_(capacity_bytes) {}
+
+  /// Span mode: models the buffer over `capacity_bytes` of externally
+  /// owned storage at `backing` (must be non-null and outlive the buffer).
+  SramBuffer(std::string name, std::uint8_t* backing,
+             std::int64_t capacity_bytes)
+      : name_(std::move(name)), external_(backing), capacity_(capacity_bytes) {
+    (void)check_capacity(capacity_bytes);
+    EDEA_REQUIRE(backing != nullptr,
+                 "span-mode SRAM '" + name_ + "' needs backing storage");
+  }
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] std::int64_t capacity() const noexcept {
-    return static_cast<std::int64_t>(storage_.size());
+  [[nodiscard]] std::int64_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool owns_storage() const noexcept {
+    return external_ == nullptr;
   }
 
   /// Writes `size` bytes at `addr`. Counts one write access per call (the
   /// silicon writes a word or burst per port transaction, not per byte).
   void write(std::int64_t addr, const void* src, std::int64_t size) {
     bounds_check(addr, size, "write");
-    std::memcpy(storage_.data() + addr, src, static_cast<std::size_t>(size));
+    std::memcpy(bytes() + addr, src, static_cast<std::size_t>(size));
     counter_.record_write(size);
   }
 
   /// Reads `size` bytes at `addr` into dst. Counts one read access.
   void read(std::int64_t addr, void* dst, std::int64_t size) {
     bounds_check(addr, size, "read");
-    std::memcpy(dst, storage_.data() + addr, static_cast<std::size_t>(size));
+    std::memcpy(dst, bytes() + addr, static_cast<std::size_t>(size));
     counter_.record_read(size);
   }
 
@@ -62,7 +83,8 @@ class SramBuffer {
 
   /// Zeroes the contents without touching the counters (power-on state).
   void clear_contents() {
-    std::fill(storage_.begin(), storage_.end(), std::uint8_t{0});
+    std::uint8_t* p = bytes();
+    std::memset(p, 0, static_cast<std::size_t>(capacity_));
   }
 
  private:
@@ -71,18 +93,24 @@ class SramBuffer {
     return static_cast<std::size_t>(capacity_bytes);
   }
 
+  [[nodiscard]] std::uint8_t* bytes() noexcept {
+    return external_ != nullptr ? external_ : storage_.data();
+  }
+
   void bounds_check(std::int64_t addr, std::int64_t size,
                     const char* op) const {
-    if (addr < 0 || size < 0 || addr + size > capacity()) {
+    if (addr < 0 || size < 0 || addr + size > capacity_) {
       throw ResourceError("SRAM '" + name_ + "': out-of-range " + op +
                           " at addr " + std::to_string(addr) + " size " +
                           std::to_string(size) + " (capacity " +
-                          std::to_string(capacity()) + ")");
+                          std::to_string(capacity_) + ")");
     }
   }
 
   std::string name_;
-  std::vector<std::uint8_t> storage_;
+  std::vector<std::uint8_t> storage_;         ///< owning mode only
+  std::uint8_t* external_ = nullptr;          ///< span mode only
+  std::int64_t capacity_ = 0;
   AccessCounter counter_;
 };
 

@@ -1,7 +1,10 @@
 #include "baseline/serialized_accelerator.hpp"
 
+#include <algorithm>
+#include <string>
 #include <vector>
 
+#include "nn/arena.hpp"
 #include "util/check.hpp"
 
 namespace edea::baseline {
@@ -24,24 +27,117 @@ void SerializedDscAccelerator::set_tile_parallelism(int parallelism) {
   tile_parallelism_ = parallelism;
 }
 
+namespace {
+
+/// Indexed blob names built by append (the obvious `"l" + to_string(i)`
+/// trips a GCC 12 -Wrestrict false positive in optimized builds).
+std::string layer_blob_name(std::size_t i, const char* what) {
+  std::string name = "l";
+  name += std::to_string(i);
+  name += '.';
+  name += what;
+  return name;
+}
+
+}  // namespace
+
 core::NetworkRunResult SerializedDscAccelerator::run_network(
     const std::vector<nn::QuantDscLayer>& layers,
     const nn::Int8Tensor& input) {
   EDEA_REQUIRE(!layers.empty(), "network must have at least one layer");
+
+  // One plan for the whole run: the activation chain (same planner the
+  // "edea" backend uses - cross-backend bit-exactness keeps holding), plus
+  // this baseline's per-layer scratch: the externally round-tripped
+  // intermediate map and the per-tile psum accumulator, each live only at
+  // its own layer step so the planner folds them into the reuse.
+  nn::MemoryPlanner planner;
+  const nn::NetworkActivationPlan acts =
+      nn::plan_network_activations(planner, layers, input.shape(), 1);
+  std::vector<nn::BlobId> inter_ids;
+  std::vector<nn::BlobId> psum_ids;
+  std::vector<std::size_t> psum_entries;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const nn::DscLayerSpec& spec = layers[i].spec;
+    const auto inter_bytes = static_cast<std::size_t>(spec.out_rows()) *
+                             static_cast<std::size_t>(spec.out_cols()) *
+                             static_cast<std::size_t>(spec.in_channels);
+    inter_ids.push_back(
+        planner.add_blob(layer_blob_name(i, "intermediate"), inter_bytes, i, i));
+    const Tiler tiler(config_, spec);
+    const auto entries =
+        static_cast<std::size_t>(tiler.max_tile_psum_entries());
+    psum_entries.push_back(entries);
+    psum_ids.push_back(planner.add_blob(layer_blob_name(i, "psum"),
+                                        entries * sizeof(std::int32_t), i, i));
+  }
+  nn::Arena arena(planner.plan());
+
+  std::int8_t* in0 = arena.slice<std::int8_t>(acts.inputs[0], input.size());
+  std::copy(input.data(), input.data() + input.size(), in0);
+
   core::NetworkRunResult net;
   net.layers.reserve(layers.size());
-  nn::Int8Tensor x = input;
-  for (const nn::QuantDscLayer& layer : layers) {
-    SerializedLayerResult r = run_layer(layer, x);
-    x = r.common.output;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const nn::DscLayerSpec& spec = layers[i].spec;
+    const nn::Shape in_shape =
+        i == 0 ? input.shape()
+               : nn::Shape{layers[i - 1].spec.out_rows(),
+                           layers[i - 1].spec.out_cols(),
+                           layers[i - 1].spec.out_channels};
+    const nn::BlobId in_id = i == 0 ? acts.inputs[0] : acts.outputs[0][i - 1];
+    const nn::Int8Tensor in_view = nn::Int8Tensor::view(
+        in_shape, arena.slice<std::int8_t>(in_id, in_shape.volume()));
+
+    const nn::Shape out_shape{spec.out_rows(), spec.out_cols(),
+                              spec.out_channels};
+    arena.clear(acts.outputs[0][i]);
+    nn::Int8Tensor out_view = nn::Int8Tensor::view(
+        out_shape,
+        arena.slice<std::int8_t>(acts.outputs[0][i], out_shape.volume()));
+
+    const nn::Shape inter_shape{spec.out_rows(), spec.out_cols(),
+                                spec.in_channels};
+    arena.clear(inter_ids[i]);
+    nn::Int8Tensor inter_view = nn::Int8Tensor::view(
+        inter_shape,
+        arena.slice<std::int8_t>(inter_ids[i], inter_shape.volume()));
+
+    std::int32_t* psum =
+        arena.slice<std::int32_t>(psum_ids[i], psum_entries[i]);
+
+    SerializedLayerResult r = run_layer_into(layers[i], in_view, out_view,
+                                             inter_view, psum,
+                                             psum_entries[i]);
+    r.common.output = out_view;  // deep copy: results outlive the arena
     net.layers.push_back(std::move(r.common));
   }
-  net.output = x;
+  net.output = net.layers.back().output;
+  net.peak_arena_bytes = arena.plan().peak_bytes;
   return net;
 }
 
 SerializedLayerResult SerializedDscAccelerator::run_layer(
     const nn::QuantDscLayer& layer, const nn::Int8Tensor& input) {
+  const nn::DscLayerSpec& spec = layer.spec;
+  nn::Int8Tensor output(
+      nn::Shape{spec.out_rows(), spec.out_cols(), spec.out_channels});
+  nn::Int8Tensor intermediate(
+      nn::Shape{spec.out_rows(), spec.out_cols(), spec.in_channels});
+  const Tiler tiler(config_, spec);
+  std::vector<std::int32_t> psum_store(
+      static_cast<std::size_t>(tiler.max_tile_psum_entries()));
+  SerializedLayerResult result =
+      run_layer_into(layer, input, output, intermediate, psum_store.data(),
+                     psum_store.size());
+  result.common.output = std::move(output);
+  return result;
+}
+
+SerializedLayerResult SerializedDscAccelerator::run_layer_into(
+    const nn::QuantDscLayer& layer, const nn::Int8Tensor& input,
+    nn::Int8Tensor& output, nn::Int8Tensor& intermediate, std::int32_t* psum,
+    std::size_t psum_capacity) {
   const nn::DscLayerSpec& spec = layer.spec;
   EDEA_REQUIRE(input.rank() == 3 && input.dim(0) == spec.in_rows &&
                    input.dim(1) == spec.in_cols &&
@@ -64,20 +160,25 @@ SerializedLayerResult SerializedDscAccelerator::run_layer(
   pwc_.reset_activity();
   nonconv_.reset_counters();
 
-  SerializedLayerResult result;
-  result.common.spec = spec;
-  result.common.output = nn::Int8Tensor(
-      nn::Shape{spec.out_rows(), spec.out_cols(), spec.out_channels});
-  result.common.dwc_input_zero_fraction = input.zero_fraction();
-
   const int N = spec.out_rows();
   const int M = spec.out_cols();
   const int K = spec.out_channels;
+  // `output` receives the ofmap; `intermediate` is the externally-stored
+  // DWC result (the round-trip EDEA removes). Both may be arena views.
+  EDEA_REQUIRE(output.shape() == (nn::Shape{N, M, K}),
+               "layer output shape mismatch: got " +
+                   output.shape().to_string());
+  EDEA_REQUIRE(intermediate.shape() == (nn::Shape{N, M, spec.in_channels}),
+               "intermediate map shape mismatch: got " +
+                   intermediate.shape().to_string());
+  EDEA_REQUIRE(psum != nullptr, "psum scratch must be provided");
+
+  SerializedLayerResult result;
+  result.common.spec = spec;
+  result.common.dwc_input_zero_fraction = input.zero_fraction();
+
   const int image_rows = input.dim(0);
   const int image_cols = input.dim(1);
-
-  // The externally-stored intermediate map (the round-trip EDEA removes).
-  nn::Int8Tensor intermediate(nn::Shape{N, M, spec.in_channels});
 
   // ---- Phase 1: depthwise convolution over the whole layer. ----
   for (const BufferTile& tile : tiler.tiles()) {
@@ -176,8 +277,12 @@ SerializedLayerResult SerializedDscAccelerator::run_layer(
 
   // ---- Phase 2: pointwise convolution, reading the intermediate back. ----
   for (const BufferTile& tile : tiler.tiles()) {
-    std::vector<std::int32_t> psum(
-        static_cast<std::size_t>(tile.out_rows * tile.out_cols * K), 0);
+    const auto tile_entries =
+        static_cast<std::size_t>(tile.out_rows) *
+        static_cast<std::size_t>(tile.out_cols) * static_cast<std::size_t>(K);
+    EDEA_ASSERT(tile_entries <= psum_capacity,
+                "psum scratch smaller than the tiler's largest tile");
+    std::fill(psum, psum + tile_entries, std::int32_t{0});
 
     for (const ChannelSlice& slice : tiler.slices()) {
       result.pwc_phase_cycles += config_.init_cycles;
@@ -264,7 +369,7 @@ SerializedLayerResult SerializedDscAccelerator::run_layer(
         }
         nonconv_.apply_block(acc_row, layer.nonconv2.channels, K, out_row);
         for (int k = 0; k < K; ++k) {
-          result.common.output(tile.out_row0 + r, tile.out_col0 + c, k) =
+          output(tile.out_row0 + r, tile.out_col0 + c, k) =
               out_row[static_cast<std::size_t>(k)];
         }
         result.common.external.record_write(TrafficClass::kActivation, K);

@@ -12,6 +12,9 @@
 // the streaming/latency ablation a controlled experiment.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
+
 #include "arch/ext_memory.hpp"
 #include "core/backend.hpp"
 #include "core/config.hpp"
@@ -49,7 +52,11 @@ class SerializedDscAccelerator final : public core::AcceleratorBackend {
   /// Runs a stack of DSC layers back to back, chaining outputs - the
   /// promoted full-network entry point sweeps/DSE/service consume. Output
   /// tensors are bit-exact with the "edea" backend (shared arithmetic);
-  /// cycles and external traffic differ as the paper predicts.
+  /// cycles and external traffic differ as the paper predicts. The whole
+  /// run is planned through nn::MemoryPlanner: the activation chain, each
+  /// layer's externally round-tripped intermediate map, and the per-tile
+  /// psum scratch all live at offsets of one arena, and the plan's peak
+  /// lands in NetworkRunResult::peak_arena_bytes.
   [[nodiscard]] core::NetworkRunResult run_network(
       const std::vector<nn::QuantDscLayer>& layers,
       const nn::Int8Tensor& input) override;
@@ -74,6 +81,17 @@ class SerializedDscAccelerator final : public core::AcceleratorBackend {
   }
 
  private:
+  /// run_layer minus buffer ownership: executes the layer writing the
+  /// ofmap into `output` and the round-tripped DWC result into
+  /// `intermediate` (both shape-checked; either may be an arena-backed
+  /// view), accumulating partial sums in `psum` (capacity
+  /// `psum_capacity` entries, >= the tiler's max tile). The returned
+  /// result carries every measurement but an empty output tensor.
+  [[nodiscard]] SerializedLayerResult run_layer_into(
+      const nn::QuantDscLayer& layer, const nn::Int8Tensor& input,
+      nn::Int8Tensor& output, nn::Int8Tensor& intermediate,
+      std::int32_t* psum, std::size_t psum_capacity);
+
   core::EdeaConfig config_;
   core::DwcEngine dwc_;
   core::PwcEngine pwc_;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "nn/arena.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "util/thread_pool.hpp"
@@ -47,18 +48,52 @@ namespace detail {
 /// in tile order once all chunks finish.
 class TileWorker {
  public:
+  /// Scratch blob ids inside the worker's arena; add order below fixes them.
+  enum ScratchBlob : nn::BlobId {
+    kIfmap = 0,
+    kDwcWeight,
+    kOffline,
+    kIntermediate,
+    kPwcWeight,
+    kAccumulator,
+  };
+
+  /// All six SRAM models are live for the whole of every layer, so the
+  /// planner stacks them; what it buys is ONE contiguous allocation per
+  /// worker (64-byte-aligned slices, no per-buffer heap blocks) and the
+  /// same planned-offset discipline the activation arena uses.
+  static nn::Arena plan_scratch(const EdeaConfig& config) {
+    nn::MemoryPlanner planner;
+    const auto blob = [&](const char* name, std::int64_t bytes) {
+      return planner.add_blob(name, static_cast<std::size_t>(bytes), 0, 0);
+    };
+    blob("dwc_ifmap", config.dwc_ifmap_buffer_bytes());
+    blob("dwc_weight", config.dwc_weight_buffer_bytes());
+    blob("offline", config.offline_buffer_bytes());
+    blob("intermediate", config.intermediate_buffer_bytes());
+    blob("pwc_weight", config.pwc_weight_buffer_bytes());
+    blob("accumulator", config.accumulator_buffer_bytes());
+    return nn::Arena(planner.plan());
+  }
+
   explicit TileWorker(const EdeaConfig& config)
       : config_(config),
         dwc_(config),
         pwc_(config),
         nonconv_(config),
-        ifmap_buffer_("dwc_ifmap", config.dwc_ifmap_buffer_bytes()),
-        dwc_weight_buffer_("dwc_weight", config.dwc_weight_buffer_bytes()),
-        offline_buffer_("offline", config.offline_buffer_bytes()),
-        intermediate_buffer_("intermediate",
+        scratch_(plan_scratch(config)),
+        ifmap_buffer_("dwc_ifmap", scratch_.bytes(kIfmap),
+                      config.dwc_ifmap_buffer_bytes()),
+        dwc_weight_buffer_("dwc_weight", scratch_.bytes(kDwcWeight),
+                           config.dwc_weight_buffer_bytes()),
+        offline_buffer_("offline", scratch_.bytes(kOffline),
+                        config.offline_buffer_bytes()),
+        intermediate_buffer_("intermediate", scratch_.bytes(kIntermediate),
                              config.intermediate_buffer_bytes()),
-        pwc_weight_buffer_("pwc_weight", config.pwc_weight_buffer_bytes()),
-        accumulator_("accumulator", config.accumulator_buffer_bytes()) {
+        pwc_weight_buffer_("pwc_weight", scratch_.bytes(kPwcWeight),
+                           config.pwc_weight_buffer_bytes()),
+        accumulator_("accumulator", scratch_.bytes(kAccumulator),
+                     config.accumulator_buffer_bytes()) {
     config_.validate();
   }
 
@@ -457,6 +492,10 @@ class TileWorker {
   PwcEngine pwc_;
   NonConvUnitArray nonconv_;
 
+  /// One contiguous planned allocation backing the six span-mode SRAM
+  /// buffers below (declared first: the buffers slice into it).
+  nn::Arena scratch_;
+
   arch::SramBuffer ifmap_buffer_;
   arch::SramBuffer dwc_weight_buffer_;
   arch::SramBuffer offline_buffer_;
@@ -504,6 +543,17 @@ detail::TileWorker& EdeaAccelerator::worker(std::size_t index) {
 LayerRunResult EdeaAccelerator::run_layer(const nn::QuantDscLayer& layer,
                                           const nn::Int8Tensor& input) {
   const nn::DscLayerSpec& spec = layer.spec;
+  nn::Int8Tensor output(
+      nn::Shape{spec.out_rows(), spec.out_cols(), spec.out_channels});
+  LayerRunResult result = run_layer_into(layer, input, output);
+  result.output = std::move(output);
+  return result;
+}
+
+LayerRunResult EdeaAccelerator::run_layer_into(const nn::QuantDscLayer& layer,
+                                               const nn::Int8Tensor& input,
+                                               nn::Int8Tensor& output) {
+  const nn::DscLayerSpec& spec = layer.spec;
   EDEA_REQUIRE(input.rank() == 3, "layer input must be [R][C][D]");
   EDEA_REQUIRE(input.dim(0) == spec.in_rows && input.dim(1) == spec.in_cols &&
                    input.dim(2) == spec.in_channels,
@@ -537,10 +587,15 @@ LayerRunResult EdeaAccelerator::run_layer(const nn::QuantDscLayer& layer,
                         std::to_string(spec.out_channels) + " kernel slices");
   }
 
+  const nn::Shape out_shape{spec.out_rows(), spec.out_cols(),
+                            spec.out_channels};
+  EDEA_REQUIRE(output.shape() == out_shape,
+               "layer output shape mismatch: got " +
+                   output.shape().to_string() + ", want " +
+                   out_shape.to_string());
+
   LayerRunResult result;
   result.spec = spec;
-  result.output = nn::Int8Tensor(
-      nn::Shape{spec.out_rows(), spec.out_cols(), spec.out_channels});
   result.dwc_input_zero_fraction = input.zero_fraction();
 
   const std::vector<BufferTile>& tiles = tiler.tiles();
@@ -563,7 +618,7 @@ LayerRunResult EdeaAccelerator::run_layer(const nn::QuantDscLayer& layer,
     const auto [first, last] = tiler.tile_chunk(chunks, static_cast<int>(w));
     for (std::size_t t = first; t < last; ++t) {
       tw.run_tile(layer, input, tiles[t], tiler.slices(),
-                  tiler.kernel_groups(), result.output,
+                  tiler.kernel_groups(), output,
                   (w == 0 && t == 0) ? trace_ : nullptr);
     }
   });
@@ -606,17 +661,64 @@ LayerRunResult EdeaAccelerator::run_layer(const nn::QuantDscLayer& layer,
 NetworkRunResult EdeaAccelerator::run_network(
     const std::vector<nn::QuantDscLayer>& layers,
     const nn::Int8Tensor& input) {
+  return std::move(run_network_batch(layers, input, 1).front());
+}
+
+std::vector<NetworkRunResult> EdeaAccelerator::run_network_batch(
+    const std::vector<nn::QuantDscLayer>& layers, const nn::Int8Tensor& input,
+    int batch) {
   EDEA_REQUIRE(!layers.empty(), "network must have at least one layer");
-  NetworkRunResult net;
-  net.layers.reserve(layers.size());
-  nn::Int8Tensor x = input;
-  for (const nn::QuantDscLayer& layer : layers) {
-    LayerRunResult r = run_layer(layer, x);
-    x = r.output;
-    net.layers.push_back(std::move(r));
+  EDEA_REQUIRE(batch >= 1, "batch must be >= 1");
+
+  // One plan up front: every image's input plus every layer activation gets
+  // an offset inside a single allocation, consecutive layers ping-ponging
+  // via liveness-based reuse (see nn/arena.hpp for the step axis).
+  nn::MemoryPlanner planner;
+  const nn::NetworkActivationPlan acts =
+      nn::plan_network_activations(planner, layers, input.shape(), batch);
+  nn::Arena arena(planner.plan());
+
+  std::vector<NetworkRunResult> results(static_cast<std::size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    std::int8_t* dst = arena.slice<std::int8_t>(
+        acts.inputs[static_cast<std::size_t>(b)], input.size());
+    std::copy(input.data(), input.data() + input.size(), dst);
   }
-  net.output = x;
-  return net;
+
+  // Layer-major execution (the order the liveness intervals encode): every
+  // image runs layer i before any image runs layer i+1.
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const nn::DscLayerSpec& spec = layers[i].spec;
+    const nn::Shape out_shape{spec.out_rows(), spec.out_cols(),
+                              spec.out_channels};
+    for (std::size_t b = 0; b < static_cast<std::size_t>(batch); ++b) {
+      const nn::Shape in_shape =
+          i == 0 ? input.shape()
+                 : nn::Shape{layers[i - 1].spec.out_rows(),
+                             layers[i - 1].spec.out_cols(),
+                             layers[i - 1].spec.out_channels};
+      const nn::BlobId in_id =
+          i == 0 ? acts.inputs[b] : acts.outputs[b][i - 1];
+      const nn::Int8Tensor in_view = nn::Int8Tensor::view(
+          in_shape, arena.slice<std::int8_t>(in_id, in_shape.volume()));
+      // Blob bytes may be reused from an expired activation; restore the
+      // fresh-tensor zero state the standalone run_layer allocates.
+      arena.clear(acts.outputs[b][i]);
+      nn::Int8Tensor out_view = nn::Int8Tensor::view(
+          out_shape,
+          arena.slice<std::int8_t>(acts.outputs[b][i], out_shape.volume()));
+      LayerRunResult r = run_layer_into(layers[i], in_view, out_view);
+      r.output = out_view;  // deep copy: results outlive the arena
+      results[b].layers.push_back(std::move(r));
+    }
+  }
+
+  const std::size_t peak = arena.plan().peak_bytes;
+  for (NetworkRunResult& net : results) {
+    net.output = net.layers.back().output;
+    net.peak_arena_bytes = peak;
+  }
+  return results;
 }
 
 }  // namespace edea::core

@@ -44,6 +44,18 @@ Registry& registry() {
 
 }  // namespace
 
+std::vector<NetworkRunResult> AcceleratorBackend::run_network_batch(
+    const std::vector<nn::QuantDscLayer>& layers, const nn::Int8Tensor& input,
+    int batch) {
+  EDEA_REQUIRE(batch >= 1, "batch must be >= 1");
+  std::vector<NetworkRunResult> results;
+  results.reserve(static_cast<std::size_t>(batch));
+  for (int b = 0; b < batch; ++b) {
+    results.push_back(run_network(layers, input));
+  }
+  return results;
+}
+
 bool backend_known(const std::string& id) {
   Registry& r = registry();
   const std::lock_guard<std::mutex> lock(r.mutex);

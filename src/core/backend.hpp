@@ -56,6 +56,19 @@ class AcceleratorBackend {
       const std::vector<nn::QuantDscLayer>& layers,
       const nn::Int8Tensor& input) = 0;
 
+  /// Runs the same input through the network `batch` times (batch >= 1,
+  /// else PreconditionError) and returns one result per image. Contract:
+  /// every per-image result is bit-identical to a standalone run_network
+  /// call - batching may only amortize host-side setup (memory planning,
+  /// worker creation), never change arithmetic or measurements. The base
+  /// implementation is the literal reference: `batch` sequential
+  /// run_network calls. Backends with a planned-memory runtime override it
+  /// to run all images through one arena plan (and then report the batched
+  /// plan's peak via NetworkRunResult::peak_arena_bytes).
+  [[nodiscard]] virtual std::vector<NetworkRunResult> run_network_batch(
+      const std::vector<nn::QuantDscLayer>& layers,
+      const nn::Int8Tensor& input, int batch);
+
   /// Host-side tile parallelism inside one layer. Every backend accepts
   /// any width >= 1 (zero/negative is a PreconditionError) and produces
   /// results bit-identical to width 1.

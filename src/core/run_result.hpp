@@ -190,6 +190,13 @@ struct RunSummary {
   double average_gops = 0.0;
   std::uint64_t output_hash = 0;  ///< FNV-1a over the final int8 output
 
+  /// Peak bytes of the run's planned activation arena (nn::MemoryPlanner).
+  /// A pure function of (network, input shape, batch): host-side execution
+  /// knobs - tile parallelism, worker count, backend scratch - never move
+  /// it, so summaries stay comparable across those dimensions (the
+  /// tile-parallel bit-identity suite compares whole summaries).
+  std::uint64_t peak_arena_bytes = 0;
+
   friend bool operator==(const RunSummary&, const RunSummary&) = default;
 
   /// Binary encoding used by the simulation service's persisted result
@@ -202,6 +209,7 @@ struct RunSummary {
     w.pod(total_ops);
     w.pod(average_gops);
     w.pod(output_hash);
+    w.pod(peak_arena_bytes);
   }
   [[nodiscard]] static RunSummary decode(util::ByteReader& r) {
     RunSummary s;
@@ -210,6 +218,7 @@ struct RunSummary {
     s.total_ops = r.pod<std::int64_t>();
     s.average_gops = r.pod<double>();
     s.output_hash = r.pod<std::uint64_t>();
+    s.peak_arena_bytes = r.pod<std::uint64_t>();
     return s;
   }
 };
@@ -218,6 +227,11 @@ struct RunSummary {
 struct NetworkRunResult {
   std::vector<LayerRunResult> layers;
   nn::Int8Tensor output;
+
+  /// Peak bytes of the activation arena the run was planned into (see
+  /// RunSummary::peak_arena_bytes for the invariance contract). Zero for
+  /// hand-assembled results that never went through a planner.
+  std::size_t peak_arena_bytes = 0;
 
   [[nodiscard]] std::int64_t total_cycles() const noexcept {
     std::int64_t c = 0;
@@ -243,6 +257,7 @@ struct NetworkRunResult {
     s.total_ops = total_ops();
     s.average_gops = average_throughput_gops(clock_ghz);
     s.output_hash = util::Fnv1a64().span(output.storage()).digest();
+    s.peak_arena_bytes = static_cast<std::uint64_t>(peak_arena_bytes);
     return s;
   }
 };

@@ -1,6 +1,7 @@
 #include "core/sweep_runner.hpp"
 
 #include <exception>
+#include <utility>
 
 #include "core/accelerator.hpp"
 #include "util/check.hpp"
@@ -14,6 +15,9 @@ SweepOutcome evaluate_job(const SweepJob& job, int tile_parallelism) {
                "sweep job '" + job.name + "' must reference a network");
   EDEA_REQUIRE(tile_parallelism >= 1,
                "tile_parallelism must be >= 1 (1 = serial tiles)");
+  EDEA_REQUIRE(job.batch >= 1, "sweep job '" + job.name +
+                                   "' must run a positive batch, got " +
+                                   std::to_string(job.batch));
   const std::string backend_id =
       job.backend.empty() ? std::string(kDefaultBackendId) : job.backend;
   EDEA_REQUIRE(backend_known(backend_id),
@@ -23,13 +27,18 @@ SweepOutcome evaluate_job(const SweepJob& job, int tile_parallelism) {
   out.name = job.name;
   out.config = job.config;
   out.backend = backend_id;
+  out.batch = job.batch;
   try {
     // The backend constructor validates the configuration; an infeasible
     // point throws here or during the run, and either way is data.
     std::unique_ptr<AcceleratorBackend> accel =
         make_backend(backend_id, job.config);
     accel->set_tile_parallelism(tile_parallelism);
-    out.result = accel->run_network(*job.layers, *job.input);
+    std::vector<NetworkRunResult> images =
+        accel->run_network_batch(*job.layers, *job.input, job.batch);
+    // All images are bit-identical by the batch contract; the first one
+    // stands for the run (and carries the batched plan's arena peak).
+    out.result = std::move(images.front());
     out.summary = out.result.summary(job.config.clock_ghz);
     out.ok = true;
   } catch (const std::exception& e) {

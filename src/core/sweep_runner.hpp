@@ -39,6 +39,12 @@ struct SweepJob {
   /// unknown id is a PreconditionError - a typo'd backend is a caller bug,
   /// not a design point.
   std::string backend;
+  /// Images to run through one planned setup
+  /// (AcceleratorBackend::run_network_batch). Per-image arithmetic and
+  /// timing are bit-identical to `batch` standalone runs; only the
+  /// summary's peak_arena_bytes reflects the batched plan. < 1 is a
+  /// PreconditionError.
+  int batch = 1;
 };
 
 /// Result of one job. A job whose configuration cannot map the network
@@ -52,6 +58,9 @@ struct SweepOutcome {
   /// protocol line and of the service cache key: the same workload and
   /// configuration on different dataflows are different experiments.
   std::string backend = std::string(kDefaultBackendId);
+  /// The job's batch size, echoed for the protocol line (batch > 1 is a
+  /// distinct cache key: its arena plan and peak differ).
+  int batch = 1;
   bool ok = false;
   std::string error;
   NetworkRunResult result;

@@ -1,5 +1,6 @@
 #include "service/client_cli.hpp"
 
+#include <limits>
 #include <stdexcept>
 
 #include "core/backend.hpp"
@@ -29,7 +30,11 @@ std::string client_usage() {
       "  --backend ID           default backend of the in-process --verify\n"
       "                         reference for requests that name none;\n"
       "                         must mirror the server's --backend\n"
-      "                         (default edea)\n";
+      "                         (default edea)\n"
+      "  --batch N              default images-per-run of the in-process\n"
+      "                         --verify reference for requests that carry\n"
+      "                         no batch= key; must mirror the server's\n"
+      "                         --batch (>= 1; default 1)\n";
 }
 
 ClientConfig parse_client_args(int argc, const char* const* argv) {
@@ -62,6 +67,28 @@ ClientConfig parse_client_args(int argc, const char* const* argv) {
         break;
       }
       config.backend = value;
+    } else if (arg == "--batch") {
+      if (!value_of(i, arg, &value)) break;
+      // Digit-first, mirroring server_cli's parse_count grammar.
+      bool batch_ok = !value.empty() && value.front() >= '0' &&
+                      value.front() <= '9';
+      unsigned long batch = 0;
+      if (batch_ok) {
+        try {
+          std::size_t consumed = 0;
+          batch = std::stoul(value, &consumed);
+          batch_ok = consumed == value.size() && batch >= 1 &&
+                     batch <= static_cast<unsigned long>(
+                                  std::numeric_limits<int>::max());
+        } catch (const std::exception&) {
+          batch_ok = false;
+        }
+      }
+      if (!batch_ok) {
+        config.error = "--batch needs a positive count, got '" + value + "'";
+        break;
+      }
+      config.batch = static_cast<int>(batch);
     } else if (arg == "--connect") {
       if (!value_of(i, arg, &value)) break;
       const std::size_t colon = value.rfind(':');

@@ -23,6 +23,10 @@ struct ClientConfig {
   /// the reference diverges by construction. Validated against the
   /// registry at parse time.
   std::string backend;  ///< empty = the protocol default ("edea")
+  /// --batch N: default batch of the in-process --verify reference. Must
+  /// mirror the server's --batch for the same reason. Validated >= 1 at
+  /// parse time; 0 = the protocol default (1).
+  int batch = 0;
 
   std::string error;  ///< non-empty: bad usage, message says why
 };

@@ -63,12 +63,35 @@ bool parse_double(const std::string& text, double* out) {
   }
 }
 
+/// Strict decimal for batch=: digit-first (no '+', no whitespace - both
+/// of which std::stoi tolerates) and fully consumed. parse_int stays lax
+/// for the EdeaConfig overrides whose grammar is already pinned by the
+/// golden file; a new key gets the strict treatment from day one.
+bool parse_batch(const std::string& text, int* out) {
+  if (text.empty() || text.front() < '0' || text.front() > '9') return false;
+  try {
+    std::size_t consumed = 0;
+    const int value = std::stoi(text, &consumed);
+    if (consumed != text.size() || value < 1) return false;
+    *out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 /// Applies one key=value override to a request. Returns an error message,
 /// empty on success.
 std::string apply_override(Request& request, const std::string& key,
                            const std::string& value) {
   if (key == "seed") {
     if (!parse_u64(value, &request.seed)) return "bad seed '" + value + "'";
+    return "";
+  }
+  if (key == "batch") {
+    if (!parse_batch(value, &request.batch)) {
+      return "bad batch '" + value + "' (want a plain integer >= 1)";
+    }
     return "";
   }
   if (key == "backend") {
@@ -120,14 +143,19 @@ std::string Request::job_name() const {
 }
 
 ParsedLine parse_request_line(const std::string& line,
-                              const std::string& default_backend) {
+                              const std::string& default_backend,
+                              int default_batch) {
   EDEA_REQUIRE(core::backend_known(default_backend),
                "default backend '" + default_backend +
                    "' is not registered (known: " +
                    core::known_backends_string() + ")");
+  EDEA_REQUIRE(default_batch >= 1,
+               "default batch must be >= 1, got " +
+                   std::to_string(default_batch));
   const std::vector<std::string> tokens = tokenize(line);
   ParsedLine parsed;
   parsed.request.backend = default_backend;
+  parsed.request.batch = default_batch;
   if (tokens.empty() || tokens.front().front() == '#') {
     return parsed;  // kEmpty
   }
@@ -162,9 +190,13 @@ ParsedLine parse_request_line(const std::string& line,
 
 std::string format_outcome_line(const core::SweepOutcome& outcome) {
   const std::string cache = outcome.cache_hit ? "hit" : "miss";
+  // batch=1 is the protocol's pre-batch shape; echoing it only when the
+  // request actually batched keeps every existing response byte-stable.
+  const std::string batch =
+      outcome.batch > 1 ? " batch=" + std::to_string(outcome.batch) : "";
   if (!outcome.ok) {
     return "error " + outcome.name + " " + outcome.config.to_string() +
-           " backend=" + outcome.backend + " cache=" + cache +
+           " backend=" + outcome.backend + batch + " cache=" + cache +
            " msg=" + outcome.error;
   }
   // The captured summary, not a recomputation from `result`: outcomes
@@ -172,7 +204,7 @@ std::string format_outcome_line(const core::SweepOutcome& outcome) {
   // the summary, and both kinds must format bit-identically.
   const core::RunSummary& s = outcome.summary;
   return "ok " + outcome.name + " " + outcome.config.to_string() +
-         " backend=" + outcome.backend +
+         " backend=" + outcome.backend + batch +
          " cycles=" + std::to_string(s.total_cycles) +
          " ops=" + std::to_string(s.total_ops) +
          " gops=" + format_gops(s.average_gops) +

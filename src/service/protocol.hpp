@@ -14,16 +14,25 @@
 //              error - the registry is the protocol's vocabulary, and a
 //              typo'd dataflow must fail loudly, not simulate something
 //              else
+//   batch      images per run (>= 1, default 1): all images share one
+//              planned arena/setup (AcceleratorBackend::run_network_batch)
+//              and are bit-identical to `batch` standalone runs, so the
+//              reply's measurements are per image and unchanged - batch
+//              is a cost/amortization knob, not an arithmetic one. The
+//              value must be a plain decimal integer: leading '+',
+//              whitespace, or trailing junk is a protocol error
 //   tn tm td tk kernel init_cycles max_tile_out   EdeaConfig overrides
 //   clock_ghz  clock in GHz
 //
 // Responses (one per `run`, in request order; <network>@<seed> is the
 // request's job_name(), <config> is EdeaConfig::to_string(), <backend>
-// the resolved backend id):
-//   ok <network>@<seed> <config> backend=<backend> cycles=<n> ops=<n>
-//      gops=<x> layers=<n> out=<hex64> cache=hit|miss
-//   error <network>@<seed> <config> backend=<backend> cache=hit|miss
-//      msg=<text>
+// the resolved backend id; `batch=<n>` is echoed after backend= only
+// when n > 1, keeping batch=1 responses byte-identical to the pre-batch
+// protocol):
+//   ok <network>@<seed> <config> backend=<backend> [batch=<n>] cycles=<n>
+//      ops=<n> gops=<x> layers=<n> out=<hex64> cache=hit|miss
+//   error <network>@<seed> <config> backend=<backend> [batch=<n>]
+//      cache=hit|miss msg=<text>
 //
 // A `stats` request answers with one line of exact service counters:
 //   stats hits=<n> misses=<n> evictions=<n> entries=<n> inflight=<n>
@@ -55,6 +64,9 @@ struct Request {
   /// Resolved backend id: the line's backend= override, else the parse
   /// call's default. Always a registered id - unknown ids never parse.
   std::string backend = std::string(core::kDefaultBackendId);
+  /// Images per run: the line's batch= override, else the parse call's
+  /// default. Always >= 1 - non-positive values never parse.
+  int batch = 1;
 
   /// Canonical job name: "<network>@<seed>" - what outcome lines echo.
   [[nodiscard]] std::string job_name() const;
@@ -74,15 +86,18 @@ struct ParsedLine {
 };
 
 /// Parses one request line. Never throws on wire input: malformed lines -
-/// including unknown backend= ids - are a kError result (a service must
-/// survive bad clients). `default_backend` is what `run` requests resolve
-/// to when the line carries no backend= key (the server's --backend); it
-/// is caller configuration, not wire data, so an unknown default is a
+/// including unknown backend= ids and non-positive batch= values - are a
+/// kError result (a service must survive bad clients). `default_backend`
+/// is what `run` requests resolve to when the line carries no backend=
+/// key (the server's --backend), and `default_batch` likewise for batch=
+/// (the server's --batch); both are caller configuration, not wire data,
+/// so an unknown default backend or a default batch < 1 is a
 /// PreconditionError.
 [[nodiscard]] ParsedLine parse_request_line(
     const std::string& line,
     const std::string& default_backend = std::string(
-        core::kDefaultBackendId));
+        core::kDefaultBackendId),
+    int default_batch = 1);
 
 /// Formats the response line for one completed request.
 [[nodiscard]] std::string format_outcome_line(

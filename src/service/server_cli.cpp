@@ -50,6 +50,11 @@ std::string server_usage() {
       "                         that carry no backend= key; one of the\n"
       "                         registered dataflows (edea, serialized;\n"
       "                         default edea)\n"
+      "  --batch N              default images-per-run for requests that\n"
+      "                         carry no batch= key: every run pushes N\n"
+      "                         images through one planned arena/setup,\n"
+      "                         bit-identical per image to N separate\n"
+      "                         runs (>= 1; default 1)\n"
       "  --workers N            service worker threads (0 = shared pool;\n"
       "                         default 0)\n"
       "  --cache N              result-cache capacity in completed entries\n"
@@ -120,6 +125,17 @@ ServerConfig parse_server_args(int argc, const char* const* argv) {
         break;
       }
       config.backend = value;
+    } else if (arg == "--batch") {
+      if (!value_of(i, arg, &value)) break;
+      if (!parse_count(value,
+                       static_cast<std::size_t>(
+                           std::numeric_limits<int>::max()),
+                       &count) ||
+          count < 1) {
+        config.error = "--batch needs a positive count, got '" + value + "'";
+        break;
+      }
+      config.batch = static_cast<int>(count);
     } else if (arg == "--workers") {
       if (!value_of(i, arg, &value)) break;
       if (!parse_count(value, std::numeric_limits<unsigned>::max(), &count)) {

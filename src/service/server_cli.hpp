@@ -24,6 +24,9 @@ struct ServerConfig {
   /// --backend ID: default backend for requests without a backend= key.
   /// Validated against the registry at parse time (default "edea").
   std::string backend = std::string(core::kDefaultBackendId);
+  /// --batch N: default images-per-run for requests without a batch= key.
+  /// Validated >= 1 at parse time (default 1).
+  int batch = 1;
 
   std::string error;  ///< non-empty: bad usage, message says why
 };

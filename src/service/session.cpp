@@ -70,6 +70,9 @@ Session::Session(SimulationService& service, WorkloadCatalog& catalog,
                "session default backend '" + options_.backend +
                    "' is not registered (known: " +
                    core::known_backends_string() + ")");
+  EDEA_REQUIRE(options_.batch >= 1,
+               "session default batch must be >= 1, got " +
+                   std::to_string(options_.batch));
 }
 
 SessionStats Session::serve(Stream& stream) {
@@ -153,7 +156,8 @@ SessionStats Session::serve(Stream& stream) {
 
   std::string raw;
   while (stream.read_line(raw)) {
-    const ParsedLine parsed = parse_request_line(raw, options_.backend);
+    const ParsedLine parsed =
+        parse_request_line(raw, options_.backend, options_.batch);
     if (parsed.kind == ParsedLine::Kind::kEmpty) continue;
     const std::uint64_t id = ++stats.requests;
 
@@ -190,6 +194,7 @@ SessionStats Session::serve(Stream& stream) {
           job.name = request.job_name();
           job.config = request.config;
           job.backend = request.backend;
+          job.batch = request.batch;
           job.layers = &workload.layers;
           job.input = &workload.input;
           if (options_.record_traffic) stats.jobs.push_back(job);
@@ -207,6 +212,7 @@ SessionStats Session::serve(Stream& stream) {
           unresolved.name = request.job_name();
           unresolved.config = request.config;
           unresolved.backend = request.backend;
+          unresolved.batch = request.batch;
           unresolved.error = e.what();
           reply.kind = Reply::Kind::kText;
           reply.record = false;

@@ -82,6 +82,11 @@ struct SessionOptions {
   /// backend - validated at Session construction, because a wrong server
   /// default is an operator error, not a client's protocol error.
   std::string backend = std::string(core::kDefaultBackendId);
+
+  /// Batch size `run` requests resolve to when the line carries no
+  /// batch= key (the server's --batch flag). Must be >= 1 - validated at
+  /// Session construction for the same operator-vs-client reason.
+  int batch = 1;
 };
 
 /// What one serve() call did. Counters cover the whole session; the

@@ -24,9 +24,13 @@ namespace {
 // 'E'=0x45 'D'=0x44 'E'=0x45 'A'=0x41 'C'=0x43 'A'=0x41 'S'=0x53 0x00.
 constexpr std::uint64_t kCacheMagic = 0x0053414341454445ull;
 // Version 2: entries gained the backend id (the cache key became
-// (fingerprint, config, backend)). Version-1 files cannot say which
-// dataflow produced their summaries, so they are rejected, not migrated.
-constexpr std::uint32_t kCacheVersion = 2;
+// (fingerprint, config, backend)). Version 3: entries gained the batch
+// size (the key became (fingerprint, config, backend, batch)) and
+// RunSummary gained peak_arena_bytes. Older files are rejected, not
+// migrated: a v1 file cannot say which dataflow produced its summaries,
+// and a v2 file can neither say which batch nor decode into the wider
+// summary.
+constexpr std::uint32_t kCacheVersion = 3;
 
 }  // namespace
 
@@ -71,10 +75,14 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
                "service request '" + job.name + "' names unknown backend '" +
                    job.backend +
                    "' (known: " + core::known_backends_string() + ")");
+  EDEA_REQUIRE(job.batch >= 1,
+               "service request '" + job.name +
+                   "' must run a positive batch, got " +
+                   std::to_string(job.batch));
 
   // The fingerprint walks the whole workload - keep it outside the lock.
   const Key key{core::network_fingerprint(*job.layers, *job.input),
-                job.config, job.backend};
+                job.config, job.backend, job.batch};
 
   std::promise<core::SweepOutcome> promise;
   std::future<core::SweepOutcome> future = promise.get_future();
@@ -150,6 +158,7 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
     out.name = std::move(job.name);
     out.config = job.config;
     out.backend = key.backend;
+    out.batch = key.batch;
     out.ok = persisted.ok;
     out.error = std::move(persisted.error);
     out.summary = persisted.summary;
@@ -285,7 +294,10 @@ std::size_t SimulationService::save_cache(const std::string& path) const {
               if (a.first.config.hash() != b.first.config.hash()) {
                 return a.first.config.hash() < b.first.config.hash();
               }
-              return a.first.backend < b.first.backend;
+              if (a.first.backend != b.first.backend) {
+                return a.first.backend < b.first.backend;
+              }
+              return a.first.batch < b.first.batch;
             });
 
   util::ByteWriter w;
@@ -296,6 +308,7 @@ std::size_t SimulationService::save_cache(const std::string& path) const {
     w.pod(key.fingerprint);
     key.config.encode(w);
     w.str(key.backend);
+    w.pod(static_cast<std::int32_t>(key.batch));
     w.pod(static_cast<std::uint8_t>(result.ok ? 1 : 0));
     w.str(result.error);
     result.summary.encode(w);
@@ -371,6 +384,10 @@ std::size_t SimulationService::load_cache(const std::string& path) {
                      key.backend +
                      "' (known: " + core::known_backends_string() +
                      ") - entries could never be served");
+    key.batch = static_cast<int>(r.pod<std::int32_t>());
+    EDEA_REQUIRE(key.batch >= 1,
+                 "cache file '" + path + "' has an entry with batch " +
+                     std::to_string(key.batch) + " (must be >= 1)");
     PersistedResult result;
     result.ok = r.pod<std::uint8_t>() != 0;
     result.error = r.str();

@@ -5,12 +5,13 @@
 // is an independent (network, accelerator config, backend) simulation.
 // The service accepts such requests asynchronously, runs them on a
 // util::ThreadPool, and memoizes completed results in a bounded LRU cache
-// keyed by (network fingerprint, EdeaConfig, backend id) - in DSE
+// keyed by (network fingerprint, EdeaConfig, backend id, batch) - in DSE
 // refinement the same points are revisited constantly, and a revisit
 // should cost a hash lookup, not a simulation. The backend id is part of
 // the key because the same workload and configuration on different
 // dataflows are different experiments (different cycles and traffic, see
-// core/backend.hpp).
+// core/backend.hpp); batch is part of it because a batched run plans a
+// different arena (different peak_arena_bytes in the summary).
 //
 // Concurrency contract:
 //   - submit()/submit_batch()/serve()/cache_stats() are thread-safe; many
@@ -121,13 +122,16 @@ class SimulationService {
 
   // --- cache persistence (survives service restarts) -----------------------
   //
-  // A cache file stores (network fingerprint, EdeaConfig, backend id) ->
-  // outcome *summaries* - everything the line protocol reports (ok/error
-  // text plus the RunSummary), not per-layer tensors - in a versioned,
-  // checksummed binary format (util/binary.hpp + util/hash.hpp). The
-  // format is at version 2 (version 1 predates backend-keyed entries);
-  // files of any other version are rejected loudly, never migrated - a
-  // v1 file cannot say which dataflow produced its summaries. A request
+  // A cache file stores (network fingerprint, EdeaConfig, backend id,
+  // batch) -> outcome *summaries* - everything the line protocol reports
+  // (ok/error text plus the RunSummary), not per-layer tensors - in a
+  // versioned, checksummed binary format (util/binary.hpp +
+  // util/hash.hpp). The format is at version 3 (version 1 predates
+  // backend-keyed entries, version 2 predates batch-keyed entries and
+  // the summary's peak_arena_bytes field); files of any other version
+  // are rejected loudly, never migrated - a v1 file cannot say which
+  // dataflow produced its summaries, and a v2 file can neither say which
+  // batch nor decode into today's wider RunSummary. A request
   // that hits a persisted entry resolves immediately with a summary-only
   // outcome (SweepOutcome::summary_only) that formats bit-identically to
   // the line the original simulation produced, and is accounted as a
@@ -153,21 +157,23 @@ class SimulationService {
 
  private:
   /// Cache key: the workload fingerprint plus the exact configuration
-  /// plus the backend id. The fingerprint is a content hash (collisions
-  /// possible in principle); the config and backend are compared exactly,
-  /// and the map's equality uses all three - a collision across different
-  /// configs or dataflows can never alias.
+  /// plus the backend id plus the batch size. The fingerprint is a
+  /// content hash (collisions possible in principle); the other fields
+  /// are compared exactly, and the map's equality uses all four - a
+  /// collision across different configs, dataflows, or batch sizes can
+  /// never alias.
   struct Key {
     std::uint64_t fingerprint = 0;
     core::EdeaConfig config;
     std::string backend;
+    int batch = 1;
 
     friend bool operator==(const Key&, const Key&) = default;
   };
   struct KeyHash {
     std::size_t operator()(const Key& k) const noexcept {
       util::Fnv1a64 h;
-      h.pod(k.fingerprint).pod(k.config.hash()).str(k.backend);
+      h.pod(k.fingerprint).pod(k.config.hash()).str(k.backend).pod(k.batch);
       return static_cast<std::size_t>(h.digest());
     }
   };

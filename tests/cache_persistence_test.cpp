@@ -15,7 +15,9 @@
 #include "core/sweep_runner.hpp"
 #include "nn/model_zoo.hpp"
 #include "service/protocol.hpp"
+#include "util/binary.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 #include "util/random.hpp"
 
 namespace edea::service {
@@ -299,6 +301,76 @@ TEST(CachePersistenceTest, VersionSkewAndTrailingGarbageAreRejected) {
     SimulationService svc;
     EXPECT_THROW((void)svc.load_cache(path), PreconditionError);
   }
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistenceTest, BatchSizesAreDistinctKeysAcrossRestarts) {
+  const std::string path = temp_cache_path("batches");
+  Fixture fx;
+
+  // Same workload, config, and backend at batch 1 and batch 4: two keys,
+  // two summaries (the batched arena plan has a larger peak).
+  core::SweepOutcome single_first, batched_first;
+  {
+    SimulationService svc;
+    core::SweepJob single = fx.job("single");
+    core::SweepJob batched = fx.job("batched");
+    batched.batch = 4;
+    single_first = svc.submit(single).get();
+    batched_first = svc.submit(batched).get();
+    ASSERT_TRUE(single_first.ok) << single_first.error;
+    ASSERT_TRUE(batched_first.ok) << batched_first.error;
+    EXPECT_EQ(svc.cache_stats().misses, 2u);  // no aliasing between keys
+    EXPECT_EQ(svc.save_cache(path), 2u);
+  }
+  EXPECT_EQ(single_first.summary.output_hash,
+            batched_first.summary.output_hash);
+  EXPECT_GT(batched_first.summary.peak_arena_bytes,
+            single_first.summary.peak_arena_bytes);
+
+  SimulationService svc;
+  EXPECT_EQ(svc.load_cache(path), 2u);
+  core::SweepJob single = fx.job("single");
+  core::SweepJob batched = fx.job("batched");
+  batched.batch = 4;
+  const core::SweepOutcome single_replay = svc.submit(single).get();
+  const core::SweepOutcome batched_replay = svc.submit(batched).get();
+  EXPECT_TRUE(single_replay.cache_hit);
+  EXPECT_TRUE(batched_replay.cache_hit);
+  EXPECT_EQ(single_replay.batch, 1);
+  EXPECT_EQ(batched_replay.batch, 4);
+  EXPECT_EQ(single_replay.summary, single_first.summary);
+  EXPECT_EQ(batched_replay.summary, batched_first.summary);
+  EXPECT_EQ(svc.cache_stats().misses, 0u);
+  std::remove(path.c_str());
+}
+
+TEST(CachePersistenceTest, VersionTwoFilesAreRejectedByTheVersionGate) {
+  // A well-formed v2 file (correct magic, correct checksum, zero entries)
+  // must trip the *version* check, not the checksum: v2 predates
+  // batch-keyed entries and the summary's peak_arena_bytes field, so its
+  // entries can never decode correctly - reject loudly, never migrate.
+  const std::string path = temp_cache_path("v2");
+  util::ByteWriter w;
+  w.pod(std::uint64_t{0x0053414341454445ull});  // "EDEACAS\0" magic
+  w.pod(std::uint32_t{2});                      // the superseded version
+  w.pod(std::uint64_t{0});                      // entry count
+  const std::uint64_t digest =
+      util::Fnv1a64().bytes(w.buffer().data(), w.buffer().size()).digest();
+  std::string bytes(w.buffer().data(), w.buffer().size());
+  bytes.append(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  write_file(path, bytes);
+
+  SimulationService svc;
+  try {
+    (void)svc.load_cache(path);
+    FAIL() << "a v2 cache file must be rejected";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version 2"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(svc.cache_stats().entries, 0u);
   std::remove(path.c_str());
 }
 

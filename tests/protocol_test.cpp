@@ -71,6 +71,74 @@ TEST(ProtocolParseTest, MalformedLinesAreErrorsNotExceptions) {
   }
 }
 
+TEST(ProtocolParseTest, BatchKeyParsesStrictly) {
+  // Default: single image.
+  const ParsedLine def = parse_request_line("run edeanet-64");
+  ASSERT_EQ(def.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(def.request.batch, 1);
+
+  const ParsedLine batched = parse_request_line("run edeanet-64 batch=16");
+  ASSERT_EQ(batched.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(batched.request.batch, 16);
+
+  // Everything std::stoi would shrug at is a protocol error naming the
+  // key: zero/negative batches, sign prefixes, whitespace, trailing junk.
+  for (const char* bad : {
+           "run edeanet-64 batch=0",     // no images is not a run
+           "run edeanet-64 batch=-1",    // negative
+           "run edeanet-64 batch=-16",   // negative, multi-digit
+           "run edeanet-64 batch=abc",   // non-numeric
+           "run edeanet-64 batch=+2",    // stoi would accept the '+'
+           "run edeanet-64 batch= 2",    // tokenizes as an empty value
+           "run edeanet-64 batch=2x",    // trailing junk
+           "run edeanet-64 batch=1.5",   // not an integer
+       }) {
+    SCOPED_TRACE(bad);
+    const ParsedLine p = parse_request_line(bad);
+    EXPECT_EQ(p.kind, ParsedLine::Kind::kError);
+    EXPECT_FALSE(p.error.empty());
+  }
+  // The errors the batch parser itself produces name the offending key.
+  const ParsedLine zero = parse_request_line("run edeanet-64 batch=0");
+  EXPECT_NE(zero.error.find("bad batch '0'"), std::string::npos)
+      << zero.error;
+}
+
+TEST(ProtocolParseTest, CallerDefaultBatchAppliesWhenLineNamesNone) {
+  // The server's --batch: requests without batch= resolve to it ...
+  const ParsedLine def = parse_request_line("run edeanet-64", "edea", 4);
+  ASSERT_EQ(def.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(def.request.batch, 4);
+  // ... and an explicit key still wins.
+  const ParsedLine exp =
+      parse_request_line("run edeanet-64 batch=2", "edea", 4);
+  ASSERT_EQ(exp.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(exp.request.batch, 2);
+  // A non-positive *default* is caller configuration gone wrong.
+  EXPECT_THROW((void)parse_request_line("run edeanet-64", "edea", 0),
+               PreconditionError);
+  EXPECT_THROW((void)parse_request_line("run edeanet-64", "edea", -3),
+               PreconditionError);
+}
+
+TEST(ProtocolFormatTest, OutcomeLinesEchoBatchOnlyWhenBatched) {
+  // batch=1 lines must stay byte-identical to the pre-batch protocol.
+  core::SweepOutcome outcome;
+  outcome.name = "edeanet-64@7";
+  outcome.ok = true;
+  EXPECT_EQ(format_outcome_line(outcome).find("batch="), std::string::npos)
+      << format_outcome_line(outcome);
+  outcome.batch = 8;
+  EXPECT_NE(format_outcome_line(outcome).find(" backend=edea batch=8 "),
+            std::string::npos)
+      << format_outcome_line(outcome);
+  outcome.ok = false;
+  outcome.error = "boom";
+  EXPECT_NE(format_outcome_line(outcome).find(" batch=8 cache="),
+            std::string::npos)
+      << format_outcome_line(outcome);
+}
+
 TEST(ProtocolParseTest, NegativeConfigValuesParseAndFailInSimulation) {
   // Structurally valid protocol; the *simulation* rejects it - infeasible
   // configurations are data, not protocol errors.

@@ -27,7 +27,8 @@ TEST(ServerCliTest, HelpTextMentionsEveryDocumentedFlag) {
   const std::string usage = server_usage();
   for (const char* flag :
        {"--help", "--listen", "--max-sessions", "--cache-file", "--workers",
-        "--cache", "--tile-parallelism", "--backend", "--verify"}) {
+        "--cache", "--tile-parallelism", "--backend", "--batch",
+        "--verify"}) {
     SCOPED_TRACE(flag);
     EXPECT_NE(usage.find(flag), std::string::npos)
         << "flag missing from simulation_server --help output";
@@ -49,13 +50,15 @@ TEST(ServerCliTest, DefaultsMatchTheServiceDefaults) {
   EXPECT_EQ(config.service.cache_capacity, ServiceOptions().cache_capacity);
   EXPECT_EQ(config.service.tile_parallelism, 1);
   EXPECT_EQ(config.backend, "edea");
+  EXPECT_EQ(config.batch, 1);
 }
 
 TEST(ServerCliTest, EveryFlagParses) {
   const ServerConfig config =
       parse({"--listen", "47163", "--max-sessions", "2", "--cache-file",
              "/tmp/edea.cache", "--workers", "3", "--cache", "64",
-             "--tile-parallelism", "4", "--backend", "serialized"});
+             "--tile-parallelism", "4", "--backend", "serialized",
+             "--batch", "8"});
   ASSERT_TRUE(config.error.empty()) << config.error;
   EXPECT_TRUE(config.listen);
   EXPECT_EQ(config.port, 47163);
@@ -65,6 +68,7 @@ TEST(ServerCliTest, EveryFlagParses) {
   EXPECT_EQ(config.service.cache_capacity, 64u);
   EXPECT_EQ(config.service.tile_parallelism, 4);
   EXPECT_EQ(config.backend, "serialized");
+  EXPECT_EQ(config.batch, 8);
 }
 
 TEST(ServerCliTest, ListenPortMustBeNumericAndInRange) {
@@ -114,6 +118,11 @@ TEST(ServerCliTest, MalformedValuesAreRejectedWithAReason) {
            {"--cache", "10bb"},              // trailing junk
            {"--tile-parallelism", "0"},      // zero width is a caller bug
            {"--tile-parallelism", "-4"},     // negative width
+           {"--batch", "0"},                 // no images is not a run
+           {"--batch", "-2"},                // negative
+           {"--batch", "+4"},                // stoul would accept the '+'
+           {"--batch", "4x"},                // trailing junk
+           {"--batch"},                      // missing value
            {"--cache-file"},                 // missing value
            {"--wat"},                        // unknown flag
        }) {
@@ -144,7 +153,7 @@ TEST(ServerCliTest, ContradictoryModesAreRejected) {
 TEST(ClientCliTest, HelpTextMentionsEveryDocumentedFlag) {
   const std::string usage = client_usage();
   for (const char* flag : {"--help", "--connect", "--verify",
-                           "--expect-all-hits", "--backend"}) {
+                           "--expect-all-hits", "--backend", "--batch"}) {
     SCOPED_TRACE(flag);
     EXPECT_NE(usage.find(flag), std::string::npos)
         << "flag missing from simulation_client --help output";
@@ -155,7 +164,8 @@ TEST(ClientCliTest, HelpTextMentionsEveryDocumentedFlag) {
 TEST(ClientCliTest, EveryFlagParses) {
   const ClientConfig config =
       parse_client({"--connect", "127.0.0.1:47163", "--verify",
-                    "--expect-all-hits", "--backend", "serialized"});
+                    "--expect-all-hits", "--backend", "serialized",
+                    "--batch", "4"});
   ASSERT_TRUE(config.error.empty()) << config.error;
   EXPECT_TRUE(config.connect_given);
   EXPECT_EQ(config.host, "127.0.0.1");
@@ -163,6 +173,7 @@ TEST(ClientCliTest, EveryFlagParses) {
   EXPECT_TRUE(config.verify);
   EXPECT_TRUE(config.expect_all_hits);
   EXPECT_EQ(config.backend, "serialized");
+  EXPECT_EQ(config.batch, 4);
 }
 
 TEST(ClientCliTest, HelpNeedsNoConnect) {
@@ -197,6 +208,12 @@ TEST(ClientCliTest, ContradictionsAndUnknownsAreRejected) {
   EXPECT_NE(bad_backend.error.find("warp-drive"), std::string::npos);
   EXPECT_FALSE(
       parse_client({"--connect", "h:1", "--backend"}).error.empty());
+  for (const char* bad : {"0", "-2", "+4", "4x", "abc"}) {
+    SCOPED_TRACE(std::string("batch '") + bad + "'");
+    EXPECT_FALSE(
+        parse_client({"--connect", "h:1", "--batch", bad}).error.empty());
+  }
+  EXPECT_FALSE(parse_client({"--connect", "h:1", "--batch"}).error.empty());
 }
 
 }  // namespace

@@ -23,6 +23,31 @@ TEST(Shape, Equality) {
   EXPECT_NE((Shape{2, 3}), (Shape{2, 3, 1}));
 }
 
+TEST(Shape, Rank0VolumeIsZeroByContract) {
+  // Pinned semantics (see tensor.hpp): rank 0 means "no tensor", so its
+  // volume is 0, not the mathematical empty product 1 - Tensor(Shape{})
+  // must allocate nothing and the memory planner sizes it at zero bytes.
+  const Shape none;
+  EXPECT_EQ(none.rank(), 0u);
+  EXPECT_EQ(none.volume(), 0u);
+  EXPECT_TRUE(Int8Tensor(none).empty());
+  // Since rank >= 1 extents are strictly positive, volume() == 0 uniquely
+  // identifies the rank-0 shape.
+  EXPECT_GT((Shape{1}).volume(), 0u);
+}
+
+TEST(Shape, Rank4VolumeAndEquality) {
+  const Shape s{2, 3, 4, 5};
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.volume(), 120u);
+  EXPECT_EQ(s, (Shape{2, 3, 4, 5}));
+  EXPECT_NE(s, (Shape{2, 3, 4}));
+  EXPECT_NE(s, (Shape{5, 4, 3, 2}));
+  // Rank-0 equals itself and differs from every ranked shape.
+  EXPECT_EQ(Shape{}, Shape{});
+  EXPECT_NE(Shape{}, (Shape{1}));
+}
+
 TEST(Shape, RejectsInvalidExtents) {
   EXPECT_THROW(Shape({0, 1}), PreconditionError);
   EXPECT_THROW(Shape({-1}), PreconditionError);
@@ -104,6 +129,76 @@ TEST(Tensor, EqualityComparesShapeAndData) {
   EXPECT_NE(a, b);
   const Int8Tensor c(Shape{4, 1, 1});
   EXPECT_NE(a, c);
+}
+
+TEST(TensorView, SharesStorageAndIndexesLikeOwning) {
+  std::vector<std::int8_t> backing(24, 0);
+  Int8Tensor v = Int8Tensor::view(Shape{2, 3, 4}, backing.data());
+  EXPECT_TRUE(v.is_view());
+  EXPECT_EQ(v.size(), 24u);
+  EXPECT_EQ(v.data(), backing.data());
+  v(1, 2, 3) = 42;
+  EXPECT_EQ(backing[23], 42);
+  backing[0] = 7;
+  EXPECT_EQ(v(0, 0, 0), 7);
+  // Equality ignores storage mode: a view equals an owning tensor holding
+  // the same shape and elements.
+  Int8Tensor owned(Shape{2, 3, 4});
+  owned(1, 2, 3) = 42;
+  owned(0, 0, 0) = 7;
+  EXPECT_EQ(v, owned);
+}
+
+TEST(TensorView, CopyDeepCopiesToOwningMode) {
+  std::vector<std::int8_t> backing(6, 3);
+  const Int8Tensor v = Int8Tensor::view(Shape{2, 3}, backing.data());
+  Int8Tensor copy = v;  // NOLINT: the copy is the point
+  EXPECT_FALSE(copy.is_view());
+  EXPECT_NE(copy.data(), backing.data());
+  backing[0] = 99;  // mutating the arena must not reach the copy
+  EXPECT_EQ(copy(0, 0), 3);
+  EXPECT_EQ(v(0, 0), 99);
+
+  Int8Tensor assigned;
+  assigned = v;
+  EXPECT_FALSE(assigned.is_view());
+  EXPECT_EQ(assigned(0, 0), 99);
+}
+
+TEST(TensorView, MovePreservesMode) {
+  std::vector<std::int8_t> backing(4, 1);
+  Int8Tensor v = Int8Tensor::view(Shape{4}, backing.data());
+  Int8Tensor moved = std::move(v);
+  EXPECT_TRUE(moved.is_view());
+  EXPECT_EQ(moved.data(), backing.data());
+
+  Int8Tensor owned(Shape{4}, 5);
+  const std::int8_t* before = owned.data();
+  Int8Tensor moved_owned = std::move(owned);
+  EXPECT_FALSE(moved_owned.is_view());
+  EXPECT_EQ(moved_owned.data(), before);  // vector buffer survived the move
+  EXPECT_EQ(moved_owned(2), 5);
+}
+
+TEST(TensorView, StorageIsOwningModeOnly) {
+  std::vector<std::int8_t> backing(4, 0);
+  Int8Tensor v = Int8Tensor::view(Shape{4}, backing.data());
+  EXPECT_THROW((void)v.storage(), PreconditionError);
+  Int8Tensor owned(Shape{4});
+  EXPECT_NO_THROW((void)owned.storage());
+  EXPECT_THROW((void)Int8Tensor::view(Shape{4}, nullptr), PreconditionError);
+}
+
+TEST(TensorView, FillTransformZeroFractionOperateOnTheSlice) {
+  std::vector<std::int8_t> backing(10, 0);
+  Int8Tensor v = Int8Tensor::view(Shape{10}, backing.data());
+  v.fill(2);
+  EXPECT_EQ(backing[9], 2);
+  v.transform([](std::int8_t x) { return static_cast<std::int8_t>(x * 3); });
+  EXPECT_EQ(backing[0], 6);
+  for (int i = 0; i < 4; ++i) v(i) = 0;
+  EXPECT_DOUBLE_EQ(v.zero_fraction(), 0.4);
+  EXPECT_DOUBLE_EQ(max_abs(v), 6.0);
 }
 
 TEST(Tensor, MaxAbs) {

@@ -128,6 +128,41 @@ TEST(SessionTest, StatsIsABarrierOverPrecedingRequestsOnly) {
             "stats hits=1 misses=1 evictions=0 entries=1 inflight=0");
 }
 
+TEST(SessionTest, BatchedRunsEchoBatchAndKeySeparatelyInTheCache) {
+  SimulationService svc;
+  WorkloadCatalog catalog;
+  const std::vector<std::string> responses = serve_stdio(
+      svc, catalog,
+      {"run mobilenet-0.25x seed=3 td=16",
+       "run mobilenet-0.25x seed=3 td=16 batch=3",  // distinct key -> miss
+       "run mobilenet-0.25x seed=3 td=16 batch=3",  // repeat -> hit
+       "run mobilenet-0.25x seed=3 td=16 batch=0",  // protocol error
+       "stats"});
+
+  ASSERT_EQ(responses.size(), 5u);
+  EXPECT_EQ(responses[0].find("batch="), std::string::npos) << responses[0];
+  EXPECT_NE(responses[1].find(" batch=3 "), std::string::npos)
+      << responses[1];
+  EXPECT_NE(responses[1].find("cache=miss"), std::string::npos);
+  EXPECT_NE(responses[2].find("cache=hit"), std::string::npos);
+  EXPECT_EQ(responses[3].rfind("protocol-error bad batch '0'", 0), 0u)
+      << responses[3];
+  EXPECT_EQ(responses[4],
+            "stats hits=1 misses=2 evictions=0 entries=2 inflight=0");
+
+  // Batching amortizes setup, never arithmetic: every measurement token
+  // of the batched line except the batch echo matches the batch=1 line.
+  std::istringstream single(responses[0]), batched(responses[1]);
+  std::string s, b;
+  while (single >> s) {
+    ASSERT_TRUE(static_cast<bool>(batched >> b));
+    if (b == "batch=3") {
+      ASSERT_TRUE(static_cast<bool>(batched >> b));
+    }
+    EXPECT_EQ(s, b);
+  }
+}
+
 TEST(SessionTest, RecordedTrafficAlignsJobsWithOutcomes) {
   SimulationService svc;
   WorkloadCatalog catalog;
