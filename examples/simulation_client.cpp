@@ -4,8 +4,8 @@
 //
 //   simulation_server --listen 47163 &
 //   simulation_client --connect 127.0.0.1:47163 [--verify]
-//       [--expect-all-hits] [--backend ID] [--batch N]
-//       < examples/simulation_requests.txt
+//       [--expect-all-hits] [--backend ID] [--batch N] [--dilation N]
+//       [--depth-multiplier N] < examples/simulation_requests.txt
 //
 // Run `simulation_client --help` for every flag; see
 // service/client_cli.hpp for the parsed grammar. --backend mirrors the
@@ -60,10 +60,13 @@ std::pair<std::string, std::string> split_cache_token(
 /// string streams against a fresh default service), producing the
 /// response lines the stdio driver would print for `request_lines`.
 /// `default_backend` mirrors the server's --backend ("" = protocol
-/// default); `default_batch` its --batch (0 = protocol default).
+/// default); `default_batch` its --batch, `default_dilation` its
+/// --dilation, `default_depth_multiplier` its --depth-multiplier (0 =
+/// protocol default).
 std::vector<std::string> reference_responses(
     const std::vector<std::string>& request_lines,
-    const std::string& default_backend, int default_batch) {
+    const std::string& default_backend, int default_batch,
+    int default_dilation, int default_depth_multiplier) {
   std::ostringstream joined;
   for (const std::string& line : request_lines) joined << line << "\n";
   std::istringstream in(joined.str());
@@ -75,6 +78,10 @@ std::vector<std::string> reference_responses(
   edea::service::SessionOptions options;
   if (!default_backend.empty()) options.backend = default_backend;
   if (default_batch != 0) options.batch = default_batch;
+  if (default_dilation != 0) options.dilation = default_dilation;
+  if (default_depth_multiplier != 0) {
+    options.depth_multiplier = default_depth_multiplier;
+  }
   (void)edea::service::Session(svc, catalog, options).serve(stream);
 
   std::vector<std::string> lines;
@@ -136,7 +143,8 @@ int main(int argc, char** argv) {
   if (!config.verify) return 0;
 
   const std::vector<std::string> expected =
-      reference_responses(request_lines, config.backend, config.batch);
+      reference_responses(request_lines, config.backend, config.batch,
+                          config.dilation, config.depth_multiplier);
   bool all_ok = true;
   if (responses.size() != expected.size()) {
     std::cerr << "VERIFY FAIL: " << responses.size() << " responses, expected "

@@ -80,21 +80,24 @@ bool verify_session(const edea::service::SessionStats& stats,
   }
 
   // Structural cache accounting: within one session, the first occurrence
-  // of each (workload, config, backend, batch) key either simulates (a
-  // miss) or lands in the preloaded persisted cache (a hit); every repeat
-  // is a hit.
+  // of each (workload, config, backend, batch, dilation, depth_multiplier)
+  // key either simulates (a miss) or lands in the preloaded persisted
+  // cache (a hit); every repeat is a hit.
   // This prediction only holds when nothing gets evicted, i.e. the
   // capacity covers every distinct key; with a smaller --cache, eviction
   // timing decides which repeats re-simulate, so only bit-identity is
   // checked.
-  std::map<std::tuple<std::uint64_t, std::uint64_t, std::string, int>, int>
+  std::map<
+      std::tuple<std::uint64_t, std::uint64_t, std::string, int, int, int>,
+      int>
       seen;
   std::uint64_t expect_misses = 0;
   for (std::size_t i = 0; i < stats.jobs.size(); ++i) {
     const SweepJob& job = stats.jobs[i];
     const auto key = std::make_tuple(
         edea::core::network_fingerprint(*job.layers, *job.input),
-        job.config.hash(), stats.outcomes[i].backend, job.batch);
+        job.config.hash(), stats.outcomes[i].backend, job.batch, job.dilation,
+        job.depth_multiplier);
     if (seen[key]++ == 0 && !stats.outcomes[i].summary_only) ++expect_misses;
   }
   if (cache_capacity >= seen.size()) {
@@ -195,6 +198,8 @@ int main(int argc, char** argv) {
     service::SessionOptions session_options;
     session_options.backend = config.backend;
     session_options.batch = config.batch;
+    session_options.dilation = config.dilation;
+    session_options.depth_multiplier = config.depth_multiplier;
     transport.serve([&](service::Stream& stream) {
       service::Session(svc, catalog, session_options).serve(stream);
     });
@@ -207,6 +212,8 @@ int main(int argc, char** argv) {
     session_options.record_traffic = config.verify;
     session_options.backend = config.backend;
     session_options.batch = config.batch;
+    session_options.dilation = config.dilation;
+    session_options.depth_multiplier = config.depth_multiplier;
     service::StdioStream stream(std::cin, std::cout);
     service::Session session(svc, catalog, session_options);
     const service::SessionStats stats = session.serve(stream);

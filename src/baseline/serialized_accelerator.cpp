@@ -59,9 +59,10 @@ core::NetworkRunResult SerializedDscAccelerator::run_network(
   std::vector<std::size_t> psum_entries;
   for (std::size_t i = 0; i < layers.size(); ++i) {
     const nn::DscLayerSpec& spec = layers[i].spec;
-    const auto inter_bytes = static_cast<std::size_t>(spec.out_rows()) *
-                             static_cast<std::size_t>(spec.out_cols()) *
-                             static_cast<std::size_t>(spec.in_channels);
+    const auto inter_bytes =
+        static_cast<std::size_t>(spec.out_rows()) *
+        static_cast<std::size_t>(spec.out_cols()) *
+        static_cast<std::size_t>(spec.intermediate_channels());
     inter_ids.push_back(
         planner.add_blob(layer_blob_name(i, "intermediate"), inter_bytes, i, i));
     const Tiler tiler(config_, spec);
@@ -97,7 +98,7 @@ core::NetworkRunResult SerializedDscAccelerator::run_network(
         arena.slice<std::int8_t>(acts.outputs[0][i], out_shape.volume()));
 
     const nn::Shape inter_shape{spec.out_rows(), spec.out_cols(),
-                                spec.in_channels};
+                                spec.intermediate_channels()};
     arena.clear(inter_ids[i]);
     nn::Int8Tensor inter_view = nn::Int8Tensor::view(
         inter_shape,
@@ -122,8 +123,8 @@ SerializedLayerResult SerializedDscAccelerator::run_layer(
   const nn::DscLayerSpec& spec = layer.spec;
   nn::Int8Tensor output(
       nn::Shape{spec.out_rows(), spec.out_cols(), spec.out_channels});
-  nn::Int8Tensor intermediate(
-      nn::Shape{spec.out_rows(), spec.out_cols(), spec.in_channels});
+  nn::Int8Tensor intermediate(nn::Shape{spec.out_rows(), spec.out_cols(),
+                                        spec.intermediate_channels()});
   const Tiler tiler(config_, spec);
   std::vector<std::int32_t> psum_store(
       static_cast<std::size_t>(tiler.max_tile_psum_entries()));
@@ -168,9 +169,10 @@ SerializedLayerResult SerializedDscAccelerator::run_layer_into(
   EDEA_REQUIRE(output.shape() == (nn::Shape{N, M, K}),
                "layer output shape mismatch: got " +
                    output.shape().to_string());
-  EDEA_REQUIRE(intermediate.shape() == (nn::Shape{N, M, spec.in_channels}),
-               "intermediate map shape mismatch: got " +
-                   intermediate.shape().to_string());
+  EDEA_REQUIRE(
+      intermediate.shape() == (nn::Shape{N, M, spec.intermediate_channels()}),
+      "intermediate map shape mismatch: got " +
+          intermediate.shape().to_string());
   EDEA_REQUIRE(psum != nullptr, "psum scratch must be provided");
 
   SerializedLayerResult result;
@@ -179,14 +181,20 @@ SerializedLayerResult SerializedDscAccelerator::run_layer_into(
 
   const int image_rows = input.dim(0);
   const int image_cols = input.dim(1);
+  const int mult = spec.depth_multiplier;
 
   // ---- Phase 1: depthwise convolution over the whole layer. ----
   for (const BufferTile& tile : tiler.tiles()) {
     for (const ChannelSlice& slice : tiler.slices()) {
-      // Ifmap + weight load (counted identically to EDEA's pass loads).
+      // Ifmap + weight load (counted identically to EDEA's pass loads):
+      // only the *distinct* input channels behind the slice's intermediate
+      // channels are fetched when the depth multiplier folds lanes.
+      const int in_count =
+          (slice.channel0 + slice.channels - 1) / mult -
+          slice.channel0 / mult + 1;
       result.common.external.record_read(
           TrafficClass::kActivation,
-          tile.valid_input_elements(image_rows, image_cols) * slice.channels);
+          tile.valid_input_elements(image_rows, image_cols) * in_count);
       const auto w_elems =
           std::int64_t{1} * config_.kernel * config_.kernel * slice.channels;
       result.common.external.record_read(TrafficClass::kWeight, w_elems);
@@ -222,7 +230,8 @@ SerializedLayerResult SerializedDscAccelerator::run_layer_into(
           const int out_c0 = tile.out_col0 + sx * config_.tm;
 
           core::DwcWindow window;
-          window.extent = config_.dwc_window_extent(spec.stride);
+          window.extent =
+              config_.dwc_window_extent(spec.stride, spec.dilation);
           window.channels = slice.channels;
           window.values.assign(static_cast<std::size_t>(
                                    window.extent * window.extent *
@@ -238,14 +247,17 @@ SerializedLayerResult SerializedDscAccelerator::run_layer_into(
                 continue;
               }
               for (int ch = 0; ch < window.channels; ++ch) {
+                // Lane ch carries intermediate channel slice.channel0 + ch,
+                // whose data is input channel (slice.channel0 + ch) / mult.
                 window.values[static_cast<std::size_t>(
                     (r * window.extent + c) * window.channels + ch)] =
-                    input(gr, gc, slice.channel0 + ch);
+                    input(gr, gc, (slice.channel0 + ch) / mult);
               }
             }
           }
 
-          const core::DwcStepOutput out = dwc_.step(window, spec.stride);
+          const core::DwcStepOutput out =
+              dwc_.step(window, spec.stride, spec.dilation);
           result.dwc_phase_cycles += 1;
           result.common.timing.dwc_active_cycles += 1;
 

@@ -33,8 +33,8 @@ struct SerializedLayerResult {
   core::LayerRunResult common;
   std::int64_t dwc_phase_cycles = 0;
   std::int64_t pwc_phase_cycles = 0;
-  std::int64_t intermediate_external_writes = 0;  ///< N*M*D
-  std::int64_t intermediate_external_reads = 0;   ///< N*M*D
+  std::int64_t intermediate_external_writes = 0;  ///< N*M*(D*mult)
+  std::int64_t intermediate_external_reads = 0;   ///< N*M*(D*mult)
 };
 
 /// The "serialized" entry of the backend registry (core/backend.hpp):

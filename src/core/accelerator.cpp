@@ -139,10 +139,17 @@ class TileWorker {
 
  private:
   /// Loads the valid part of the tile's input region into the ifmap buffer.
+  /// Only *distinct* input channels are staged: with depth multiplier m the
+  /// slice's intermediate channels [c0, c0+n) all read input channels
+  /// [c0/m, (c0+n-1)/m], so that smaller range is what the SRAM holds and
+  /// what external activation traffic pays for.
   void load_ifmap_tile(const nn::Int8Tensor& input, const BufferTile& tile,
-                       const ChannelSlice& slice) {
+                       const ChannelSlice& slice, int mult) {
     const int image_rows = input.dim(0);
     const int image_cols = input.dim(1);
+    const int in0 = slice.channel0 / mult;
+    const int in_count =
+        (slice.channel0 + slice.channels - 1) / mult - in0 + 1;
     // The buffer is cleared so halo positions beyond the image read as the
     // zero padding value; only valid elements are fetched (and counted).
     ifmap_buffer_.clear_contents();
@@ -155,10 +162,10 @@ class TileWorker {
       for (int c = 0; c < tile.in_cols; ++c) {
         const int gc = tile.in_col0 + c;
         if (gc < 0 || gc >= image_cols) continue;
-        for (int ch = 0; ch < slice.channels; ++ch) {
-          const std::int8_t v = input(gr, gc, slice.channel0 + ch);
+        for (int ch = 0; ch < in_count; ++ch) {
+          const std::int8_t v = input(gr, gc, in0 + ch);
           const std::int64_t addr =
-              (std::int64_t{r} * tile.in_cols + c) * slice.channels + ch;
+              (std::int64_t{r} * tile.in_cols + c) * in_count + ch;
           ifmap_buffer_.store<std::int8_t>(addr, v);
           ++fetched;
         }
@@ -169,18 +176,25 @@ class TileWorker {
   }
 
   /// Reads one DWC window from the ifmap buffer (zeros outside the image).
+  /// Window lane `ch` carries intermediate channel slice.channel0 + ch,
+  /// whose data lives at staged input channel (slice.channel0 + ch) / mult.
   DwcWindow fetch_window(const BufferTile& tile, const ChannelSlice& slice,
                          int image_rows, int image_cols, int out_row0,
-                         int out_col0, int stride, int padding) {
+                         int out_col0, int stride, int padding, int dilation,
+                         int mult) {
     DwcWindow window;
-    window.extent = config_.dwc_window_extent(stride);
+    window.extent = config_.dwc_window_extent(stride, dilation);
     window.channels = slice.channels;
     window.values.assign(
         static_cast<std::size_t>(window.extent * window.extent *
                                  window.channels),
         0);
 
-    // Window origin in unpadded image coordinates.
+    const int in0 = slice.channel0 / mult;
+    const int in_count =
+        (slice.channel0 + slice.channels - 1) / mult - in0 + 1;
+
+    // Window origin in unpadded image coordinates (the first kernel tap).
     const int grow0 = out_row0 * stride - padding;
     const int gcol0 = out_col0 * stride - padding;
 
@@ -198,8 +212,10 @@ class TileWorker {
         for (int ch = 0; ch < window.channels; ++ch) {
           std::int8_t v = 0;
           if (in_image && in_region) {
+            const int src = (slice.channel0 + ch) / mult;
             const std::int64_t addr =
-                (std::int64_t{br} * tile.in_cols + bc) * window.channels + ch;
+                (std::int64_t{br} * tile.in_cols + bc) * in_count +
+                (src - in0);
             v = ifmap_buffer_.load<std::int8_t>(addr);
             ++sram_reads;
           }
@@ -234,8 +250,8 @@ class TileWorker {
                   "slice weights for " + std::to_string(K) + " kernels");
     }
 
-    // Ifmap region for this (tile, slice).
-    load_ifmap_tile(input, tile, slice);
+    // Ifmap region for this (tile, slice): distinct input channels only.
+    load_ifmap_tile(input, tile, slice, spec.depth_multiplier);
 
     // DWC kernel slice -> weight buffer -> engine registers.
     {
@@ -325,8 +341,9 @@ class TileWorker {
         // DWC engine fires once for this spatial step.
         const DwcWindow window =
             fetch_window(tile, slice, image_rows, image_cols, out_r0, out_c0,
-                         stride, spec.padding);
-        const DwcStepOutput dwc_out = dwc_.step(window, stride);
+                         stride, spec.padding, spec.dilation,
+                         spec.depth_multiplier);
+        const DwcStepOutput dwc_out = dwc_.step(window, stride, spec.dilation);
         partial_.timing.dwc_active_cycles += 1;
         if (trace != nullptr && step_index < 4) {
           trace->emit(cycle, "DWC Engine Process",

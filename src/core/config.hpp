@@ -59,15 +59,36 @@ struct EdeaConfig {
     return dwc_mac_count() + pwc_mac_count();
   }
 
-  /// Input window extent the DWC engine consumes for one step at `stride`:
-  /// (Tn-1)*stride + kernel. Paper: 4x4 at stride 1, 5x5 at stride 2.
-  [[nodiscard]] int dwc_window_extent(int stride) const noexcept {
-    return (tn - 1) * stride + kernel;
+  /// Input window extent the DWC engine consumes for one step at `stride`
+  /// with kernel taps spaced `dilation` apart:
+  /// (Tn-1)*stride + (kernel-1)*dilation + 1. Paper (dilation 1): 4x4 at
+  /// stride 1, 5x5 at stride 2.
+  [[nodiscard]] int dwc_window_extent(int stride, int dilation = 1) const
+      noexcept {
+    return (tn - 1) * stride + (kernel - 1) * dilation + 1;
   }
 
   /// Input region extent backing a full buffer tile at `stride`.
   [[nodiscard]] int ifmap_tile_extent(int stride) const noexcept {
     return (max_tile_out - 1) * stride + kernel;
+  }
+
+  /// Largest output-tile extent whose input region still fits the (fixed,
+  /// dilation-1-sized) DWC ifmap buffer at this stride/dilation. Dilation
+  /// inflates the input halo of a tile, so dilated layers shrink the tile
+  /// rather than growing silicon: both the Tiler and the TimingModel step
+  /// by this value (they must agree - run_layer asserts cycle-exactness).
+  /// Returns 0 when even a 1x1 output tile overflows the buffer (the
+  /// dilation is infeasible on this configuration).
+  [[nodiscard]] int effective_max_tile_out(int stride, int dilation) const
+      noexcept {
+    const std::int64_t capacity = dwc_ifmap_buffer_bytes();
+    for (int t = max_tile_out; t > 0; --t) {
+      const std::int64_t extent =
+          (t - 1) * stride + (kernel - 1) * dilation + 1;
+      if (extent * extent * td <= capacity) return t;
+    }
+    return 0;
   }
 
   // --- buffer capacities in bytes (Fig. 4 instances) ---

@@ -22,13 +22,15 @@ void DwcEngine::load_weights(const std::vector<std::int8_t>& weights,
   weight_channels_ = channels;
 }
 
-DwcStepOutput DwcEngine::step(const DwcWindow& window, int stride) {
+DwcStepOutput DwcEngine::step(const DwcWindow& window, int stride,
+                              int dilation) {
   EDEA_REQUIRE(stride == 1 || stride == 2, "DWC stride must be 1 or 2");
+  EDEA_REQUIRE(dilation >= 1, "DWC dilation must be >= 1");
   EDEA_REQUIRE(weight_channels_ > 0, "DWC weights not loaded");
   EDEA_REQUIRE(window.channels == weight_channels_,
                "window channel count must match loaded weights");
-  EDEA_REQUIRE(window.extent == config_.dwc_window_extent(stride),
-               "window extent must match stride geometry");
+  EDEA_REQUIRE(window.extent == config_.dwc_window_extent(stride, dilation),
+               "window extent must match stride/dilation geometry");
 
   const int k = config_.kernel;
   DwcStepOutput out;
@@ -43,8 +45,8 @@ DwcStepOutput DwcEngine::step(const DwcWindow& window, int stride) {
         // One 9-input adder tree instance: 3x3 products for this output.
         for (int i = 0; i < k; ++i) {
           for (int j = 0; j < k; ++j) {
-            const std::int8_t a =
-                window.at(ty * stride + i, tx * stride + j, ch);
+            const std::int8_t a = window.at(ty * stride + i * dilation,
+                                            tx * stride + j * dilation, ch);
             const std::int8_t w = weights_[static_cast<std::size_t>(
                 (i * k + j) * weight_channels_ + ch)];
             products_[static_cast<std::size_t>(i * k + j)] =

@@ -51,8 +51,11 @@ class DwcEngine {
   void load_weights(const std::vector<std::int8_t>& weights, int channels);
 
   /// One engine cycle: computes Tn x Tm outputs for every loaded channel.
-  /// `stride` selects the window geometry (4x4 at s=1, 5x5 at s=2).
-  [[nodiscard]] DwcStepOutput step(const DwcWindow& window, int stride);
+  /// `stride` and `dilation` select the window geometry ((Tn-1)*stride +
+  /// (kernel-1)*dilation + 1 square): 4x4 at s=1/d=1, 5x5 at s=2/d=1,
+  /// wider for dilated kernels whose taps sit `dilation` apart.
+  [[nodiscard]] DwcStepOutput step(const DwcWindow& window, int stride,
+                                   int dilation = 1);
 
   /// One idle cycle (engine clocked, no work) - happens while the PWC
   /// engine drains kernel groups; feeds the duty factor of the power model.

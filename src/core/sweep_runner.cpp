@@ -18,6 +18,13 @@ SweepOutcome evaluate_job(const SweepJob& job, int tile_parallelism) {
   EDEA_REQUIRE(job.batch >= 1, "sweep job '" + job.name +
                                    "' must run a positive batch, got " +
                                    std::to_string(job.batch));
+  EDEA_REQUIRE(job.dilation >= 1, "sweep job '" + job.name +
+                                      "' must have dilation >= 1, got " +
+                                      std::to_string(job.dilation));
+  EDEA_REQUIRE(job.depth_multiplier >= 1,
+               "sweep job '" + job.name +
+                   "' must have depth_multiplier >= 1, got " +
+                   std::to_string(job.depth_multiplier));
   const std::string backend_id =
       job.backend.empty() ? std::string(kDefaultBackendId) : job.backend;
   EDEA_REQUIRE(backend_known(backend_id),
@@ -28,6 +35,8 @@ SweepOutcome evaluate_job(const SweepJob& job, int tile_parallelism) {
   out.config = job.config;
   out.backend = backend_id;
   out.batch = job.batch;
+  out.dilation = job.dilation;
+  out.depth_multiplier = job.depth_multiplier;
   try {
     // The backend constructor validates the configuration; an infeasible
     // point throws here or during the run, and either way is data.

@@ -45,6 +45,13 @@ struct SweepJob {
   /// summary's peak_arena_bytes reflects the batched plan. < 1 is a
   /// PreconditionError.
   int batch = 1;
+  /// Workload-transform knobs the resolver applied when materializing
+  /// `layers` (see WorkloadCatalog::resolve): the DWC dilation and the
+  /// extra depth multiplier. Already baked into every layer spec - carried
+  /// here so outcomes can echo them and the service cache can key on them
+  /// without re-deriving from the layers. < 1 is a PreconditionError.
+  int dilation = 1;
+  int depth_multiplier = 1;
 };
 
 /// Result of one job. A job whose configuration cannot map the network
@@ -61,6 +68,11 @@ struct SweepOutcome {
   /// The job's batch size, echoed for the protocol line (batch > 1 is a
   /// distinct cache key: its arena plan and peak differ).
   int batch = 1;
+  /// The job's workload-transform knobs, echoed for the protocol line
+  /// (each > 1 is a distinct cache key: the transformed network computes
+  /// something else).
+  int dilation = 1;
+  int depth_multiplier = 1;
   bool ok = false;
   std::string error;
   NetworkRunResult result;

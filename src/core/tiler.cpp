@@ -19,15 +19,29 @@ std::int64_t BufferTile::valid_input_elements(int image_rows,
 Tiler::Tiler(const EdeaConfig& config, const nn::DscLayerSpec& spec)
     : config_(config), spec_(spec) {
   config_.validate();
+  EDEA_REQUIRE(spec.dilation >= 1, "DWC dilation must be >= 1");
+  EDEA_REQUIRE(spec.depth_multiplier >= 1, "depth multiplier must be >= 1");
   const int N = spec.out_rows();
   const int M = spec.out_cols();
   EDEA_REQUIRE(N > 0 && M > 0, "layer output must be non-empty");
 
-  // Buffer tiles: chunks of at most max_tile_out x max_tile_out outputs.
-  for (int r0 = 0; r0 < N; r0 += config_.max_tile_out) {
-    const int rows = std::min(config_.max_tile_out, N - r0);
-    for (int c0 = 0; c0 < M; c0 += config_.max_tile_out) {
-      const int cols = std::min(config_.max_tile_out, M - c0);
+  // Buffer tiles: chunks of at most tile_out x tile_out outputs, where
+  // tile_out shrinks below max_tile_out when dilation inflates a tile's
+  // input halo past the (fixed) DWC ifmap buffer. The TimingModel steps
+  // by the same value - the Eq. 1/2 cycle assertion depends on it.
+  const int tile_out =
+      config_.effective_max_tile_out(spec.stride, spec.dilation);
+  if (tile_out == 0) {
+    throw ResourceError("dilation " + std::to_string(spec.dilation) +
+                        " at stride " + std::to_string(spec.stride) +
+                        " overflows the DWC ifmap buffer even for a 1x1 "
+                        "output tile");
+  }
+  const int eff_kernel = (spec.kernel - 1) * spec.dilation + 1;
+  for (int r0 = 0; r0 < N; r0 += tile_out) {
+    const int rows = std::min(tile_out, N - r0);
+    for (int c0 = 0; c0 < M; c0 += tile_out) {
+      const int cols = std::min(tile_out, M - c0);
       BufferTile t;
       t.out_row0 = r0;
       t.out_col0 = c0;
@@ -37,15 +51,18 @@ Tiler::Tiler(const EdeaConfig& config, const nn::DscLayerSpec& spec)
       // last output (inclusive), in unpadded coordinates.
       t.in_row0 = r0 * spec.stride - spec.padding;
       t.in_col0 = c0 * spec.stride - spec.padding;
-      t.in_rows = (rows - 1) * spec.stride + spec.kernel;
-      t.in_cols = (cols - 1) * spec.stride + spec.kernel;
+      t.in_rows = (rows - 1) * spec.stride + eff_kernel;
+      t.in_cols = (cols - 1) * spec.stride + eff_kernel;
       tiles_.push_back(t);
     }
   }
 
-  for (int d0 = 0; d0 < spec.in_channels; d0 += config_.td) {
-    slices_.push_back(
-        ChannelSlice{d0, std::min(config_.td, spec.in_channels - d0)});
+  // Slices iterate the *intermediate* (post-multiplier) channel axis: the
+  // DWC weight/Non-Conv/PWC loops are all per intermediate channel, and
+  // each lane reads input channel (channel / depth_multiplier).
+  for (int d0 = 0; d0 < spec.intermediate_channels(); d0 += config_.td) {
+    slices_.push_back(ChannelSlice{
+        d0, std::min(config_.td, spec.intermediate_channels() - d0)});
   }
 
   for (int k0 = 0; k0 < spec.out_channels; k0 += config_.tk) {

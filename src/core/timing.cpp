@@ -16,8 +16,11 @@ std::int64_t TimingModel::tile_pass_cycles(int tile_rows, int tile_cols,
 
 std::int64_t TimingModel::buffer_tile_count(
     const nn::DscLayerSpec& spec) const {
-  return ceil_div(spec.out_rows(), config_.max_tile_out) *
-         ceil_div(spec.out_cols(), config_.max_tile_out);
+  const int tile_out =
+      config_.effective_max_tile_out(spec.stride, spec.dilation);
+  EDEA_REQUIRE(tile_out > 0, "dilation overflows the DWC ifmap buffer");
+  return ceil_div(spec.out_rows(), tile_out) *
+         ceil_div(spec.out_cols(), tile_out);
 }
 
 LayerTiming TimingModel::layer_timing(const nn::DscLayerSpec& spec) const {
@@ -25,17 +28,24 @@ LayerTiming TimingModel::layer_timing(const nn::DscLayerSpec& spec) const {
   const int M = spec.out_cols();
   EDEA_REQUIRE(N > 0 && M > 0, "layer output must be non-empty");
 
-  const std::int64_t slices = ceil_div(spec.in_channels, config_.td);
+  // Same tile extent the Tiler walks: shrunk below max_tile_out when
+  // dilation inflates the input halo past the ifmap buffer.
+  const int tile_out =
+      config_.effective_max_tile_out(spec.stride, spec.dilation);
+  EDEA_REQUIRE(tile_out > 0, "dilation overflows the DWC ifmap buffer");
+  // Slices cover the intermediate (post-depth-multiplier) channel axis.
+  const std::int64_t slices =
+      ceil_div(spec.intermediate_channels(), config_.td);
   const std::int64_t kernel_groups = ceil_div(spec.out_channels, config_.tk);
 
   LayerTiming t;
   // Iterate buffer tiles explicitly so ragged edges (output extents that
-  // are not multiples of max_tile_out) are counted exactly; MobileNetV1
+  // are not multiples of the tile extent) are counted exactly; MobileNetV1
   // always tiles evenly but the accelerator itself is general.
-  for (int row0 = 0; row0 < N; row0 += config_.max_tile_out) {
-    const int tile_rows = std::min(config_.max_tile_out, N - row0);
-    for (int col0 = 0; col0 < M; col0 += config_.max_tile_out) {
-      const int tile_cols = std::min(config_.max_tile_out, M - col0);
+  for (int row0 = 0; row0 < N; row0 += tile_out) {
+    const int tile_rows = std::min(tile_out, N - row0);
+    for (int col0 = 0; col0 < M; col0 += tile_out) {
+      const int tile_cols = std::min(tile_out, M - col0);
       const std::int64_t spatial_steps =
           ceil_div(tile_rows, config_.tn) * ceil_div(tile_cols, config_.tm);
       t.passes += slices;

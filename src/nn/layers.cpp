@@ -10,8 +10,12 @@ namespace edea::nn {
 std::string DscLayerSpec::to_string() const {
   std::ostringstream os;
   os << "DSC" << index << " ifmap " << in_rows << "x" << in_cols << "x"
-     << in_channels << " s" << stride << " -> " << out_rows() << "x"
-     << out_cols() << "x" << out_channels;
+     << in_channels << " s" << stride;
+  // Default-valued dimensions stay silent so pre-existing strings (and
+  // everything pinned against them) are byte-identical.
+  if (dilation != 1) os << " d" << dilation;
+  if (depth_multiplier != 1) os << " m" << depth_multiplier;
+  os << " -> " << out_rows() << "x" << out_cols() << "x" << out_channels;
   return os.str();
 }
 
@@ -78,23 +82,31 @@ FloatDscLayer make_random_float_layer(const DscLayerSpec& spec, Rng& rng) {
                "layer channel counts must be positive");
   EDEA_REQUIRE(spec.stride == 1 || spec.stride == 2,
                "MobileNetV1 DSC layers use stride 1 or 2");
+  EDEA_REQUIRE(spec.dilation >= 1, "DWC dilation must be >= 1");
+  EDEA_REQUIRE(spec.depth_multiplier >= 1, "depth multiplier must be >= 1");
 
   FloatDscLayer layer;
   layer.spec = spec;
 
   // He/Kaiming fan-in initialization keeps activation magnitudes stable
   // through the (untrained) network, which matters for realistic
-  // quantization ranges and sparsity statistics.
+  // quantization ranges and sparsity statistics. Each DWC output channel
+  // still reads a single input channel, so its fan-in stays kernel^2
+  // regardless of the depth multiplier; the PWC fan-in is the
+  // (multiplied) intermediate depth. At depth_multiplier = 1 every draw
+  // below happens in the pre-multiplier order, bit for bit.
   const double dwc_std =
       std::sqrt(2.0 / static_cast<double>(spec.kernel * spec.kernel));
-  layer.dwc_weights =
-      FloatTensor(Shape{spec.kernel, spec.kernel, spec.in_channels});
+  layer.dwc_weights = FloatTensor(
+      Shape{spec.kernel, spec.kernel, spec.intermediate_channels()});
   for (auto& w : layer.dwc_weights.storage()) {
     w = static_cast<float>(rng.normal(0.0, dwc_std));
   }
 
-  const double pwc_std = std::sqrt(2.0 / static_cast<double>(spec.in_channels));
-  layer.pwc_weights = FloatTensor(Shape{spec.out_channels, spec.in_channels});
+  const double pwc_std =
+      std::sqrt(2.0 / static_cast<double>(spec.intermediate_channels()));
+  layer.pwc_weights =
+      FloatTensor(Shape{spec.out_channels, spec.intermediate_channels()});
   for (auto& w : layer.pwc_weights.storage()) {
     w = static_cast<float>(rng.normal(0.0, pwc_std));
   }
@@ -106,7 +118,8 @@ FloatDscLayer make_random_float_layer(const DscLayerSpec& spec, Rng& rng) {
   const float depth = static_cast<float>(spec.index) / 12.0f;
   const float beta_shift = 0.55f * depth;
   const float gamma_gain = 1.0f + 0.9f * depth;
-  layer.bn1 = make_random_bn(spec.in_channels, rng, beta_shift, gamma_gain);
+  layer.bn1 = make_random_bn(spec.intermediate_channels(), rng, beta_shift,
+                             gamma_gain);
   layer.bn2 = make_random_bn(spec.out_channels, rng, beta_shift, gamma_gain);
   return layer;
 }

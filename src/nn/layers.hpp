@@ -26,9 +26,16 @@ struct DscLayerSpec {
   int out_channels = 8; ///< K
   int kernel = 3;       ///< H = W (paper uses 3x3 exclusively)
   int padding = 1;      ///< zero padding
+  int dilation = 1;     ///< DWC tap spacing (1 = the paper's dense kernels)
+  int depth_multiplier = 1;  ///< DWC output channels per input channel
+
+  /// Channels of the DWC->PWC intermediate tensor: D * depth_multiplier.
+  [[nodiscard]] int intermediate_channels() const noexcept {
+    return in_channels * depth_multiplier;
+  }
 
   [[nodiscard]] Conv2dGeometry dwc_geometry() const noexcept {
-    return Conv2dGeometry{kernel, stride, padding};
+    return Conv2dGeometry{kernel, stride, padding, dilation};
   }
 
   [[nodiscard]] int out_rows() const noexcept {  ///< N
@@ -40,12 +47,12 @@ struct DscLayerSpec {
 
   /// Multiply-accumulate counts (Fig. 10 x-axis).
   [[nodiscard]] std::int64_t dwc_macs() const noexcept {
-    return std::int64_t{1} * out_rows() * out_cols() * in_channels * kernel *
-           kernel;
+    return std::int64_t{1} * out_rows() * out_cols() *
+           intermediate_channels() * kernel * kernel;
   }
   [[nodiscard]] std::int64_t pwc_macs() const noexcept {
-    return std::int64_t{1} * out_rows() * out_cols() * in_channels *
-           out_channels;
+    return std::int64_t{1} * out_rows() * out_cols() *
+           intermediate_channels() * out_channels;
   }
   [[nodiscard]] std::int64_t total_macs() const noexcept {
     return dwc_macs() + pwc_macs();
@@ -61,9 +68,9 @@ struct DscLayerSpec {
 /// Float parameters of one DSC layer: DWC kernel + BN, PWC kernel + BN.
 struct FloatDscLayer {
   DscLayerSpec spec;
-  FloatTensor dwc_weights;  ///< [kh][kw][D]
-  BatchNormParams bn1;      ///< after DWC (D channels)
-  FloatTensor pwc_weights;  ///< [K][D]
+  FloatTensor dwc_weights;  ///< [kh][kw][D*mult]
+  BatchNormParams bn1;      ///< after DWC (D*mult channels)
+  FloatTensor pwc_weights;  ///< [K][D*mult]
   BatchNormParams bn2;      ///< after PWC (K channels)
 
   /// Forward pass: DWC -> BN -> ReLU -> PWC -> BN -> ReLU.
@@ -81,12 +88,12 @@ struct FloatDscLayer {
 /// and after the PWC respectively.
 struct QuantDscLayer {
   DscLayerSpec spec;
-  Int8Tensor dwc_weights;  ///< [kh][kw][D]
-  Int8Tensor pwc_weights;  ///< [K][D]
+  Int8Tensor dwc_weights;  ///< [kh][kw][D*mult]
+  Int8Tensor pwc_weights;  ///< [K][D*mult]
   QuantScale input_scale;
   QuantScale intermediate_scale;
   QuantScale output_scale;
-  NonConvParams nonconv1;  ///< DWC accumulator -> PWC int8 input (D channels)
+  NonConvParams nonconv1;  ///< DWC accumulator -> PWC int8 input (D*mult ch.)
   NonConvParams nonconv2;  ///< PWC accumulator -> layer int8 output (K chan.)
 
   /// Golden quantized forward pass using exactly the accelerator's

@@ -38,6 +38,22 @@ struct MobileNetVariant {
 [[nodiscard]] std::vector<DscLayerSpec> mobilenet_imagenet_specs(
     double width_multiplier = 1.0);
 
+/// The 17-block MobileNetV2 inverted-residual geometry at CIFAR scale
+/// (32x32 stem, stride-1 entry stages). Each bottleneck block maps to one
+/// DSC layer whose depthwise stage runs at depth multiplier t (the
+/// expansion factor): the 1x1 expansion is folded into the multiplier and
+/// the 1x1 projection is the DSC's pointwise stage. Residual adds are not
+/// modeled.
+[[nodiscard]] std::vector<DscLayerSpec> mobilenet_v2_specs(
+    int input_resolution = 32);
+
+/// The 16-block EfficientNet-B0 MBConv geometry at 32x32, with the same
+/// expansion-as-depth-multiplier modeling as mobilenet_v2_specs. The 5x5
+/// stages are clamped to the accelerator's 3x3 datapath; squeeze-excite
+/// blocks are outside the DSC datapath and not modeled.
+[[nodiscard]] std::vector<DscLayerSpec> efficientnet_b0_specs(
+    int input_resolution = 32);
+
 /// A compact 6-layer DSC network for 64x64 inputs (an "EdeaNet" of the
 /// kind an embedded user would deploy) - used by examples and tests as a
 /// non-MobileNet workload.

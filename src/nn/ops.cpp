@@ -53,8 +53,8 @@ FloatTensor conv2d(const FloatTensor& input, const FloatTensor& weights,
         float acc = 0.0f;
         for (int i = 0; i < geom.kernel; ++i) {
           for (int j = 0; j < geom.kernel; ++j) {
-            const int y = n * geom.stride + i - geom.padding;
-            const int x = m * geom.stride + j - geom.padding;
+            const int y = n * geom.stride + i * geom.dilation - geom.padding;
+            const int x = m * geom.stride + j * geom.dilation - geom.padding;
             if (y < 0 || x < 0 || y >= R || x >= C) continue;
             for (int d = 0; d < D; ++d) {
               acc += input(y, x, d) * weights(k, i, j, d);
@@ -72,26 +72,29 @@ FloatTensor depthwise_conv2d(const FloatTensor& input,
                              const FloatTensor& weights,
                              const Conv2dGeometry& geom) {
   require_hwc(input.shape(), "depthwise input");
-  EDEA_REQUIRE(weights.rank() == 3, "depthwise weights must be [kh][kw][D]");
-  EDEA_REQUIRE(weights.dim(2) == input.dim(2),
-               "depthwise weight depth must match input channels");
+  EDEA_REQUIRE(weights.rank() == 3,
+               "depthwise weights must be [kh][kw][D*mult]");
+  EDEA_REQUIRE(weights.dim(2) % input.dim(2) == 0,
+               "depthwise weight depth must be a multiple of input channels");
   EDEA_REQUIRE(weights.dim(0) == geom.kernel && weights.dim(1) == geom.kernel,
                "depthwise weight extent must match geometry");
 
-  const int R = input.dim(0), C = input.dim(1), D = input.dim(2);
+  const int R = input.dim(0), C = input.dim(1);
+  const int DM = weights.dim(2);  // D * depth multiplier
+  const int mult = DM / input.dim(2);
   const int N = geom.out_extent(R), M = geom.out_extent(C);
   EDEA_REQUIRE(N > 0 && M > 0, "depthwise output would be empty");
 
-  FloatTensor out(Shape{N, M, D});
+  FloatTensor out(Shape{N, M, DM});
   for (int n = 0; n < N; ++n) {
     for (int m = 0; m < M; ++m) {
-      for (int d = 0; d < D; ++d) {
+      for (int d = 0; d < DM; ++d) {
         float acc = 0.0f;
         for (int i = 0; i < geom.kernel; ++i) {
           for (int j = 0; j < geom.kernel; ++j) {
-            const int y = n * geom.stride + i - geom.padding;
-            const int x = m * geom.stride + j - geom.padding;
-            acc += padded_read(input, y, x, d) * weights(i, j, d);
+            const int y = n * geom.stride + i * geom.dilation - geom.padding;
+            const int x = m * geom.stride + j * geom.dilation - geom.padding;
+            acc += padded_read(input, y, x, d / mult) * weights(i, j, d);
           }
         }
         out(n, m, d) = acc;
@@ -214,24 +217,27 @@ Int32Tensor depthwise_conv2d_q(const Int8Tensor& input,
                                const Int8Tensor& weights,
                                const Conv2dGeometry& geom) {
   require_hwc(input.shape(), "depthwise_q input");
-  EDEA_REQUIRE(weights.rank() == 3, "depthwise_q weights must be [kh][kw][D]");
-  EDEA_REQUIRE(weights.dim(2) == input.dim(2),
-               "depthwise_q weight depth must match input channels");
+  EDEA_REQUIRE(weights.rank() == 3,
+               "depthwise_q weights must be [kh][kw][D*mult]");
+  EDEA_REQUIRE(weights.dim(2) % input.dim(2) == 0,
+               "depthwise_q weight depth must be a multiple of input channels");
 
-  const int R = input.dim(0), C = input.dim(1), D = input.dim(2);
+  const int R = input.dim(0), C = input.dim(1);
+  const int DM = weights.dim(2);  // D * depth multiplier
+  const int mult = DM / input.dim(2);
   const int N = geom.out_extent(R), M = geom.out_extent(C);
   EDEA_REQUIRE(N > 0 && M > 0, "depthwise_q output would be empty");
 
-  Int32Tensor out(Shape{N, M, D});
+  Int32Tensor out(Shape{N, M, DM});
   for (int n = 0; n < N; ++n) {
     for (int m = 0; m < M; ++m) {
-      for (int d = 0; d < D; ++d) {
+      for (int d = 0; d < DM; ++d) {
         std::int32_t acc = 0;
         for (int i = 0; i < geom.kernel; ++i) {
           for (int j = 0; j < geom.kernel; ++j) {
-            const int y = n * geom.stride + i - geom.padding;
-            const int x = m * geom.stride + j - geom.padding;
-            const std::int32_t a = padded_read(input, y, x, d);
+            const int y = n * geom.stride + i * geom.dilation - geom.padding;
+            const int x = m * geom.stride + j * geom.dilation - geom.padding;
+            const std::int32_t a = padded_read(input, y, x, d / mult);
             acc += a * static_cast<std::int32_t>(weights(i, j, d));
           }
         }
@@ -283,8 +289,8 @@ Int32Tensor conv2d_q(const Int8Tensor& input, const Int8Tensor& weights,
         std::int32_t acc = 0;
         for (int i = 0; i < geom.kernel; ++i) {
           for (int j = 0; j < geom.kernel; ++j) {
-            const int y = n * geom.stride + i - geom.padding;
-            const int x = m * geom.stride + j - geom.padding;
+            const int y = n * geom.stride + i * geom.dilation - geom.padding;
+            const int x = m * geom.stride + j * geom.dilation - geom.padding;
             if (y < 0 || x < 0 || y >= R || x >= C) continue;
             for (int d = 0; d < D; ++d) {
               acc += static_cast<std::int32_t>(input(y, x, d)) *

@@ -15,13 +15,19 @@ namespace edea::nn {
 
 /// Convolution geometry shared by the float and integer paths.
 struct Conv2dGeometry {
-  int kernel = 3;   ///< square kernel extent (paper uses 3x3 DWC kernels)
-  int stride = 1;   ///< 1 or 2 in MobileNetV1
-  int padding = 1;  ///< symmetric zero padding
+  int kernel = 3;    ///< square kernel extent (paper uses 3x3 DWC kernels)
+  int stride = 1;    ///< 1 or 2 in MobileNetV1
+  int padding = 1;   ///< symmetric zero padding
+  int dilation = 1;  ///< spacing between kernel taps (1 = dense)
+
+  /// Spatial footprint of the dilated kernel: (kernel-1)*dilation + 1.
+  [[nodiscard]] int effective_kernel() const noexcept {
+    return (kernel - 1) * dilation + 1;
+  }
 
   /// Output spatial extent for an input extent `in`.
   [[nodiscard]] int out_extent(int in) const noexcept {
-    return (in + 2 * padding - kernel) / stride + 1;
+    return (in + 2 * padding - effective_kernel()) / stride + 1;
   }
 };
 
@@ -35,8 +41,11 @@ struct Conv2dGeometry {
                                  const FloatTensor& weights,
                                  const Conv2dGeometry& geom);
 
-/// Depthwise convolution. input: [R][C][D], weights: [kh][kw][D],
-/// output: [N][M][D].
+/// Depthwise convolution with the standard DepthwiseConv2d surface:
+/// input [R][C][D], weights [kh][kw][D*mult] (the depth multiplier is
+/// inferred as weights.dim(2) / D, which must divide exactly), output
+/// [N][M][D*mult] where output channel c reads input channel c / mult.
+/// Kernel taps honor `geom.dilation`.
 [[nodiscard]] FloatTensor depthwise_conv2d(const FloatTensor& input,
                                            const FloatTensor& weights,
                                            const Conv2dGeometry& geom);
@@ -88,7 +97,9 @@ struct BatchNormParams {
 
 /// Depthwise convolution over int8 operands producing raw int32 accumulators
 /// (pre Non-Conv). Zero padding pads with the integer 0, which represents
-/// real value 0 under symmetric quantization.
+/// real value 0 under symmetric quantization. Same dilation / depth-
+/// multiplier surface as the float path: weights [kh][kw][D*mult] yield
+/// [N][M][D*mult] with output channel c reading input channel c / mult.
 [[nodiscard]] Int32Tensor depthwise_conv2d_q(const Int8Tensor& input,
                                              const Int8Tensor& weights,
                                              const Conv2dGeometry& geom);

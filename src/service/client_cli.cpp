@@ -7,6 +7,30 @@
 
 namespace edea::service {
 
+namespace {
+
+/// Digit-first positive int, mirroring server_cli's parse_count grammar.
+bool parse_positive(const std::string& value, int* out) {
+  if (value.empty() || value.front() < '0' || value.front() > '9') {
+    return false;
+  }
+  try {
+    std::size_t consumed = 0;
+    const unsigned long parsed = std::stoul(value, &consumed);
+    if (consumed != value.size() || parsed < 1 ||
+        parsed > static_cast<unsigned long>(
+                     std::numeric_limits<int>::max())) {
+      return false;
+    }
+    *out = static_cast<int>(parsed);
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
 std::string client_usage() {
   return
       "usage: simulation_client --connect HOST:PORT [options] < requests.txt\n"
@@ -34,7 +58,16 @@ std::string client_usage() {
       "  --batch N              default images-per-run of the in-process\n"
       "                         --verify reference for requests that carry\n"
       "                         no batch= key; must mirror the server's\n"
-      "                         --batch (>= 1; default 1)\n";
+      "                         --batch (>= 1; default 1)\n"
+      "  --dilation N           default DWC dilation of the in-process\n"
+      "                         --verify reference for requests that carry\n"
+      "                         no dilation= key; must mirror the server's\n"
+      "                         --dilation (>= 1; default 1)\n"
+      "  --depth-multiplier N   default extra depthwise multiplier of the\n"
+      "                         in-process --verify reference for requests\n"
+      "                         that carry no depth_multiplier= key; must\n"
+      "                         mirror the server's --depth-multiplier\n"
+      "                         (>= 1; default 1)\n";
 }
 
 ClientConfig parse_client_args(int argc, const char* const* argv) {
@@ -69,26 +102,24 @@ ClientConfig parse_client_args(int argc, const char* const* argv) {
       config.backend = value;
     } else if (arg == "--batch") {
       if (!value_of(i, arg, &value)) break;
-      // Digit-first, mirroring server_cli's parse_count grammar.
-      bool batch_ok = !value.empty() && value.front() >= '0' &&
-                      value.front() <= '9';
-      unsigned long batch = 0;
-      if (batch_ok) {
-        try {
-          std::size_t consumed = 0;
-          batch = std::stoul(value, &consumed);
-          batch_ok = consumed == value.size() && batch >= 1 &&
-                     batch <= static_cast<unsigned long>(
-                                  std::numeric_limits<int>::max());
-        } catch (const std::exception&) {
-          batch_ok = false;
-        }
-      }
-      if (!batch_ok) {
+      if (!parse_positive(value, &config.batch)) {
         config.error = "--batch needs a positive count, got '" + value + "'";
         break;
       }
-      config.batch = static_cast<int>(batch);
+    } else if (arg == "--dilation") {
+      if (!value_of(i, arg, &value)) break;
+      if (!parse_positive(value, &config.dilation)) {
+        config.error =
+            "--dilation needs a positive count, got '" + value + "'";
+        break;
+      }
+    } else if (arg == "--depth-multiplier") {
+      if (!value_of(i, arg, &value)) break;
+      if (!parse_positive(value, &config.depth_multiplier)) {
+        config.error =
+            "--depth-multiplier needs a positive count, got '" + value + "'";
+        break;
+      }
     } else if (arg == "--connect") {
       if (!value_of(i, arg, &value)) break;
       const std::size_t colon = value.rfind(':');

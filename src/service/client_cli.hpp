@@ -27,6 +27,11 @@ struct ClientConfig {
   /// mirror the server's --batch for the same reason. Validated >= 1 at
   /// parse time; 0 = the protocol default (1).
   int batch = 0;
+  /// --dilation N / --depth-multiplier N: default workload transforms of
+  /// the in-process --verify reference. Must mirror the server's flags.
+  /// Validated >= 1 at parse time; 0 = the protocol default (1).
+  int dilation = 0;
+  int depth_multiplier = 0;
 
   std::string error;  ///< non-empty: bad usage, message says why
 };

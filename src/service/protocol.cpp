@@ -63,11 +63,12 @@ bool parse_double(const std::string& text, double* out) {
   }
 }
 
-/// Strict decimal for batch=: digit-first (no '+', no whitespace - both
-/// of which std::stoi tolerates) and fully consumed. parse_int stays lax
-/// for the EdeaConfig overrides whose grammar is already pinned by the
-/// golden file; a new key gets the strict treatment from day one.
-bool parse_batch(const std::string& text, int* out) {
+/// Strict decimal for batch=/dilation=/depth_multiplier=: digit-first (no
+/// '+', no whitespace - both of which std::stoi tolerates) and fully
+/// consumed. parse_int stays lax for the EdeaConfig overrides whose
+/// grammar is already pinned by the golden file; a new key gets the
+/// strict treatment from day one.
+bool parse_strict_count(const std::string& text, int* out) {
   if (text.empty() || text.front() < '0' || text.front() > '9') return false;
   try {
     std::size_t consumed = 0;
@@ -89,8 +90,21 @@ std::string apply_override(Request& request, const std::string& key,
     return "";
   }
   if (key == "batch") {
-    if (!parse_batch(value, &request.batch)) {
+    if (!parse_strict_count(value, &request.batch)) {
       return "bad batch '" + value + "' (want a plain integer >= 1)";
+    }
+    return "";
+  }
+  if (key == "dilation") {
+    if (!parse_strict_count(value, &request.dilation)) {
+      return "bad dilation '" + value + "' (want a plain integer >= 1)";
+    }
+    return "";
+  }
+  if (key == "depth_multiplier") {
+    if (!parse_strict_count(value, &request.depth_multiplier)) {
+      return "bad depth_multiplier '" + value +
+             "' (want a plain integer >= 1)";
     }
     return "";
   }
@@ -144,7 +158,8 @@ std::string Request::job_name() const {
 
 ParsedLine parse_request_line(const std::string& line,
                               const std::string& default_backend,
-                              int default_batch) {
+                              int default_batch, int default_dilation,
+                              int default_depth_multiplier) {
   EDEA_REQUIRE(core::backend_known(default_backend),
                "default backend '" + default_backend +
                    "' is not registered (known: " +
@@ -152,10 +167,18 @@ ParsedLine parse_request_line(const std::string& line,
   EDEA_REQUIRE(default_batch >= 1,
                "default batch must be >= 1, got " +
                    std::to_string(default_batch));
+  EDEA_REQUIRE(default_dilation >= 1,
+               "default dilation must be >= 1, got " +
+                   std::to_string(default_dilation));
+  EDEA_REQUIRE(default_depth_multiplier >= 1,
+               "default depth multiplier must be >= 1, got " +
+                   std::to_string(default_depth_multiplier));
   const std::vector<std::string> tokens = tokenize(line);
   ParsedLine parsed;
   parsed.request.backend = default_backend;
   parsed.request.batch = default_batch;
+  parsed.request.dilation = default_dilation;
+  parsed.request.depth_multiplier = default_depth_multiplier;
   if (tokens.empty() || tokens.front().front() == '#') {
     return parsed;  // kEmpty
   }
@@ -190,10 +213,17 @@ ParsedLine parse_request_line(const std::string& line,
 
 std::string format_outcome_line(const core::SweepOutcome& outcome) {
   const std::string cache = outcome.cache_hit ? "hit" : "miss";
-  // batch=1 is the protocol's pre-batch shape; echoing it only when the
-  // request actually batched keeps every existing response byte-stable.
-  const std::string batch =
+  // Default-valued knobs stay silent: echoing batch/dilation/
+  // depth_multiplier only when the request actually set them keeps every
+  // pre-existing response byte-stable.
+  std::string batch =
       outcome.batch > 1 ? " batch=" + std::to_string(outcome.batch) : "";
+  if (outcome.dilation > 1) {
+    batch += " dilation=" + std::to_string(outcome.dilation);
+  }
+  if (outcome.depth_multiplier > 1) {
+    batch += " depth_multiplier=" + std::to_string(outcome.depth_multiplier);
+  }
   if (!outcome.ok) {
     return "error " + outcome.name + " " + outcome.config.to_string() +
            " backend=" + outcome.backend + batch + " cache=" + cache +

@@ -21,18 +21,31 @@
 //              is a cost/amortization knob, not an arithmetic one. The
 //              value must be a plain decimal integer: leading '+',
 //              whitespace, or trailing junk is a protocol error
+//   dilation   DWC dilation applied to every layer of the resolved
+//              network (>= 1, default 1; padding scales with it so output
+//              extents are preserved). Same strict-integer grammar as
+//              batch. Unlike batch this is an arithmetic knob: a dilated
+//              workload is a different computation and a different cache
+//              key
+//   depth_multiplier
+//              extra depthwise multiplier applied multiplicatively to
+//              every layer (>= 1, default 1; composes with multipliers a
+//              zoo network already carries, e.g. MobileNetV2 expansion
+//              factors). Same strict-integer grammar; arithmetic knob
 //   tn tm td tk kernel init_cycles max_tile_out   EdeaConfig overrides
 //   clock_ghz  clock in GHz
 //
 // Responses (one per `run`, in request order; <network>@<seed> is the
 // request's job_name(), <config> is EdeaConfig::to_string(), <backend>
-// the resolved backend id; `batch=<n>` is echoed after backend= only
-// when n > 1, keeping batch=1 responses byte-identical to the pre-batch
-// protocol):
-//   ok <network>@<seed> <config> backend=<backend> [batch=<n>] cycles=<n>
+// the resolved backend id; `batch=<n>`, `dilation=<n>`, and
+// `depth_multiplier=<n>` are echoed after backend= - in that order - only
+// when each n > 1, keeping default-valued responses byte-identical to the
+// earlier protocol):
+//   ok <network>@<seed> <config> backend=<backend> [batch=<n>]
+//      [dilation=<n>] [depth_multiplier=<n>] cycles=<n>
 //      ops=<n> gops=<x> layers=<n> out=<hex64> cache=hit|miss
 //   error <network>@<seed> <config> backend=<backend> [batch=<n>]
-//      cache=hit|miss msg=<text>
+//      [dilation=<n>] [depth_multiplier=<n>] cache=hit|miss msg=<text>
 //
 // A `stats` request answers with one line of exact service counters:
 //   stats hits=<n> misses=<n> evictions=<n> entries=<n> inflight=<n>
@@ -67,6 +80,10 @@ struct Request {
   /// Images per run: the line's batch= override, else the parse call's
   /// default. Always >= 1 - non-positive values never parse.
   int batch = 1;
+  /// Workload transforms: the line's dilation= / depth_multiplier=
+  /// overrides, else 1. Always >= 1 - non-positive values never parse.
+  int dilation = 1;
+  int depth_multiplier = 1;
 
   /// Canonical job name: "<network>@<seed>" - what outcome lines echo.
   [[nodiscard]] std::string job_name() const;
@@ -86,18 +103,21 @@ struct ParsedLine {
 };
 
 /// Parses one request line. Never throws on wire input: malformed lines -
-/// including unknown backend= ids and non-positive batch= values - are a
-/// kError result (a service must survive bad clients). `default_backend`
-/// is what `run` requests resolve to when the line carries no backend=
-/// key (the server's --backend), and `default_batch` likewise for batch=
-/// (the server's --batch); both are caller configuration, not wire data,
-/// so an unknown default backend or a default batch < 1 is a
+/// including unknown backend= ids and non-positive batch=, dilation=, or
+/// depth_multiplier= values - are a kError result (a service must survive
+/// bad clients). `default_backend` is what `run` requests resolve to when
+/// the line carries no backend= key (the server's --backend), and
+/// `default_batch` / `default_dilation` / `default_depth_multiplier`
+/// likewise for their keys (the server's --batch / --dilation /
+/// --depth-multiplier); all are caller configuration, not wire data, so
+/// an unknown default backend or a non-positive default count is a
 /// PreconditionError.
 [[nodiscard]] ParsedLine parse_request_line(
     const std::string& line,
     const std::string& default_backend = std::string(
         core::kDefaultBackendId),
-    int default_batch = 1);
+    int default_batch = 1, int default_dilation = 1,
+    int default_depth_multiplier = 1);
 
 /// Formats the response line for one completed request.
 [[nodiscard]] std::string format_outcome_line(

@@ -55,6 +55,15 @@ std::string server_usage() {
       "                         images through one planned arena/setup,\n"
       "                         bit-identical per image to N separate\n"
       "                         runs (>= 1; default 1)\n"
+      "  --dilation N           default DWC dilation for requests that\n"
+      "                         carry no dilation= key: every layer of the\n"
+      "                         resolved network runs with taps N apart,\n"
+      "                         padding scaled to preserve output extents\n"
+      "                         (>= 1; default 1)\n"
+      "  --depth-multiplier N   default extra depthwise multiplier for\n"
+      "                         requests that carry no depth_multiplier=\n"
+      "                         key, multiplying into multipliers the\n"
+      "                         network already carries (>= 1; default 1)\n"
       "  --workers N            service worker threads (0 = shared pool;\n"
       "                         default 0)\n"
       "  --cache N              result-cache capacity in completed entries\n"
@@ -136,6 +145,30 @@ ServerConfig parse_server_args(int argc, const char* const* argv) {
         break;
       }
       config.batch = static_cast<int>(count);
+    } else if (arg == "--dilation") {
+      if (!value_of(i, arg, &value)) break;
+      if (!parse_count(value,
+                       static_cast<std::size_t>(
+                           std::numeric_limits<int>::max()),
+                       &count) ||
+          count < 1) {
+        config.error =
+            "--dilation needs a positive count, got '" + value + "'";
+        break;
+      }
+      config.dilation = static_cast<int>(count);
+    } else if (arg == "--depth-multiplier") {
+      if (!value_of(i, arg, &value)) break;
+      if (!parse_count(value,
+                       static_cast<std::size_t>(
+                           std::numeric_limits<int>::max()),
+                       &count) ||
+          count < 1) {
+        config.error =
+            "--depth-multiplier needs a positive count, got '" + value + "'";
+        break;
+      }
+      config.depth_multiplier = static_cast<int>(count);
     } else if (arg == "--workers") {
       if (!value_of(i, arg, &value)) break;
       if (!parse_count(value, std::numeric_limits<unsigned>::max(), &count)) {

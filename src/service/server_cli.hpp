@@ -27,6 +27,11 @@ struct ServerConfig {
   /// --batch N: default images-per-run for requests without a batch= key.
   /// Validated >= 1 at parse time (default 1).
   int batch = 1;
+  /// --dilation N / --depth-multiplier N: default workload transforms for
+  /// requests without the matching key. Validated >= 1 at parse time
+  /// (default 1).
+  int dilation = 1;
+  int depth_multiplier = 1;
 
   std::string error;  ///< non-empty: bad usage, message says why
 };

@@ -47,14 +47,29 @@ struct Reply {
 }  // namespace
 
 const WorkloadCatalog::Workload& WorkloadCatalog::resolve(
-    const std::string& network, std::uint64_t seed) {
+    const std::string& network, std::uint64_t seed, int dilation,
+    int depth_multiplier) {
+  EDEA_REQUIRE(dilation >= 1, "workload dilation must be >= 1, got " +
+                                  std::to_string(dilation));
+  EDEA_REQUIRE(depth_multiplier >= 1,
+               "workload depth multiplier must be >= 1, got " +
+                   std::to_string(depth_multiplier));
   const std::lock_guard<std::mutex> lock(mutex_);
-  const auto key = std::make_pair(network, seed);
+  const auto key = std::make_tuple(network, seed, dilation, depth_multiplier);
   auto it = workloads_.find(key);
   if (it == workloads_.end()) {
     // zoo_specs throws PreconditionError for unknown names - propagated
     // before anything is inserted.
-    const std::vector<nn::DscLayerSpec> specs = nn::zoo_specs(network);
+    std::vector<nn::DscLayerSpec> specs = nn::zoo_specs(network);
+    for (nn::DscLayerSpec& spec : specs) {
+      // Dilation scales the padding along with the taps, so the 'same'
+      // geometry of the zoo layers (k=3, p=1) keeps its output extents.
+      spec.dilation = dilation;
+      spec.padding *= dilation;
+      // Multiplicative: composes with multipliers the geometry already
+      // carries (MobileNetV2 expansion factors).
+      spec.depth_multiplier *= depth_multiplier;
+    }
     auto workload = std::make_unique<Workload>();
     workload->layers = nn::make_random_quant_network(specs, seed);
     workload->input = random_input(specs.front(), seed);
@@ -73,6 +88,12 @@ Session::Session(SimulationService& service, WorkloadCatalog& catalog,
   EDEA_REQUIRE(options_.batch >= 1,
                "session default batch must be >= 1, got " +
                    std::to_string(options_.batch));
+  EDEA_REQUIRE(options_.dilation >= 1,
+               "session default dilation must be >= 1, got " +
+                   std::to_string(options_.dilation));
+  EDEA_REQUIRE(options_.depth_multiplier >= 1,
+               "session default depth multiplier must be >= 1, got " +
+                   std::to_string(options_.depth_multiplier));
 }
 
 SessionStats Session::serve(Stream& stream) {
@@ -157,7 +178,8 @@ SessionStats Session::serve(Stream& stream) {
   std::string raw;
   while (stream.read_line(raw)) {
     const ParsedLine parsed =
-        parse_request_line(raw, options_.backend, options_.batch);
+        parse_request_line(raw, options_.backend, options_.batch,
+                           options_.dilation, options_.depth_multiplier);
     if (parsed.kind == ParsedLine::Kind::kEmpty) continue;
     const std::uint64_t id = ++stats.requests;
 
@@ -189,12 +211,15 @@ SessionStats Session::serve(Stream& stream) {
         reply.id = id;
         try {
           const WorkloadCatalog::Workload& workload =
-              catalog_.resolve(request.network, request.seed);
+              catalog_.resolve(request.network, request.seed,
+                               request.dilation, request.depth_multiplier);
           core::SweepJob job;
           job.name = request.job_name();
           job.config = request.config;
           job.backend = request.backend;
           job.batch = request.batch;
+          job.dilation = request.dilation;
+          job.depth_multiplier = request.depth_multiplier;
           job.layers = &workload.layers;
           job.input = &workload.input;
           if (options_.record_traffic) stats.jobs.push_back(job);
@@ -213,6 +238,8 @@ SessionStats Session::serve(Stream& stream) {
           unresolved.config = request.config;
           unresolved.backend = request.backend;
           unresolved.batch = request.batch;
+          unresolved.dilation = request.dilation;
+          unresolved.depth_multiplier = request.depth_multiplier;
           unresolved.error = e.what();
           reply.kind = Reply::Kind::kText;
           reply.record = false;

@@ -34,6 +34,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
@@ -47,10 +48,11 @@ namespace edea::service {
 class Stream;
 
 /// Thread-safe registry of materialized workloads: the quantized network
-/// and synthetic input behind one (zoo name, seed) pair. Materialization
-/// is deterministic in the seed, happens once per key, and the returned
-/// reference stays valid (and immutable) for the catalog's lifetime -
-/// jobs submitted by any session may point into it.
+/// and synthetic input behind one (zoo name, seed, dilation,
+/// depth multiplier) tuple. Materialization is deterministic in the key,
+/// happens once per key, and the returned reference stays valid (and
+/// immutable) for the catalog's lifetime - jobs submitted by any session
+/// may point into it.
 class WorkloadCatalog {
  public:
   struct Workload {
@@ -58,16 +60,23 @@ class WorkloadCatalog {
     nn::Int8Tensor input;
   };
 
-  /// Resolves (materializing on first use). Throws PreconditionError for
-  /// names the model zoo cannot resolve.
+  /// Resolves (materializing on first use). `dilation` is applied to
+  /// every layer of the zoo geometry, scaling its padding along so output
+  /// extents are preserved; `depth_multiplier` multiplies into each
+  /// layer's existing multiplier (so it composes with zoo networks that
+  /// already carry one, e.g. MobileNetV2 expansion factors). Throws
+  /// PreconditionError for names the model zoo cannot resolve or
+  /// non-positive transforms.
   [[nodiscard]] const Workload& resolve(const std::string& network,
-                                        std::uint64_t seed);
+                                        std::uint64_t seed, int dilation = 1,
+                                        int depth_multiplier = 1);
 
  private:
   std::mutex mutex_;
   /// std::map with unique_ptr values: addresses stay stable across
   /// inserts while sessions hold references.
-  std::map<std::pair<std::string, std::uint64_t>, std::unique_ptr<Workload>>
+  std::map<std::tuple<std::string, std::uint64_t, int, int>,
+           std::unique_ptr<Workload>>
       workloads_;
 };
 
@@ -87,6 +96,13 @@ struct SessionOptions {
   /// batch= key (the server's --batch flag). Must be >= 1 - validated at
   /// Session construction for the same operator-vs-client reason.
   int batch = 1;
+
+  /// Workload transforms `run` requests resolve to when the line carries
+  /// no dilation= / depth_multiplier= key (the server's --dilation /
+  /// --depth-multiplier flags). Must be >= 1 - validated at Session
+  /// construction.
+  int dilation = 1;
+  int depth_multiplier = 1;
 };
 
 /// What one serve() call did. Counters cover the whole session; the

@@ -26,11 +26,14 @@ constexpr std::uint64_t kCacheMagic = 0x0053414341454445ull;
 // Version 2: entries gained the backend id (the cache key became
 // (fingerprint, config, backend)). Version 3: entries gained the batch
 // size (the key became (fingerprint, config, backend, batch)) and
-// RunSummary gained peak_arena_bytes. Older files are rejected, not
-// migrated: a v1 file cannot say which dataflow produced its summaries,
-// and a v2 file can neither say which batch nor decode into the wider
-// summary.
-constexpr std::uint32_t kCacheVersion = 3;
+// RunSummary gained peak_arena_bytes. Version 4: entries gained the
+// workload-transform knobs (the key became (fingerprint, config,
+// backend, batch, dilation, depth_multiplier)). Older files are
+// rejected, not migrated: a v1 file cannot say which dataflow produced
+// its summaries, a v2 file can neither say which batch nor decode into
+// the wider summary, and a v3 file cannot say which workload transform
+// its fingerprints were computed over.
+constexpr std::uint32_t kCacheVersion = 4;
 
 }  // namespace
 
@@ -79,10 +82,22 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
                "service request '" + job.name +
                    "' must run a positive batch, got " +
                    std::to_string(job.batch));
+  EDEA_REQUIRE(job.dilation >= 1,
+               "service request '" + job.name +
+                   "' must have dilation >= 1, got " +
+                   std::to_string(job.dilation));
+  EDEA_REQUIRE(job.depth_multiplier >= 1,
+               "service request '" + job.name +
+                   "' must have depth_multiplier >= 1, got " +
+                   std::to_string(job.depth_multiplier));
 
   // The fingerprint walks the whole workload - keep it outside the lock.
   const Key key{core::network_fingerprint(*job.layers, *job.input),
-                job.config, job.backend, job.batch};
+                job.config,
+                job.backend,
+                job.batch,
+                job.dilation,
+                job.depth_multiplier};
 
   std::promise<core::SweepOutcome> promise;
   std::future<core::SweepOutcome> future = promise.get_future();
@@ -159,6 +174,8 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
     out.config = job.config;
     out.backend = key.backend;
     out.batch = key.batch;
+    out.dilation = key.dilation;
+    out.depth_multiplier = key.depth_multiplier;
     out.ok = persisted.ok;
     out.error = std::move(persisted.error);
     out.summary = persisted.summary;
@@ -297,7 +314,13 @@ std::size_t SimulationService::save_cache(const std::string& path) const {
               if (a.first.backend != b.first.backend) {
                 return a.first.backend < b.first.backend;
               }
-              return a.first.batch < b.first.batch;
+              if (a.first.batch != b.first.batch) {
+                return a.first.batch < b.first.batch;
+              }
+              if (a.first.dilation != b.first.dilation) {
+                return a.first.dilation < b.first.dilation;
+              }
+              return a.first.depth_multiplier < b.first.depth_multiplier;
             });
 
   util::ByteWriter w;
@@ -309,6 +332,8 @@ std::size_t SimulationService::save_cache(const std::string& path) const {
     key.config.encode(w);
     w.str(key.backend);
     w.pod(static_cast<std::int32_t>(key.batch));
+    w.pod(static_cast<std::int32_t>(key.dilation));
+    w.pod(static_cast<std::int32_t>(key.depth_multiplier));
     w.pod(static_cast<std::uint8_t>(result.ok ? 1 : 0));
     w.str(result.error);
     result.summary.encode(w);
@@ -388,6 +413,16 @@ std::size_t SimulationService::load_cache(const std::string& path) {
     EDEA_REQUIRE(key.batch >= 1,
                  "cache file '" + path + "' has an entry with batch " +
                      std::to_string(key.batch) + " (must be >= 1)");
+    key.dilation = static_cast<int>(r.pod<std::int32_t>());
+    EDEA_REQUIRE(key.dilation >= 1,
+                 "cache file '" + path + "' has an entry with dilation " +
+                     std::to_string(key.dilation) + " (must be >= 1)");
+    key.depth_multiplier = static_cast<int>(r.pod<std::int32_t>());
+    EDEA_REQUIRE(key.depth_multiplier >= 1,
+                 "cache file '" + path +
+                     "' has an entry with depth_multiplier " +
+                     std::to_string(key.depth_multiplier) +
+                     " (must be >= 1)");
     PersistedResult result;
     result.ok = r.pod<std::uint8_t>() != 0;
     result.error = r.str();

@@ -123,15 +123,18 @@ class SimulationService {
   // --- cache persistence (survives service restarts) -----------------------
   //
   // A cache file stores (network fingerprint, EdeaConfig, backend id,
-  // batch) -> outcome *summaries* - everything the line protocol reports
-  // (ok/error text plus the RunSummary), not per-layer tensors - in a
-  // versioned, checksummed binary format (util/binary.hpp +
-  // util/hash.hpp). The format is at version 3 (version 1 predates
-  // backend-keyed entries, version 2 predates batch-keyed entries and
-  // the summary's peak_arena_bytes field); files of any other version
-  // are rejected loudly, never migrated - a v1 file cannot say which
-  // dataflow produced its summaries, and a v2 file can neither say which
-  // batch nor decode into today's wider RunSummary. A request
+  // batch, dilation, depth multiplier) -> outcome *summaries* -
+  // everything the line protocol reports (ok/error text plus the
+  // RunSummary), not per-layer tensors - in a versioned, checksummed
+  // binary format (util/binary.hpp + util/hash.hpp). The format is at
+  // version 4 (version 1 predates backend-keyed entries, version 2
+  // predates batch-keyed entries and the summary's peak_arena_bytes
+  // field, version 3 predates the dilation/depth-multiplier key fields);
+  // files of any other version are rejected loudly, never migrated - a
+  // v1 file cannot say which dataflow produced its summaries, a v2 file
+  // can neither say which batch nor decode into today's wider RunSummary,
+  // and a v3 file cannot say which workload transform its fingerprints
+  // were computed over. A request
   // that hits a persisted entry resolves immediately with a summary-only
   // outcome (SweepOutcome::summary_only) that formats bit-identically to
   // the line the original simulation produced, and is accounted as a
@@ -157,16 +160,19 @@ class SimulationService {
 
  private:
   /// Cache key: the workload fingerprint plus the exact configuration
-  /// plus the backend id plus the batch size. The fingerprint is a
-  /// content hash (collisions possible in principle); the other fields
-  /// are compared exactly, and the map's equality uses all four - a
-  /// collision across different configs, dataflows, or batch sizes can
-  /// never alias.
+  /// plus the backend id plus the batch size plus the workload-transform
+  /// knobs (dilation, depth multiplier). The fingerprint is a content
+  /// hash (collisions possible in principle) that already reflects the
+  /// transformed layer specs; the other fields are compared exactly, and
+  /// the map's equality uses all of them - a collision across different
+  /// configs, dataflows, batch sizes, or transforms can never alias.
   struct Key {
     std::uint64_t fingerprint = 0;
     core::EdeaConfig config;
     std::string backend;
     int batch = 1;
+    int dilation = 1;
+    int depth_multiplier = 1;
 
     friend bool operator==(const Key&, const Key&) = default;
   };
@@ -174,6 +180,7 @@ class SimulationService {
     std::size_t operator()(const Key& k) const noexcept {
       util::Fnv1a64 h;
       h.pod(k.fingerprint).pod(k.config.hash()).str(k.backend).pod(k.batch);
+      h.pod(k.dilation).pod(k.depth_multiplier);
       return static_cast<std::size_t>(h.digest());
     }
   };

@@ -345,6 +345,104 @@ TEST(CachePersistenceTest, BatchSizesAreDistinctKeysAcrossRestarts) {
   std::remove(path.c_str());
 }
 
+TEST(CachePersistenceTest, TransformKnobsAreDistinctKeysAcrossRestarts) {
+  const std::string path = temp_cache_path("transforms");
+  Fixture fx;
+
+  // Same workload, config, backend, and batch at three transform points:
+  // (1,1), (2,1), (1,2) - three keys, no aliasing, each echoing its own
+  // knobs after the file round trip (the format-v4 fields).
+  core::SweepOutcome plain_first, dilated_first, multiplied_first;
+  {
+    SimulationService svc;
+    core::SweepJob plain = fx.job("plain");
+    core::SweepJob dilated = fx.job("dilated");
+    dilated.dilation = 2;
+    core::SweepJob multiplied = fx.job("multiplied");
+    multiplied.depth_multiplier = 2;
+    plain_first = svc.submit(plain).get();
+    dilated_first = svc.submit(dilated).get();
+    multiplied_first = svc.submit(multiplied).get();
+    ASSERT_TRUE(plain_first.ok) << plain_first.error;
+    EXPECT_EQ(svc.cache_stats().misses, 3u);  // no aliasing between keys
+    EXPECT_EQ(svc.save_cache(path), 3u);
+  }
+
+  SimulationService svc;
+  EXPECT_EQ(svc.load_cache(path), 3u);
+  core::SweepJob plain = fx.job("plain");
+  core::SweepJob dilated = fx.job("dilated");
+  dilated.dilation = 2;
+  core::SweepJob multiplied = fx.job("multiplied");
+  multiplied.depth_multiplier = 2;
+  const core::SweepOutcome plain_replay = svc.submit(plain).get();
+  const core::SweepOutcome dilated_replay = svc.submit(dilated).get();
+  const core::SweepOutcome multiplied_replay = svc.submit(multiplied).get();
+  EXPECT_TRUE(plain_replay.cache_hit);
+  EXPECT_TRUE(dilated_replay.cache_hit);
+  EXPECT_TRUE(multiplied_replay.cache_hit);
+  EXPECT_EQ(plain_replay.dilation, 1);
+  EXPECT_EQ(dilated_replay.dilation, 2);
+  EXPECT_EQ(dilated_replay.depth_multiplier, 1);
+  EXPECT_EQ(multiplied_replay.depth_multiplier, 2);
+  EXPECT_EQ(plain_replay.summary, plain_first.summary);
+  EXPECT_EQ(dilated_replay.summary, dilated_first.summary);
+  EXPECT_EQ(multiplied_replay.summary, multiplied_first.summary);
+  EXPECT_EQ(svc.cache_stats().misses, 0u);
+
+  // The persisted-line contract holds for transformed entries too: the
+  // replayed (summary-only) outcome formats byte-identically to the live
+  // one served as a hit, dilation= echo included.
+  core::SweepOutcome dilated_as_hit = dilated_first;
+  dilated_as_hit.cache_hit = true;
+  EXPECT_EQ(format_outcome_line(dilated_replay),
+            format_outcome_line(dilated_as_hit));
+
+  // Byte-determinism extends to the v4 fields: a second service reaching
+  // the same entries in another order persists the identical file.
+  const std::string path_b = temp_cache_path("transforms_b");
+  {
+    SimulationService reordered;
+    ASSERT_TRUE(reordered.submit(multiplied).get().ok);
+    ASSERT_TRUE(reordered.submit(dilated).get().ok);
+    ASSERT_TRUE(reordered.submit(plain).get().ok);
+    EXPECT_EQ(reordered.save_cache(path_b), 3u);
+  }
+  EXPECT_EQ(read_file(path), read_file(path_b));
+  std::remove(path.c_str());
+  std::remove(path_b.c_str());
+}
+
+TEST(CachePersistenceTest, VersionThreeFilesAreRejectedByTheVersionGate) {
+  // A well-formed v3 file (correct magic, correct checksum, zero entries)
+  // must trip the *version* check, not the checksum: v3 predates the
+  // dilation / depth-multiplier key fields, so a v3 file cannot say which
+  // workload transform its fingerprints were computed over - reject
+  // loudly, never guess.
+  const std::string path = temp_cache_path("v3");
+  util::ByteWriter w;
+  w.pod(std::uint64_t{0x0053414341454445ull});  // "EDEACAS\0" magic
+  w.pod(std::uint32_t{3});                      // the superseded version
+  w.pod(std::uint64_t{0});                      // entry count
+  const std::uint64_t digest =
+      util::Fnv1a64().bytes(w.buffer().data(), w.buffer().size()).digest();
+  std::string bytes(w.buffer().data(), w.buffer().size());
+  bytes.append(reinterpret_cast<const char*>(&digest), sizeof(digest));
+  write_file(path, bytes);
+
+  SimulationService svc;
+  try {
+    (void)svc.load_cache(path);
+    FAIL() << "a v3 cache file must be rejected";
+  } catch (const PreconditionError& e) {
+    EXPECT_NE(std::string(e.what()).find("unsupported version 3"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(svc.cache_stats().entries, 0u);
+  std::remove(path.c_str());
+}
+
 TEST(CachePersistenceTest, VersionTwoFilesAreRejectedByTheVersionGate) {
   // A well-formed v2 file (correct magic, correct checksum, zero entries)
   // must trip the *version* check, not the checksum: v2 predates

@@ -154,6 +154,73 @@ TEST(ModelZoo, EveryVariantLayerFitsTheModeledBuffers) {
   }
 }
 
+// ----------------------- inverted-residual networks (V2 / EfficientNet) ---
+
+TEST(ModelZoo, MobileNetV2GeometryAndExpansionMultipliers) {
+  const auto specs = mobilenet_v2_specs();
+  ASSERT_EQ(specs.size(), 17u);  // 1+2+3+4+3+3+1 bottleneck blocks
+  // The stem feeds 32 channels at full resolution into the first block,
+  // whose expansion factor is 1; every later stage expands by 6, carried
+  // as the depthwise stage's depth multiplier.
+  EXPECT_EQ(specs[0].in_rows, 32);
+  EXPECT_EQ(specs[0].in_channels, 32);
+  EXPECT_EQ(specs[0].depth_multiplier, 1);
+  EXPECT_EQ(specs[0].out_channels, 16);
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].depth_multiplier, 6) << specs[i].to_string();
+    EXPECT_EQ(specs[i].intermediate_channels(), specs[i].in_channels * 6);
+  }
+  // Geometric chaining: each block consumes its predecessor's output.
+  for (std::size_t i = 0; i + 1 < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].out_rows(), specs[i + 1].in_rows) << i;
+    EXPECT_EQ(specs[i].out_cols(), specs[i + 1].in_cols) << i;
+    EXPECT_EQ(specs[i].out_channels, specs[i + 1].in_channels) << i;
+  }
+  // Three stride-2 stages take 32x32 to the classic 4x4x320 tail.
+  EXPECT_EQ(specs.back().out_rows(), 4);
+  EXPECT_EQ(specs.back().out_channels, 320);
+}
+
+TEST(ModelZoo, EfficientNetB0GeometryAndExpansionMultipliers) {
+  const auto specs = efficientnet_b0_specs();
+  ASSERT_EQ(specs.size(), 16u);  // 1+2+2+3+3+4+1 MBConv blocks
+  EXPECT_EQ(specs[0].in_rows, 32);
+  EXPECT_EQ(specs[0].in_channels, 32);
+  EXPECT_EQ(specs[0].depth_multiplier, 1);
+  EXPECT_EQ(specs[0].out_channels, 16);
+  for (std::size_t i = 1; i < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].depth_multiplier, 6) << specs[i].to_string();
+    // The 5x5 MBConv stages are clamped to the 3x3 datapath.
+    EXPECT_EQ(specs[i].kernel, 3) << specs[i].to_string();
+  }
+  for (std::size_t i = 0; i + 1 < specs.size(); ++i) {
+    EXPECT_EQ(specs[i].out_rows(), specs[i + 1].in_rows) << i;
+    EXPECT_EQ(specs[i].out_channels, specs[i + 1].in_channels) << i;
+  }
+  // Four stride-2 stages take 32x32 down to the 2x2x320 tail.
+  EXPECT_EQ(specs.back().out_rows(), 2);
+  EXPECT_EQ(specs.back().out_channels, 320);
+}
+
+TEST(ModelZoo, InvertedResidualNetworksRunBitExactOnTheAccelerator) {
+  // The paper's closing claim extended to multiplied depthwise stages:
+  // the simulated accelerator reproduces the golden quantized forward
+  // pass of the V2 geometry exactly.
+  const auto specs = mobilenet_v2_specs();
+  const auto layers = make_random_quant_network(specs, 19);
+  core::EdeaAccelerator accel;
+  Rng rng(23);
+  Int8Tensor input(Shape{32, 32, specs[0].in_channels});
+  for (auto& v : input.storage()) {
+    v = rng.bernoulli(0.4) ? std::int8_t{0}
+                           : static_cast<std::int8_t>(rng.uniform_int(0, 127));
+  }
+  const core::NetworkRunResult run = accel.run_network(layers, input);
+  Int8Tensor ref = input;
+  for (const auto& l : layers) ref = l.forward(ref);
+  EXPECT_EQ(run.output, ref);
+}
+
 TEST(ModelZoo, LookupByNameResolvesEveryListedNetwork) {
   const auto names = zoo_network_names();
   ASSERT_GE(names.size(), 4u);

@@ -88,6 +88,130 @@ TEST(DepthwiseConv, RejectsMismatchedChannels) {
                PreconditionError);
 }
 
+// ------------------------------------------------- dilation / multiplier ---
+
+TEST(DepthwiseConv, DilationSkipsTapsHandComputed) {
+  // input(i, j) = 10i + j on a 5x5 single-channel map; an all-ones 3x3
+  // kernel at dilation 2 (no padding) reads the taps at rows/cols
+  // {0, 2, 4} exactly once:
+  //   (0+2+4) + (20+22+24) + (40+42+44) = 198.
+  FloatTensor input(Shape{5, 5, 1});
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) input(i, j, 0) = static_cast<float>(10 * i + j);
+  }
+  FloatTensor kernel(Shape{3, 3, 1}, 1.0f);
+  const FloatTensor out =
+      depthwise_conv2d(input, kernel, {3, 1, /*padding=*/0, /*dilation=*/2});
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 1}));
+  EXPECT_FLOAT_EQ(out(0, 0, 0), 198.0f);
+}
+
+TEST(DepthwiseConv, DilatedCenterTapWithScaledPaddingIsIdentity) {
+  // padding = dilation keeps the 'same' geometry of a 3x3 kernel, and a
+  // 1-at-the-center kernel passes the input through at any dilation.
+  Rng rng(4);
+  FloatTensor input = random_tensor(Shape{4, 4, 2}, rng);
+  FloatTensor kernel(Shape{3, 3, 2});
+  kernel(1, 1, 0) = 1.0f;
+  kernel(1, 1, 1) = 1.0f;
+  const FloatTensor out =
+      depthwise_conv2d(input, kernel, {3, 1, /*padding=*/2, /*dilation=*/2});
+  ASSERT_EQ(out.shape(), input.shape());
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(out(i, j, 0), input(i, j, 0));
+      EXPECT_FLOAT_EQ(out(i, j, 1), input(i, j, 1));
+    }
+  }
+}
+
+TEST(DepthwiseConv, DilatedZeroPaddingCountsInBoundsTaps) {
+  // All-ones operands at dilation 2, padding 2: the output counts how many
+  // dilated taps land inside the 5x5 map. Corner taps sit at {-2, 0, 2} in
+  // each axis -> 2x2 = 4; an edge sees 2x3 = 6; the center all 9.
+  FloatTensor input(Shape{5, 5, 1}, 1.0f);
+  FloatTensor kernel(Shape{3, 3, 1}, 1.0f);
+  const FloatTensor out =
+      depthwise_conv2d(input, kernel, {3, 1, /*padding=*/2, /*dilation=*/2});
+  ASSERT_EQ(out.shape(), (Shape{5, 5, 1}));
+  EXPECT_FLOAT_EQ(out(0, 0, 0), 4.0f);
+  EXPECT_FLOAT_EQ(out(0, 2, 0), 6.0f);
+  EXPECT_FLOAT_EQ(out(2, 2, 0), 9.0f);
+}
+
+TEST(DepthwiseConv, DepthMultiplierHandComputed) {
+  // D = 2 inputs, 4 kernel channels -> multiplier 2: output channel c
+  // reads input channel c / 2. With a 1x1 kernel the arithmetic is bare:
+  // in = [5, 7], w = [2, 3, 4, -1] -> out = [10, 15, 28, -7].
+  FloatTensor input(Shape{1, 1, 2});
+  input(0, 0, 0) = 5.0f;
+  input(0, 0, 1) = 7.0f;
+  FloatTensor kernel(Shape{1, 1, 4});
+  kernel(0, 0, 0) = 2.0f;
+  kernel(0, 0, 1) = 3.0f;
+  kernel(0, 0, 2) = 4.0f;
+  kernel(0, 0, 3) = -1.0f;
+  const FloatTensor out =
+      depthwise_conv2d(input, kernel, {1, 1, /*padding=*/0});
+  ASSERT_EQ(out.shape(), (Shape{1, 1, 4}));
+  EXPECT_FLOAT_EQ(out(0, 0, 0), 10.0f);
+  EXPECT_FLOAT_EQ(out(0, 0, 1), 15.0f);
+  EXPECT_FLOAT_EQ(out(0, 0, 2), 28.0f);
+  EXPECT_FLOAT_EQ(out(0, 0, 3), -7.0f);
+}
+
+TEST(DepthwiseConv, DepthMultiplierChannelsStayIndependent) {
+  // At multiplier 2, zeroing input channel 1 may only move output
+  // channels 2 and 3 (the ones that read it).
+  Rng rng(5);
+  FloatTensor input = random_tensor(Shape{4, 4, 2}, rng);
+  FloatTensor kernel = random_tensor(Shape{3, 3, 4}, rng);
+  const FloatTensor out = depthwise_conv2d(input, kernel, {3, 1, 1});
+  FloatTensor zeroed = input;
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) zeroed(i, j, 1) = 0.0f;
+  }
+  const FloatTensor out2 = depthwise_conv2d(zeroed, kernel, {3, 1, 1});
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_FLOAT_EQ(out2(i, j, 0), out(i, j, 0));
+      EXPECT_FLOAT_EQ(out2(i, j, 1), out(i, j, 1));
+    }
+  }
+}
+
+TEST(DepthwiseConv, RejectsNonDividingMultiplier) {
+  // 6 kernel channels over 4 input channels: no integer multiplier.
+  FloatTensor input(Shape{4, 4, 4});
+  FloatTensor kernel(Shape{3, 3, 6});
+  EXPECT_THROW((void)depthwise_conv2d(input, kernel, {3, 1, 1}),
+               PreconditionError);
+}
+
+TEST(IntegerConv, DilatedMultipliedDepthwiseHandComputed) {
+  // The integer path with both knobs at once: D = 2, multiplier 2,
+  // dilation 2 on a 5x5 map, no padding -> a single output position whose
+  // accumulator sums nine dilated taps of the selected input channel.
+  Int8Tensor input(Shape{5, 5, 2});
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < 5; ++j) {
+      input(i, j, 0) = static_cast<std::int8_t>(i + j);
+      input(i, j, 1) = static_cast<std::int8_t>(2 * i - j);
+    }
+  }
+  Int8Tensor kernel(Shape{3, 3, 4});
+  for (auto& v : kernel.storage()) v = 1;
+  const Int32Tensor acc =
+      depthwise_conv2d_q(input, kernel, {3, 1, /*padding=*/0, /*dilation=*/2});
+  ASSERT_EQ(acc.shape(), (Shape{1, 1, 4}));
+  // Channel 0 taps (i, j) in {0,2,4}^2 of input channel 0: sum(i+j) = 36.
+  // Input channel 1 over the same taps: sum(2i - j) = 18.
+  EXPECT_EQ(acc(0, 0, 0), 36);
+  EXPECT_EQ(acc(0, 0, 1), 36);
+  EXPECT_EQ(acc(0, 0, 2), 18);
+  EXPECT_EQ(acc(0, 0, 3), 18);
+}
+
 // ------------------------------------------------------------ pointwise ---
 
 TEST(PointwiseConv, ComputesChannelMix) {

@@ -139,6 +139,101 @@ TEST(ProtocolFormatTest, OutcomeLinesEchoBatchOnlyWhenBatched) {
       << format_outcome_line(outcome);
 }
 
+TEST(ProtocolParseTest, DilationAndDepthMultiplierKeysParseStrictly) {
+  // Defaults: the untransformed workload.
+  const ParsedLine def = parse_request_line("run edeanet-64");
+  ASSERT_EQ(def.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(def.request.dilation, 1);
+  EXPECT_EQ(def.request.depth_multiplier, 1);
+
+  const ParsedLine both = parse_request_line(
+      "run edeanet-64 dilation=2 depth_multiplier=3");
+  ASSERT_EQ(both.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(both.request.dilation, 2);
+  EXPECT_EQ(both.request.depth_multiplier, 3);
+
+  // The same strict-integer discipline as batch=: zero, sign prefixes,
+  // whitespace, trailing junk and non-integers are protocol errors.
+  for (const char* bad : {
+           "run edeanet-64 dilation=0",           // dense is dilation=1
+           "run edeanet-64 dilation=-2",          // negative
+           "run edeanet-64 dilation=+2",          // stoi would accept '+'
+           "run edeanet-64 dilation= 2",          // empty value token
+           "run edeanet-64 dilation=2x",          // trailing junk
+           "run edeanet-64 dilation=1.5",         // not an integer
+           "run edeanet-64 depth_multiplier=0",   // no output channels
+           "run edeanet-64 depth_multiplier=-1",  // negative
+           "run edeanet-64 depth_multiplier=+3",  // sign prefix
+           "run edeanet-64 depth_multiplier= 3",  // empty value token
+           "run edeanet-64 depth_multiplier=3x",  // trailing junk
+           "run edeanet-64 depth_multiplier=abc", // non-numeric
+       }) {
+    SCOPED_TRACE(bad);
+    const ParsedLine p = parse_request_line(bad);
+    EXPECT_EQ(p.kind, ParsedLine::Kind::kError);
+    EXPECT_FALSE(p.error.empty());
+  }
+  // The errors name the offending key and value.
+  const ParsedLine zero = parse_request_line("run edeanet-64 dilation=0");
+  EXPECT_NE(zero.error.find("bad dilation '0'"), std::string::npos)
+      << zero.error;
+  const ParsedLine junk =
+      parse_request_line("run edeanet-64 depth_multiplier=3x");
+  EXPECT_NE(junk.error.find("bad depth_multiplier '3x'"), std::string::npos)
+      << junk.error;
+}
+
+TEST(ProtocolParseTest, CallerDefaultTransformsApplyWhenLineNamesNone) {
+  // The server's --dilation / --depth-multiplier: requests without the
+  // keys resolve to the caller defaults ...
+  const ParsedLine def = parse_request_line("run edeanet-64", "edea", 1, 2, 3);
+  ASSERT_EQ(def.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(def.request.dilation, 2);
+  EXPECT_EQ(def.request.depth_multiplier, 3);
+  // ... and explicit keys still win.
+  const ParsedLine exp = parse_request_line(
+      "run edeanet-64 dilation=4 depth_multiplier=1", "edea", 1, 2, 3);
+  ASSERT_EQ(exp.kind, ParsedLine::Kind::kRun);
+  EXPECT_EQ(exp.request.dilation, 4);
+  EXPECT_EQ(exp.request.depth_multiplier, 1);
+  // Non-positive *defaults* are caller configuration gone wrong.
+  EXPECT_THROW((void)parse_request_line("run edeanet-64", "edea", 1, 0, 1),
+               PreconditionError);
+  EXPECT_THROW((void)parse_request_line("run edeanet-64", "edea", 1, 1, -2),
+               PreconditionError);
+}
+
+TEST(ProtocolFormatTest, OutcomeLinesEchoTransformsOnlyWhenTransformed) {
+  // Default-valued knobs stay silent, so pre-dilation response streams
+  // (and the golden file) are byte-identical.
+  core::SweepOutcome outcome;
+  outcome.name = "edeanet-64@7";
+  outcome.ok = true;
+  EXPECT_EQ(format_outcome_line(outcome).find("dilation="), std::string::npos)
+      << format_outcome_line(outcome);
+  EXPECT_EQ(format_outcome_line(outcome).find("depth_multiplier="),
+            std::string::npos)
+      << format_outcome_line(outcome);
+  // Echoed after batch, each only when > 1, on ok and error lines alike.
+  outcome.batch = 8;
+  outcome.dilation = 2;
+  outcome.depth_multiplier = 3;
+  EXPECT_NE(format_outcome_line(outcome).find(
+                " backend=edea batch=8 dilation=2 depth_multiplier=3 "),
+            std::string::npos)
+      << format_outcome_line(outcome);
+  outcome.batch = 1;
+  outcome.depth_multiplier = 1;
+  EXPECT_NE(format_outcome_line(outcome).find(" backend=edea dilation=2 "),
+            std::string::npos)
+      << format_outcome_line(outcome);
+  outcome.ok = false;
+  outcome.error = "boom";
+  EXPECT_NE(format_outcome_line(outcome).find(" dilation=2 cache="),
+            std::string::npos)
+      << format_outcome_line(outcome);
+}
+
 TEST(ProtocolParseTest, NegativeConfigValuesParseAndFailInSimulation) {
   // Structurally valid protocol; the *simulation* rejects it - infeasible
   // configurations are data, not protocol errors.

@@ -28,7 +28,7 @@ TEST(ServerCliTest, HelpTextMentionsEveryDocumentedFlag) {
   for (const char* flag :
        {"--help", "--listen", "--max-sessions", "--cache-file", "--workers",
         "--cache", "--tile-parallelism", "--backend", "--batch",
-        "--verify"}) {
+        "--dilation", "--depth-multiplier", "--verify"}) {
     SCOPED_TRACE(flag);
     EXPECT_NE(usage.find(flag), std::string::npos)
         << "flag missing from simulation_server --help output";
@@ -51,6 +51,8 @@ TEST(ServerCliTest, DefaultsMatchTheServiceDefaults) {
   EXPECT_EQ(config.service.tile_parallelism, 1);
   EXPECT_EQ(config.backend, "edea");
   EXPECT_EQ(config.batch, 1);
+  EXPECT_EQ(config.dilation, 1);
+  EXPECT_EQ(config.depth_multiplier, 1);
 }
 
 TEST(ServerCliTest, EveryFlagParses) {
@@ -58,7 +60,7 @@ TEST(ServerCliTest, EveryFlagParses) {
       parse({"--listen", "47163", "--max-sessions", "2", "--cache-file",
              "/tmp/edea.cache", "--workers", "3", "--cache", "64",
              "--tile-parallelism", "4", "--backend", "serialized",
-             "--batch", "8"});
+             "--batch", "8", "--dilation", "2", "--depth-multiplier", "3"});
   ASSERT_TRUE(config.error.empty()) << config.error;
   EXPECT_TRUE(config.listen);
   EXPECT_EQ(config.port, 47163);
@@ -69,6 +71,8 @@ TEST(ServerCliTest, EveryFlagParses) {
   EXPECT_EQ(config.service.tile_parallelism, 4);
   EXPECT_EQ(config.backend, "serialized");
   EXPECT_EQ(config.batch, 8);
+  EXPECT_EQ(config.dilation, 2);
+  EXPECT_EQ(config.depth_multiplier, 3);
 }
 
 TEST(ServerCliTest, ListenPortMustBeNumericAndInRange) {
@@ -123,6 +127,13 @@ TEST(ServerCliTest, MalformedValuesAreRejectedWithAReason) {
            {"--batch", "+4"},                // stoul would accept the '+'
            {"--batch", "4x"},                // trailing junk
            {"--batch"},                      // missing value
+           {"--dilation", "0"},              // a window needs a pitch
+           {"--dilation", "-2"},             // negative
+           {"--dilation", "2x"},             // trailing junk
+           {"--dilation"},                   // missing value
+           {"--depth-multiplier", "0"},      // zero drops all channels
+           {"--depth-multiplier", "+3"},     // stoul would accept the '+'
+           {"--depth-multiplier"},           // missing value
            {"--cache-file"},                 // missing value
            {"--wat"},                        // unknown flag
        }) {
@@ -152,8 +163,9 @@ TEST(ServerCliTest, ContradictoryModesAreRejected) {
 
 TEST(ClientCliTest, HelpTextMentionsEveryDocumentedFlag) {
   const std::string usage = client_usage();
-  for (const char* flag : {"--help", "--connect", "--verify",
-                           "--expect-all-hits", "--backend", "--batch"}) {
+  for (const char* flag :
+       {"--help", "--connect", "--verify", "--expect-all-hits", "--backend",
+        "--batch", "--dilation", "--depth-multiplier"}) {
     SCOPED_TRACE(flag);
     EXPECT_NE(usage.find(flag), std::string::npos)
         << "flag missing from simulation_client --help output";
@@ -165,7 +177,8 @@ TEST(ClientCliTest, EveryFlagParses) {
   const ClientConfig config =
       parse_client({"--connect", "127.0.0.1:47163", "--verify",
                     "--expect-all-hits", "--backend", "serialized",
-                    "--batch", "4"});
+                    "--batch", "4", "--dilation", "2",
+                    "--depth-multiplier", "3"});
   ASSERT_TRUE(config.error.empty()) << config.error;
   EXPECT_TRUE(config.connect_given);
   EXPECT_EQ(config.host, "127.0.0.1");
@@ -174,6 +187,18 @@ TEST(ClientCliTest, EveryFlagParses) {
   EXPECT_TRUE(config.expect_all_hits);
   EXPECT_EQ(config.backend, "serialized");
   EXPECT_EQ(config.batch, 4);
+  EXPECT_EQ(config.dilation, 2);
+  EXPECT_EQ(config.depth_multiplier, 3);
+}
+
+TEST(ClientCliTest, TransformFlagsDefaultToNotGiven) {
+  // 0 means "the line protocol's own defaults apply" - the client only
+  // overrides the reference run when a flag was explicitly passed, so it
+  // cannot drift from a server that was started without the flags.
+  const ClientConfig config = parse_client({"--connect", "h:1"});
+  ASSERT_TRUE(config.error.empty()) << config.error;
+  EXPECT_EQ(config.dilation, 0);
+  EXPECT_EQ(config.depth_multiplier, 0);
 }
 
 TEST(ClientCliTest, HelpNeedsNoConnect) {
@@ -214,6 +239,14 @@ TEST(ClientCliTest, ContradictionsAndUnknownsAreRejected) {
         parse_client({"--connect", "h:1", "--batch", bad}).error.empty());
   }
   EXPECT_FALSE(parse_client({"--connect", "h:1", "--batch"}).error.empty());
+  for (const char* flag : {"--dilation", "--depth-multiplier"}) {
+    for (const char* bad : {"0", "-2", "+4", "4x", "abc"}) {
+      SCOPED_TRACE(std::string(flag) + " '" + bad + "'");
+      EXPECT_FALSE(
+          parse_client({"--connect", "h:1", flag, bad}).error.empty());
+    }
+    EXPECT_FALSE(parse_client({"--connect", "h:1", flag}).error.empty());
+  }
 }
 
 }  // namespace
