@@ -12,6 +12,7 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -78,6 +79,82 @@ void BM_PwcEngineStep(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * engine.mac_count());
 }
 BENCHMARK(BM_PwcEngineStep);
+
+// --- kernel-dispatch fast paths: specialized vs generic, per shape --------
+//
+// One engine step per hot shape, once through the dispatch registry's
+// specialized kernel (kAuto) and once forced onto the generic reference
+// loops (kForceGeneric). Both variants are bit-identical in outputs and
+// MacActivity (tests/kernel_dispatch_test.cpp, differential_test.cpp);
+// this pair measures only the host-time gap. main() derives a
+// "kernel_speedup/<shape>" ratio per pair into the --json summary, and
+// --require-speedup X turns a ratio below X into a nonzero exit - the
+// regression gate CI runs.
+
+void BM_DwcShapeStep(benchmark::State& state, int stride,
+                     core::KernelPolicy policy) {
+  const core::EdeaConfig cfg = core::EdeaConfig::paper();
+  core::DwcEngine engine(cfg);
+  engine.set_kernel_policy(policy);
+  Rng rng(21);
+  std::vector<std::int8_t> w(
+      static_cast<std::size_t>(cfg.kernel * cfg.kernel * cfg.td));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  engine.load_weights(w, cfg.td);
+  core::DwcWindow window;
+  window.extent = (cfg.tn - 1) * stride + cfg.kernel;
+  window.channels = cfg.td;
+  window.values.resize(
+      static_cast<std::size_t>(window.extent * window.extent * cfg.td));
+  for (auto& v : window.values) {
+    v = rng.bernoulli(0.3) ? std::int8_t{0}
+                           : static_cast<std::int8_t>(rng.uniform_int(-128,
+                                                                      127));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(window, stride));
+  }
+  state.SetItemsProcessed(state.iterations() * engine.mac_count());
+}
+BENCHMARK_CAPTURE(BM_DwcShapeStep, dwc3x3_s1_specialized, 1,
+                  core::KernelPolicy::kAuto);
+BENCHMARK_CAPTURE(BM_DwcShapeStep, dwc3x3_s1_generic, 1,
+                  core::KernelPolicy::kForceGeneric);
+BENCHMARK_CAPTURE(BM_DwcShapeStep, dwc3x3_s2_specialized, 2,
+                  core::KernelPolicy::kAuto);
+BENCHMARK_CAPTURE(BM_DwcShapeStep, dwc3x3_s2_generic, 2,
+                  core::KernelPolicy::kForceGeneric);
+
+void BM_PwcShapeStep(benchmark::State& state, core::KernelPolicy policy) {
+  const core::EdeaConfig cfg = core::EdeaConfig::paper();
+  core::PwcEngine engine(cfg);
+  engine.set_kernel_policy(policy);
+  Rng rng(22);
+  core::PwcStepInput pin;
+  pin.rows = cfg.tn;
+  pin.cols = cfg.tm;
+  pin.channels = cfg.td;
+  pin.kernels = cfg.tk;
+  pin.activations.resize(
+      static_cast<std::size_t>(cfg.tn * cfg.tm * cfg.td));
+  pin.weights.resize(static_cast<std::size_t>(cfg.tk * cfg.td));
+  for (auto& v : pin.activations) {
+    v = rng.bernoulli(0.3) ? std::int8_t{0}
+                           : static_cast<std::int8_t>(rng.uniform_int(-128,
+                                                                      127));
+  }
+  for (auto& v : pin.weights) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.step(pin));
+  }
+  state.SetItemsProcessed(state.iterations() * engine.mac_count());
+}
+BENCHMARK_CAPTURE(BM_PwcShapeStep, pwc1x1_specialized,
+                  core::KernelPolicy::kAuto);
+BENCHMARK_CAPTURE(BM_PwcShapeStep, pwc1x1_generic,
+                  core::KernelPolicy::kForceGeneric);
 
 void BM_NonConvAffine(benchmark::State& state) {
   const auto k = arch::Q8_16::from_double(0.73);
@@ -436,11 +513,58 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// One specialized/generic kernel pair with its derived host-time ratio
+/// (generic cpu time over specialized cpu time - >1 means the fast path
+/// is actually fast).
+struct SpeedupRow {
+  std::string shape;  ///< e.g. "dwc3x3_s1"
+  double specialized_cpu_time_ns = 0.0;
+  double generic_cpu_time_ns = 0.0;
+  double ratio = 0.0;
+};
+
+/// Pairs every "..._specialized" benchmark with its "..._generic" twin by
+/// name and derives the speedup ratio. Shapes whose twin did not run
+/// (e.g. filtered out) are skipped - the --require-speedup gate treats an
+/// empty result as a failure, so filtering cannot silently pass the gate.
+std::vector<SpeedupRow> derive_speedups(
+    const std::vector<CollectingReporter::Row>& rows) {
+  const std::string spec_tag = "_specialized";
+  const std::string gen_tag = "_generic";
+  std::vector<SpeedupRow> speedups;
+  for (const auto& row : rows) {
+    if (row.name.size() < spec_tag.size() ||
+        row.name.compare(row.name.size() - spec_tag.size(), spec_tag.size(),
+                         spec_tag) != 0) {
+      continue;
+    }
+    const std::string stem =
+        row.name.substr(0, row.name.size() - spec_tag.size());
+    const std::string partner = stem + gen_tag;
+    for (const auto& other : rows) {
+      if (other.name != partner) continue;
+      SpeedupRow s;
+      const std::size_t slash = stem.rfind('/');
+      s.shape = slash == std::string::npos ? stem : stem.substr(slash + 1);
+      s.specialized_cpu_time_ns = row.cpu_time_ns;
+      s.generic_cpu_time_ns = other.cpu_time_ns;
+      s.ratio = row.cpu_time_ns > 0.0
+                    ? other.cpu_time_ns / row.cpu_time_ns
+                    : 0.0;
+      speedups.push_back(std::move(s));
+      break;
+    }
+  }
+  return speedups;
+}
+
 /// Writes the collected rows as a JSON object: benchmark name -> its
-/// timings. Returns false (with a message on stderr) when the file cannot
-/// be written - CI must fail loudly, not archive nothing.
+/// timings, then one "kernel_speedup/<shape>" entry per specialized/
+/// generic pair. Returns false (with a message on stderr) when the file
+/// cannot be written - CI must fail loudly, not archive nothing.
 bool write_json(const std::string& path,
-                const std::vector<CollectingReporter::Row>& rows) {
+                const std::vector<CollectingReporter::Row>& rows,
+                const std::vector<SpeedupRow>& speedups) {
   std::ofstream out(path, std::ios::trunc);
   if (!out.good()) {
     std::cerr << "bench_micro_kernels: cannot write --json file '" << path
@@ -454,7 +578,15 @@ bool write_json(const std::string& path,
         << "\"real_time_ns\": " << r.real_time_ns << ", "
         << "\"cpu_time_ns\": " << r.cpu_time_ns << ", "
         << "\"iterations\": " << r.iterations << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
+        << (i + 1 < rows.size() || !speedups.empty() ? "," : "") << "\n";
+  }
+  for (std::size_t i = 0; i < speedups.size(); ++i) {
+    const auto& s = speedups[i];
+    out << "  \"kernel_speedup/" << json_escape(s.shape) << "\": {"
+        << "\"specialized_cpu_time_ns\": " << s.specialized_cpu_time_ns
+        << ", \"generic_cpu_time_ns\": " << s.generic_cpu_time_ns
+        << ", \"ratio\": " << s.ratio << "}"
+        << (i + 1 < speedups.size() ? "," : "") << "\n";
   }
   out << "}\n";
   out.flush();
@@ -468,9 +600,11 @@ bool write_json(const std::string& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Consume our own --json PATH before Google Benchmark validates the
-  // remaining flags (it rejects options it does not know).
+  // Consume our own flags (--json PATH, --require-speedup X) before
+  // Google Benchmark validates the remaining ones (it rejects options it
+  // does not know).
   std::string json_path;
+  double require_speedup = 0.0;  // 0 = gate off
   std::vector<char*> passthrough;
   passthrough.reserve(static_cast<std::size_t>(argc));
   for (int i = 0; i < argc; ++i) {
@@ -480,6 +614,22 @@ int main(int argc, char** argv) {
         return 2;
       }
       json_path = argv[++i];
+      continue;
+    }
+    if (std::string(argv[i]) == "--require-speedup") {
+      if (i + 1 >= argc) {
+        std::cerr << "bench_micro_kernels: --require-speedup needs a "
+                     "minimum ratio\n";
+        return 2;
+      }
+      char* end = nullptr;
+      require_speedup = std::strtod(argv[i + 1], &end);
+      if (end == argv[i + 1] || *end != '\0' || require_speedup <= 0.0) {
+        std::cerr << "bench_micro_kernels: bad --require-speedup value '"
+                  << argv[i + 1] << "' (want a ratio > 0)\n";
+        return 2;
+      }
+      ++i;
       continue;
     }
     passthrough.push_back(argv[i]);
@@ -495,8 +645,36 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks(&reporter);
   benchmark::Shutdown();
 
-  if (!json_path.empty() && !write_json(json_path, reporter.rows())) {
+  const std::vector<SpeedupRow> speedups = derive_speedups(reporter.rows());
+  for (const SpeedupRow& s : speedups) {
+    std::cerr << "kernel_speedup/" << s.shape << ": " << s.ratio
+              << "x (specialized " << s.specialized_cpu_time_ns
+              << " ns vs generic " << s.generic_cpu_time_ns << " ns)\n";
+  }
+
+  if (!json_path.empty() &&
+      !write_json(json_path, reporter.rows(), speedups)) {
     return 1;
+  }
+
+  if (require_speedup > 0.0) {
+    if (speedups.empty()) {
+      std::cerr << "bench_micro_kernels: --require-speedup "
+                << require_speedup
+                << " but no specialized/generic pairs ran (filtered "
+                   "out?)\n";
+      return 1;
+    }
+    bool ok = true;
+    for (const SpeedupRow& s : speedups) {
+      if (s.ratio < require_speedup) {
+        std::cerr << "bench_micro_kernels: kernel_speedup/" << s.shape
+                  << " = " << s.ratio << "x is below the required "
+                  << require_speedup << "x floor\n";
+        ok = false;
+      }
+    }
+    if (!ok) return 1;
   }
   return 0;
 }

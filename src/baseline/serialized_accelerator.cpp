@@ -257,7 +257,8 @@ SerializedLayerResult SerializedDscAccelerator::run_layer_into(
           }
 
           const core::DwcStepOutput out =
-              dwc_.step(window, spec.stride, spec.dilation);
+              dwc_.step(window, spec.stride, spec.dilation,
+                        spec.depth_multiplier);
           result.dwc_phase_cycles += 1;
           result.common.timing.dwc_active_cycles += 1;
 
@@ -345,7 +346,8 @@ SerializedLayerResult SerializedDscAccelerator::run_layer_into(
                                       slice.channel0 + ch);
               }
             }
-            const core::PwcStepOutput pout = pwc_.step(pin);
+            const core::PwcStepOutput pout =
+                pwc_.step(pin, spec.depth_multiplier);
             result.pwc_phase_cycles += 1;
             result.common.timing.pwc_active_cycles += 1;
 

@@ -72,6 +72,13 @@ class SerializedDscAccelerator final : public core::AcceleratorBackend {
     return tile_parallelism_;
   }
 
+  /// Pins both engines' kernel selection (KernelDispatch A/B lever);
+  /// results and counters are bit-identical either way.
+  void set_kernel_policy(core::KernelPolicy policy) override {
+    dwc_.set_kernel_policy(policy);
+    pwc_.set_kernel_policy(policy);
+  }
+
   [[nodiscard]] const core::EdeaConfig& config() const noexcept override {
     return config_;
   }

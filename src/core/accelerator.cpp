@@ -137,6 +137,12 @@ class TileWorker {
   [[nodiscard]] const DwcEngine& dwc() const noexcept { return dwc_; }
   [[nodiscard]] const PwcEngine& pwc() const noexcept { return pwc_; }
 
+  /// Pins both engines' kernel selection (KernelDispatch A/B lever).
+  void set_kernel_policy(KernelPolicy policy) noexcept {
+    dwc_.set_kernel_policy(policy);
+    pwc_.set_kernel_policy(policy);
+  }
+
  private:
   /// Loads the valid part of the tile's input region into the ifmap buffer.
   /// Only *distinct* input channels are staged: with depth multiplier m the
@@ -343,7 +349,8 @@ class TileWorker {
             fetch_window(tile, slice, image_rows, image_cols, out_r0, out_c0,
                          stride, spec.padding, spec.dilation,
                          spec.depth_multiplier);
-        const DwcStepOutput dwc_out = dwc_.step(window, stride, spec.dilation);
+        const DwcStepOutput dwc_out = dwc_.step(window, stride, spec.dilation,
+                                                spec.depth_multiplier);
         partial_.timing.dwc_active_cycles += 1;
         if (trace != nullptr && step_index < 4) {
           trace->emit(cycle, "DWC Engine Process",
@@ -428,7 +435,7 @@ class TileWorker {
             partial_.buffers.pwc_weight.record_read(n, n);
           }
 
-          const PwcStepOutput pout = pwc_.step(pin);
+          const PwcStepOutput pout = pwc_.step(pin, spec.depth_multiplier);
           partial_.timing.pwc_active_cycles += 1;
           if (trace != nullptr && step_index < 2 && group.kernel0 == 0) {
             trace->emit(cycle, "PWC Engine Process",
@@ -550,9 +557,15 @@ void EdeaAccelerator::set_tile_parallelism(int parallelism) {
   tile_parallelism_ = parallelism;
 }
 
+void EdeaAccelerator::set_kernel_policy(KernelPolicy policy) {
+  kernel_policy_ = policy;
+  for (auto& w : workers_) w->set_kernel_policy(policy);
+}
+
 detail::TileWorker& EdeaAccelerator::worker(std::size_t index) {
   while (workers_.size() <= index) {
     workers_.push_back(std::make_unique<detail::TileWorker>(config_));
+    workers_.back()->set_kernel_policy(kernel_policy_);
   }
   return *workers_[index];
 }

@@ -96,6 +96,11 @@ class EdeaAccelerator final : public AcceleratorBackend {
     return tile_parallelism_;
   }
 
+  /// Pins every worker's engines (current and future) to `policy`.
+  /// Results and counters are bit-identical either way; this is the
+  /// specialized-vs-generic A/B lever (tests/differential_test.cpp).
+  void set_kernel_policy(KernelPolicy policy) override;
+
   [[nodiscard]] const EdeaConfig& config() const noexcept override {
     return config_;
   }
@@ -125,6 +130,7 @@ class EdeaAccelerator final : public AcceleratorBackend {
 
   EdeaConfig config_;
   int tile_parallelism_ = 1;
+  KernelPolicy kernel_policy_ = KernelDispatch::default_policy();
   std::vector<std::unique_ptr<detail::TileWorker>> workers_;
   PipelineTrace* trace_ = nullptr;
 };

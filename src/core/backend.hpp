@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "core/config.hpp"
+#include "core/kernel_dispatch.hpp"
 #include "core/run_result.hpp"
 #include "nn/layers.hpp"
 #include "nn/tensor.hpp"
@@ -74,6 +75,14 @@ class AcceleratorBackend {
   /// results bit-identical to width 1.
   virtual void set_tile_parallelism(int parallelism) = 0;
   [[nodiscard]] virtual int tile_parallelism() const noexcept = 0;
+
+  /// Engine inner-loop kernel selection (core::KernelDispatch):
+  /// kForceGeneric pins the generic reference kernels, kAuto lets hot
+  /// shapes run their specialized implementations. Either way results and
+  /// every counter are bit-identical - the knob exists for A/B testing,
+  /// which is why the base implementation is a no-op (a backend that runs
+  /// no dispatchable engine has nothing to pin).
+  virtual void set_kernel_policy(KernelPolicy policy) { (void)policy; }
 
   /// The configuration this backend instance was built from.
   [[nodiscard]] virtual const EdeaConfig& config() const noexcept = 0;

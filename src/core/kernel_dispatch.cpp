@@ -1,0 +1,296 @@
+#include "core/kernel_dispatch.hpp"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "arch/pe.hpp"
+#include "util/check.hpp"
+
+namespace edea::core {
+
+// ---------------------------------------------------------------------------
+// Generic reference implementations.
+// ---------------------------------------------------------------------------
+
+void generic_dwc_kernel(const DwcKernelArgs& a) {
+  const int k = a.kernel;
+  const arch::MacLane lane;
+  arch::AdderTree tree(k * k);
+  // Caller-local scratch: the old engine kept this in a member
+  // (`products_`), which silently made steps non-reentrant.
+  std::vector<std::int32_t> products(static_cast<std::size_t>(k * k));
+
+  for (int ch = 0; ch < a.channels; ++ch) {
+    for (int ty = 0; ty < a.tn; ++ty) {
+      for (int tx = 0; tx < a.tm; ++tx) {
+        // One 9-input adder tree instance: 3x3 products for this output.
+        for (int i = 0; i < k; ++i) {
+          for (int j = 0; j < k; ++j) {
+            const int r = ty * a.stride + i * a.dilation;
+            const int c = tx * a.stride + j * a.dilation;
+            const std::int8_t act =
+                a.window[static_cast<std::size_t>((r * a.extent + c) *
+                                                      a.channels +
+                                                  ch)];
+            const std::int8_t w = a.weights[static_cast<std::size_t>(
+                (i * k + j) * a.channels + ch)];
+            products[static_cast<std::size_t>(i * k + j)] =
+                lane.multiply(act, w, *a.activity);
+          }
+        }
+        a.acc[static_cast<std::size_t>((ty * a.tm + tx) * a.channels + ch)] =
+            tree.sum(products);
+      }
+    }
+  }
+}
+
+void generic_pwc_kernel(const PwcKernelArgs& a) {
+  const arch::MacLane lane;
+  arch::AdderTree tree(a.td);
+  std::vector<std::int32_t> products(static_cast<std::size_t>(a.td));
+
+  for (int r = 0; r < a.rows; ++r) {
+    for (int c = 0; c < a.cols; ++c) {
+      for (int kk = 0; kk < a.kernels; ++kk) {
+        // One Td-input adder tree fed by the channel lanes.
+        for (int ch = 0; ch < a.td; ++ch) {
+          if (ch < a.channels) {
+            const std::int8_t act = a.activations[static_cast<std::size_t>(
+                (r * a.cols + c) * a.channels + ch)];
+            const std::int8_t w = a.weights[static_cast<std::size_t>(
+                kk * a.channels + ch)];
+            products[static_cast<std::size_t>(ch)] =
+                lane.multiply(act, w, *a.activity);
+          } else {
+            // Channel lanes beyond the slice width idle (zero product).
+            lane.idle(*a.activity);
+            products[static_cast<std::size_t>(ch)] = 0;
+          }
+        }
+        a.psum[static_cast<std::size_t>((r * a.cols + c) * a.kernels + kk)] =
+            tree.sum(products);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Specialized fast paths.
+//
+// All of them compute the same int32 accumulators as the generic path
+// (integer addition is exact and order-free in these ranges: at most
+// max(k*k, Td) terms of magnitude <= 2^14) and tally MacActivity in bulk:
+//   lane_cycles / useful_macs: one per modeled multiply,
+//   zero_operand_macs: one per multiply whose activation is zero.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// 3x3 DWC at dilation 1, stride a compile-time constant. The inner loop
+/// walks the channel axis - the innermost dimension of both the window
+/// and the weight slice - so each of the nine unrolled taps is a
+/// contiguous int8 stream the compiler can vectorize. sum0/sum1/sum2 are
+/// the per-kernel-row accumulators of the hand-tuned fixed-shape kernels
+/// this transformation is borrowed from.
+template <int Stride>
+void dwc3x3_kernel(const DwcKernelArgs& a) {
+  const int C = a.channels;
+  const int row_pitch = a.extent * C;
+  const std::int8_t* const w = a.weights;  // [3][3][C], tap (i,j) at (i*3+j)*C
+
+  std::int64_t zeros = 0;
+  for (int ty = 0; ty < a.tn; ++ty) {
+    for (int tx = 0; tx < a.tm; ++tx) {
+      const std::int8_t* const r0 =
+          a.window + (ty * Stride * a.extent + tx * Stride) * C;
+      const std::int8_t* const r1 = r0 + row_pitch;
+      const std::int8_t* const r2 = r0 + 2 * row_pitch;
+      std::int32_t* const out = a.acc + (ty * a.tm + tx) * C;
+      for (int ch = 0; ch < C; ++ch) {
+        const std::int32_t a00 = r0[ch];
+        const std::int32_t a01 = r0[C + ch];
+        const std::int32_t a02 = r0[2 * C + ch];
+        const std::int32_t a10 = r1[ch];
+        const std::int32_t a11 = r1[C + ch];
+        const std::int32_t a12 = r1[2 * C + ch];
+        const std::int32_t a20 = r2[ch];
+        const std::int32_t a21 = r2[C + ch];
+        const std::int32_t a22 = r2[2 * C + ch];
+        const std::int32_t sum0 = a00 * w[ch] + a01 * w[C + ch] +
+                                  a02 * w[2 * C + ch];
+        const std::int32_t sum1 = a10 * w[3 * C + ch] + a11 * w[4 * C + ch] +
+                                  a12 * w[5 * C + ch];
+        const std::int32_t sum2 = a20 * w[6 * C + ch] + a21 * w[7 * C + ch] +
+                                  a22 * w[8 * C + ch];
+        out[ch] = sum0 + sum1 + sum2;
+        zeros += (a00 == 0) + (a01 == 0) + (a02 == 0) + (a10 == 0) +
+                 (a11 == 0) + (a12 == 0) + (a20 == 0) + (a21 == 0) +
+                 (a22 == 0);
+      }
+    }
+  }
+  const std::int64_t macs = std::int64_t{9} * a.tn * a.tm * C;
+  a.activity->lane_cycles += macs;
+  a.activity->useful_macs += macs;
+  a.activity->zero_operand_macs += zeros;
+}
+
+/// 1x1 PWC: each output is a dot product across the slice channels. The
+/// channel loop is contiguous for both operands; zero-activation lanes
+/// are counted once per position and scaled by the kernel-group width
+/// (the generic path re-reads each activation for every kernel).
+void pwc1x1_kernel(const PwcKernelArgs& a) {
+  const int C = a.channels;
+  const int positions = a.rows * a.cols;
+
+  std::int64_t zero_acts = 0;
+  for (int p = 0; p < positions; ++p) {
+    const std::int8_t* const act = a.activations + p * C;
+    std::int32_t* const out = a.psum + p * a.kernels;
+    for (int kk = 0; kk < a.kernels; ++kk) {
+      const std::int8_t* const w = a.weights + kk * C;
+      std::int32_t sum = 0;
+      for (int ch = 0; ch < C; ++ch) {
+        sum += static_cast<std::int32_t>(act[ch]) *
+               static_cast<std::int32_t>(w[ch]);
+      }
+      out[kk] = sum;
+    }
+    for (int ch = 0; ch < C; ++ch) zero_acts += act[ch] == 0;
+  }
+
+  const std::int64_t dots = std::int64_t{1} * positions * a.kernels;
+  a.activity->useful_macs += dots * C;
+  // Every dot product clocks all Td lanes; lanes in [channels, Td) idle.
+  a.activity->lane_cycles += dots * a.td;
+  a.activity->zero_operand_macs += zero_acts * a.kernels;
+}
+
+void validate_key(const KernelShapeKey& key) {
+  EDEA_REQUIRE(key.kernel > 0 && key.kernel % 2 == 1,
+               "kernel extent must be positive and odd");
+  EDEA_REQUIRE(key.family != OpFamily::kPwc || key.kernel == 1,
+               "PWC kernels are 1x1 by definition");
+  EDEA_REQUIRE(key.stride == 1 || key.stride == 2, "stride must be 1 or 2");
+  EDEA_REQUIRE(key.dilation >= 1, "dilation must be >= 1");
+  EDEA_REQUIRE(key.depth_multiplier >= 0,
+               "depth_multiplier must be >= 1, or 0 for the wildcard");
+}
+
+}  // namespace
+
+std::string KernelShapeKey::to_string() const {
+  return std::string(family == OpFamily::kDwc ? "dwc" : "pwc") +
+         " k=" + std::to_string(kernel) + " s=" + std::to_string(stride) +
+         " d=" + std::to_string(dilation) + " m=" +
+         (depth_multiplier == 0 ? std::string("any")
+                                : std::to_string(depth_multiplier));
+}
+
+// ---------------------------------------------------------------------------
+// Registry.
+// ---------------------------------------------------------------------------
+
+struct KernelDispatch::Impl {
+  mutable std::mutex mutex;
+  std::map<KernelShapeKey, std::pair<DwcKernelFn, std::string>> dwc;
+  std::map<KernelShapeKey, std::pair<PwcKernelFn, std::string>> pwc;
+};
+
+KernelDispatch::KernelDispatch() : impl_(new Impl) {
+  // Built-ins registered in-registry (not from a static elsewhere) so
+  // static-library link order can never drop a fast path. All wildcard
+  // the depth multiplier: the engine-level math is multiplier-invariant.
+  KernelShapeKey key;
+  key.family = OpFamily::kDwc;
+  key.kernel = 3;
+  key.dilation = 1;
+  key.depth_multiplier = 0;
+  key.stride = 1;
+  register_dwc(key, &dwc3x3_kernel<1>, "dwc3x3_s1_rowsum");
+  key.stride = 2;
+  register_dwc(key, &dwc3x3_kernel<2>, "dwc3x3_s2_rowsum");
+  key.family = OpFamily::kPwc;
+  key.kernel = 1;
+  key.stride = 1;
+  register_pwc(key, &pwc1x1_kernel, "pwc1x1_dot");
+}
+
+KernelDispatch& KernelDispatch::instance() {
+  static KernelDispatch dispatch;
+  return dispatch;
+}
+
+void KernelDispatch::register_dwc(const KernelShapeKey& key, DwcKernelFn fn,
+                                  std::string label) {
+  EDEA_REQUIRE(key.family == OpFamily::kDwc,
+               "register_dwc key must have family kDwc");
+  EDEA_REQUIRE(fn != nullptr, "kernel function must be non-null");
+  validate_key(key);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->dwc[key] = {fn, std::move(label)};
+}
+
+void KernelDispatch::register_pwc(const KernelShapeKey& key, PwcKernelFn fn,
+                                  std::string label) {
+  EDEA_REQUIRE(key.family == OpFamily::kPwc,
+               "register_pwc key must have family kPwc");
+  EDEA_REQUIRE(fn != nullptr, "kernel function must be non-null");
+  validate_key(key);
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  impl_->pwc[key] = {fn, std::move(label)};
+}
+
+DwcKernelFn KernelDispatch::find_dwc(const KernelShapeKey& key) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->dwc.find(key);
+  if (it == impl_->dwc.end() && key.depth_multiplier != 0) {
+    KernelShapeKey wildcard = key;
+    wildcard.depth_multiplier = 0;
+    it = impl_->dwc.find(wildcard);
+  }
+  return it == impl_->dwc.end() ? &generic_dwc_kernel : it->second.first;
+}
+
+PwcKernelFn KernelDispatch::find_pwc(const KernelShapeKey& key) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->pwc.find(key);
+  if (it == impl_->pwc.end() && key.depth_multiplier != 0) {
+    KernelShapeKey wildcard = key;
+    wildcard.depth_multiplier = 0;
+    it = impl_->pwc.find(wildcard);
+  }
+  return it == impl_->pwc.end() ? &generic_pwc_kernel : it->second.first;
+}
+
+bool KernelDispatch::has_specialization(const KernelShapeKey& key) const {
+  return key.family == OpFamily::kDwc ? find_dwc(key) != &generic_dwc_kernel
+                                      : find_pwc(key) != &generic_pwc_kernel;
+}
+
+std::vector<std::string> KernelDispatch::registered_shapes() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::vector<std::string> shapes;
+  shapes.reserve(impl_->dwc.size() + impl_->pwc.size());
+  for (const auto& [key, entry] : impl_->dwc) {
+    shapes.push_back(key.to_string() + " -> " + entry.second);
+  }
+  for (const auto& [key, entry] : impl_->pwc) {
+    shapes.push_back(key.to_string() + " -> " + entry.second);
+  }
+  return shapes;
+}
+
+KernelPolicy KernelDispatch::default_policy() {
+  static const KernelPolicy policy = [] {
+    const char* env = std::getenv("EDEA_FORCE_GENERIC_KERNELS");
+    const bool forced =
+        env != nullptr && *env != '\0' && std::string(env) != "0";
+    return forced ? KernelPolicy::kForceGeneric : KernelPolicy::kAuto;
+  }();
+  return policy;
+}
+
+}  // namespace edea::core

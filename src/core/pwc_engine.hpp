@@ -7,6 +7,10 @@
 // current slice. Partial sums across slices are accumulated by the caller
 // in the accumulator buffer (the engine is combinational plus a pipeline
 // register, like the silicon).
+//
+// The dot-product inner loop is resolved through core::KernelDispatch:
+// 1x1 PWC runs a hand-specialized contiguous dot-product kernel, with the
+// generic reference path as fallback and kForceGeneric as the A/B pin.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +19,7 @@
 #include "arch/counters.hpp"
 #include "arch/pe.hpp"
 #include "core/config.hpp"
+#include "core/kernel_dispatch.hpp"
 
 namespace edea::core {
 
@@ -54,10 +59,25 @@ class PwcEngine {
   explicit PwcEngine(const EdeaConfig& config);
 
   /// One engine cycle: 64 dot products over the slice channels.
-  [[nodiscard]] PwcStepOutput step(const PwcStepInput& input);
+  /// `depth_multiplier` is a dispatch-key component only (the arithmetic
+  /// is multiplier-invariant).
+  [[nodiscard]] PwcStepOutput step(const PwcStepInput& input,
+                                   int depth_multiplier = 1);
+
+  /// Reentrant step: activity tallies into the caller-supplied sink and
+  /// the kernel lookup bypasses the engine-local cache. Safe to call
+  /// concurrently from multiple threads on one engine.
+  [[nodiscard]] PwcStepOutput step(const PwcStepInput& input,
+                                   int depth_multiplier,
+                                   arch::MacActivity& activity) const;
 
   /// One idle cycle (pipeline bubble during initiation).
   void idle_cycle();
+
+  /// Pins (or unpins) the generic reference kernels; resets the cached
+  /// dispatch resolution. Default is KernelDispatch::default_policy().
+  void set_kernel_policy(KernelPolicy policy) noexcept;
+  [[nodiscard]] KernelPolicy kernel_policy() const noexcept { return policy_; }
 
   [[nodiscard]] const arch::MacActivity& activity() const noexcept {
     return activity_;
@@ -83,11 +103,18 @@ class PwcEngine {
   static constexpr int kMulsPerPe = 4;
 
  private:
+  [[nodiscard]] KernelShapeKey shape_key(int depth_multiplier) const noexcept;
+  [[nodiscard]] PwcStepOutput run_step(const PwcStepInput& input,
+                                       PwcKernelFn fn,
+                                       arch::MacActivity& activity) const;
+
   EdeaConfig config_;
   arch::MacLane lane_;
   arch::AdderTree tree_;
   arch::MacActivity activity_;
-  std::vector<std::int32_t> products_;
+  KernelPolicy policy_ = KernelDispatch::default_policy();
+  KernelShapeKey cached_key_;
+  PwcKernelFn cached_fn_ = nullptr;  ///< resolved for cached_key_, or null
 };
 
 }  // namespace edea::core

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -25,30 +26,6 @@ ParsedLine malformed(std::string message) {
   return p;
 }
 
-bool parse_int(const std::string& text, int* out) {
-  try {
-    std::size_t consumed = 0;
-    const int value = std::stoi(text, &consumed);
-    if (consumed != text.size()) return false;
-    *out = value;
-    return true;
-  } catch (const std::exception&) {
-    return false;
-  }
-}
-
-bool parse_u64(const std::string& text, std::uint64_t* out) {
-  try {
-    std::size_t consumed = 0;
-    const unsigned long long value = std::stoull(text, &consumed);
-    if (consumed != text.size() || text.front() == '-') return false;
-    *out = static_cast<std::uint64_t>(value);
-    return true;
-  } catch (const std::exception&) {
-    return false;
-  }
-}
-
 bool parse_double(const std::string& text, double* out) {
   try {
     std::size_t consumed = 0;
@@ -63,30 +40,14 @@ bool parse_double(const std::string& text, double* out) {
   }
 }
 
-/// Strict decimal for batch=/dilation=/depth_multiplier=: digit-first (no
-/// '+', no whitespace - both of which std::stoi tolerates) and fully
-/// consumed. parse_int stays lax for the EdeaConfig overrides whose
-/// grammar is already pinned by the golden file; a new key gets the
-/// strict treatment from day one.
-bool parse_strict_count(const std::string& text, int* out) {
-  if (text.empty() || text.front() < '0' || text.front() > '9') return false;
-  try {
-    std::size_t consumed = 0;
-    const int value = std::stoi(text, &consumed);
-    if (consumed != text.size() || value < 1) return false;
-    *out = value;
-    return true;
-  } catch (const std::exception&) {
-    return false;
-  }
-}
-
 /// Applies one key=value override to a request. Returns an error message,
 /// empty on success.
 std::string apply_override(Request& request, const std::string& key,
                            const std::string& value) {
   if (key == "seed") {
-    if (!parse_u64(value, &request.seed)) return "bad seed '" + value + "'";
+    if (!parse_strict_u64(value, &request.seed)) {
+      return "bad seed '" + value + "'";
+    }
     return "";
   }
   if (key == "batch") {
@@ -132,7 +93,12 @@ std::string apply_override(Request& request, const std::string& key,
   else if (key == "init_cycles") field = &c.init_cycles;
   else if (key == "max_tile_out") field = &c.max_tile_out;
   if (field == nullptr) return "unknown key '" + key + "'";
-  if (!parse_int(value, field)) {
+  // Every integer key shares the strict grammar: "+4", " 4", "4x", and
+  // out-of-range values are all protocol errors naming the value, not
+  // config-validation surprises downstream. (Config overrides allow 0 -
+  // init_cycles=0 is a valid configuration; EdeaConfig::validate owns the
+  // per-field semantic ranges.)
+  if (!parse_strict_int(value, field)) {
     return "bad value '" + value + "' for key '" + key + "'";
   }
   return "";
@@ -151,6 +117,42 @@ std::string format_hex64(std::uint64_t v) {
 }
 
 }  // namespace
+
+// One digit-accumulation loop with an explicit pre-multiply range check:
+// overflow is detected arithmetically (value > (max - digit) / 10 would
+// overflow), never via std::stoi-family exception behavior, and the
+// digit-only scan rejects whitespace, signs, and trailing junk in one
+// pass.
+bool parse_strict_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t value = 0;
+  for (const char c : text) {
+    if (c < '0' || c > '9') return false;
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (kMax - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
+}
+
+bool parse_strict_int(const std::string& text, int* out) {
+  std::uint64_t value = 0;
+  if (!parse_strict_u64(text, &value)) return false;
+  if (value > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+    return false;  // out of int range
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+bool parse_strict_count(const std::string& text, int* out) {
+  int value = 0;
+  if (!parse_strict_int(text, &value) || value < 1) return false;
+  *out = value;
+  return true;
+}
 
 std::string Request::job_name() const {
   return network + "@" + std::to_string(seed);

@@ -32,7 +32,10 @@
 //              every layer (>= 1, default 1; composes with multipliers a
 //              zoo network already carries, e.g. MobileNetV2 expansion
 //              factors). Same strict-integer grammar; arithmetic knob
-//   tn tm td tk kernel init_cycles max_tile_out   EdeaConfig overrides
+//   tn tm td tk kernel init_cycles max_tile_out   EdeaConfig overrides;
+//              same strict-integer grammar as batch (>= 0 - semantic
+//              ranges are EdeaConfig::validate's job, reported in the
+//              outcome line)
 //   clock_ghz  clock in GHz
 //
 // Responses (one per `run`, in request order; <network>@<seed> is the
@@ -101,6 +104,25 @@ struct ParsedLine {
   Request request;
   std::string error;
 };
+
+/// Strict decimal parsers - the single integer grammar of the wire
+/// protocol. A value parses iff it is plain decimal digits, fully
+/// consumed: no leading whitespace, no '+'/'-' sign, no trailing junk
+/// (all of which std::stoi-family parsers tolerate), and no overflow -
+/// out-of-range values like 99999999999999 are rejected by digit
+/// accumulation with an explicit range check, never via exception
+/// behavior. Exposed here (not buried in the .cpp) so the negative
+/// protocol tests can probe inputs the whitespace-splitting tokenizer
+/// could never deliver, like " 4".
+///   parse_strict_u64    any uint64 value (seeds)
+///   parse_strict_int    int values >= 0 (EdeaConfig overrides;
+///                       init_cycles=0 is valid)
+///   parse_strict_count  int values >= 1 (batch/dilation/depth_multiplier)
+/// Each returns false without touching *out on rejection.
+[[nodiscard]] bool parse_strict_u64(const std::string& text,
+                                    std::uint64_t* out);
+[[nodiscard]] bool parse_strict_int(const std::string& text, int* out);
+[[nodiscard]] bool parse_strict_count(const std::string& text, int* out);
 
 /// Parses one request line. Never throws on wire input: malformed lines -
 /// including unknown backend= ids and non-positive batch=, dilation=, or

@@ -13,7 +13,13 @@
 //       a pure function of (specs, input shape, batch) - tile parallelism
 //       and weight values never move the peak,
 //   (4) batch-vs-sequential identity: run_network_batch is bit-identical
-//       per image to standalone run_network calls.
+//       per image to standalone run_network calls,
+//   (5) kernel-dispatch identity: every spec runs once through the
+//       shape-specialized fast-path kernels (KernelPolicy::kAuto) and
+//       once forced onto the generic reference loops
+//       (KernelPolicy::kForceGeneric), and everything observable -
+//       outputs, timing, MAC activity, buffer/dataflow/external
+//       counters, summaries - must be bit-identical.
 // Every failure names its case as a reproducible one-liner (the generator
 // seed plus the full spec list), so a red run can be replayed standalone.
 //
@@ -307,6 +313,57 @@ TEST(DifferentialTest, BatchedRunsAreBitIdenticalToSequential) {
         EXPECT_EQ(total_external_accesses(r),
                   total_external_accesses(standalone));
         EXPECT_EQ(r.peak_arena_bytes, batched.front().peak_arena_bytes);
+      }
+    }
+  }
+}
+
+TEST(DifferentialTest, SpecializedKernelsAreBitIdenticalToGeneric) {
+  // The kernel-dispatch axis: every generated spec - strided, dilated,
+  // multiplied, padless, stacked - runs through the specialized fast-path
+  // kernels and through the forced-generic reference loops, on both
+  // backends. "Bit-identical" here is total: not just tensors, but every
+  // per-layer measurement the simulator emits. A specialized kernel that
+  // tallies MacActivity differently from the per-multiply reference -
+  // even while computing the right numbers - must go red here.
+  const std::uint64_t seed = harness_seed();
+  for (std::size_t i = 0; i < corpus().size(); ++i) {
+    const GeneratedCase& c = corpus()[i];
+    SCOPED_TRACE(case_one_liner(c, seed, i));
+    const auto layers = nn::make_random_quant_network(c.specs, c.weight_seed);
+    const nn::Int8Tensor input = random_input(c.specs.front(), c.input_seed);
+
+    for (const char* backend_id : {"edea", "serialized"}) {
+      SCOPED_TRACE(std::string("backend ") + backend_id);
+      std::unique_ptr<AcceleratorBackend> fast = make_backend(backend_id);
+      std::unique_ptr<AcceleratorBackend> generic = make_backend(backend_id);
+      fast->set_tile_parallelism(c.tile_parallelism);
+      generic->set_tile_parallelism(c.tile_parallelism);
+      fast->set_kernel_policy(KernelPolicy::kAuto);
+      generic->set_kernel_policy(KernelPolicy::kForceGeneric);
+      const NetworkRunResult specialized = fast->run_network(layers, input);
+      const NetworkRunResult reference = generic->run_network(layers, input);
+
+      ASSERT_EQ(specialized.layers.size(), reference.layers.size());
+      ASSERT_EQ(specialized.output.storage(), reference.output.storage());
+      EXPECT_EQ(specialized.peak_arena_bytes, reference.peak_arena_bytes);
+      EXPECT_EQ(specialized.summary(1.0), reference.summary(1.0));
+      for (std::size_t l = 0; l < specialized.layers.size(); ++l) {
+        SCOPED_TRACE("layer " + std::to_string(l));
+        const LayerRunResult& s = specialized.layers[l];
+        const LayerRunResult& r = reference.layers[l];
+        EXPECT_EQ(s.output.storage(), r.output.storage());
+        EXPECT_EQ(s.timing, r.timing);
+        EXPECT_EQ(s.dwc_activity, r.dwc_activity);
+        EXPECT_EQ(s.pwc_activity, r.pwc_activity);
+        EXPECT_EQ(s.nonconv_transfer_ops, r.nonconv_transfer_ops);
+        EXPECT_EQ(s.nonconv_writeback_ops, r.nonconv_writeback_ops);
+        EXPECT_EQ(s.buffers, r.buffers);
+        EXPECT_EQ(s.dataflow, r.dataflow);
+        EXPECT_EQ(s.external, r.external);
+        EXPECT_EQ(s.dwc_input_zero_fraction, r.dwc_input_zero_fraction);
+        EXPECT_EQ(s.pwc_input_zero_fraction, r.pwc_input_zero_fraction);
+        EXPECT_EQ(s.max_abs_psum, r.max_abs_psum);
       }
     }
   }

@@ -2,6 +2,8 @@
 // the paper and functional equivalence with the golden integer operators.
 #include <gtest/gtest.h>
 
+#include <thread>
+
 #include "core/dwc_engine.hpp"
 #include "core/pwc_engine.hpp"
 #include "nn/ops.hpp"
@@ -279,6 +281,180 @@ TEST(PwcEngine, RejectsMalformedInput) {
   pin.activations.assign(2 * 2 * 8, 0);
   pin.weights.assign(17 * 8, 0);
   EXPECT_THROW((void)engine.step(pin), PreconditionError);
+}
+
+// --------------------------------------------------------- reentrancy ---
+//
+// Regression: DwcEngine::step used to write into a member scratch buffer
+// (`products_`), so two concurrent steps on one engine silently corrupted
+// each other's accumulators. Kernels now keep all scratch on the stack and
+// the const step overload tallies into a caller-owned MacActivity, so one
+// engine can serve many threads. Each test hammers a shared engine from
+// several threads and checks every output and every activity tally against
+// the serial reference - under TSan/ASan this is also a data-race probe.
+
+TEST(DwcEngine, ConstStepIsReentrant) {
+  const EdeaConfig cfg = EdeaConfig::paper();
+  DwcEngine engine(cfg);
+  edea::Rng rng(3001);
+  std::vector<std::int8_t> w(static_cast<std::size_t>(9 * cfg.td));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  engine.load_weights(w, cfg.td);
+
+  constexpr int kWindows = 16;
+  constexpr int kRepeats = 50;
+  std::vector<DwcWindow> windows(kWindows);
+  for (DwcWindow& window : windows) {
+    window.extent = 4;
+    window.channels = cfg.td;
+    window.values.resize(static_cast<std::size_t>(16 * cfg.td));
+    for (auto& v : window.values) {
+      v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    }
+  }
+
+  // Serial reference: outputs and the activity of one pass over all
+  // windows, through the same const overload.
+  std::vector<DwcStepOutput> expected;
+  arch::MacActivity serial;
+  for (const DwcWindow& window : windows) {
+    expected.push_back(engine.step(window, 1, 1, 1, serial));
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<arch::MacActivity> sinks(kThreads);
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        for (int i = 0; i < kWindows; ++i) {
+          const DwcStepOutput out =
+              engine.step(windows[static_cast<std::size_t>(i)], 1, 1, 1,
+                          sinks[static_cast<std::size_t>(t)]);
+          if (out.acc != expected[static_cast<std::size_t>(i)].acc) {
+            ++mismatches[static_cast<std::size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0) << "thread " << t;
+    // Every thread's tally equals kRepeats serial passes.
+    EXPECT_EQ(sinks[static_cast<std::size_t>(t)].lane_cycles,
+              serial.lane_cycles * kRepeats);
+    EXPECT_EQ(sinks[static_cast<std::size_t>(t)].useful_macs,
+              serial.useful_macs * kRepeats);
+    EXPECT_EQ(sinks[static_cast<std::size_t>(t)].zero_operand_macs,
+              serial.zero_operand_macs * kRepeats);
+  }
+  // The engine's own counter never moved: const steps leave no trace.
+  EXPECT_EQ(engine.activity(), arch::MacActivity{});
+}
+
+TEST(PwcEngine, ConstStepIsReentrant) {
+  const EdeaConfig cfg = EdeaConfig::paper();
+  PwcEngine engine(cfg);
+  edea::Rng rng(3002);
+
+  constexpr int kInputs = 16;
+  constexpr int kRepeats = 50;
+  std::vector<PwcStepInput> inputs(kInputs);
+  for (PwcStepInput& pin : inputs) {
+    pin.rows = cfg.tn;
+    pin.cols = cfg.tm;
+    pin.channels = cfg.td;
+    pin.kernels = cfg.tk;
+    pin.activations.resize(
+        static_cast<std::size_t>(pin.rows * pin.cols * pin.channels));
+    pin.weights.resize(static_cast<std::size_t>(pin.kernels * pin.channels));
+    for (auto& v : pin.activations) {
+      v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    }
+    for (auto& v : pin.weights) {
+      v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+    }
+  }
+
+  std::vector<PwcStepOutput> expected;
+  arch::MacActivity serial;
+  for (const PwcStepInput& pin : inputs) {
+    expected.push_back(engine.step(pin, 1, serial));
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<arch::MacActivity> sinks(kThreads);
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < kRepeats; ++rep) {
+        for (int i = 0; i < kInputs; ++i) {
+          const PwcStepOutput out =
+              engine.step(inputs[static_cast<std::size_t>(i)], 1,
+                          sinks[static_cast<std::size_t>(t)]);
+          if (out.psum != expected[static_cast<std::size_t>(i)].psum) {
+            ++mismatches[static_cast<std::size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[static_cast<std::size_t>(t)], 0) << "thread " << t;
+    EXPECT_EQ(sinks[static_cast<std::size_t>(t)].useful_macs,
+              serial.useful_macs * kRepeats);
+    EXPECT_EQ(sinks[static_cast<std::size_t>(t)].lane_cycles,
+              serial.lane_cycles * kRepeats);
+  }
+  EXPECT_EQ(engine.activity(), arch::MacActivity{});
+}
+
+TEST(DwcEngine, ForcedGenericConstStepIsAlsoReentrant) {
+  // The generic path's old member scratch was the original bug; pin the
+  // fix on that path specifically (kForceGeneric routes around the
+  // specialized kernels).
+  const EdeaConfig cfg = EdeaConfig::paper();
+  DwcEngine engine(cfg);
+  engine.set_kernel_policy(KernelPolicy::kForceGeneric);
+  edea::Rng rng(3003);
+  std::vector<std::int8_t> w(static_cast<std::size_t>(9 * cfg.td));
+  for (auto& v : w) v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  engine.load_weights(w, cfg.td);
+
+  DwcWindow window;
+  window.extent = 4;
+  window.channels = cfg.td;
+  window.values.resize(static_cast<std::size_t>(16 * cfg.td));
+  for (auto& v : window.values) {
+    v = static_cast<std::int8_t>(rng.uniform_int(-128, 127));
+  }
+
+  arch::MacActivity ref_sink;
+  const DwcStepOutput reference = engine.step(window, 1, 1, 1, ref_sink);
+
+  constexpr int kThreads = 4;
+  std::vector<int> mismatches(kThreads, 0);
+  std::vector<arch::MacActivity> sinks(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 100; ++rep) {
+        const DwcStepOutput out =
+            engine.step(window, 1, 1, 1, sinks[static_cast<std::size_t>(t)]);
+        if (out.acc != reference.acc) {
+          ++mismatches[static_cast<std::size_t>(t)];
+        }
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  for (const int m : mismatches) EXPECT_EQ(m, 0);
 }
 
 // ----------------------------------------------------- scaled configs ---
