@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "service/client_cli.hpp"
+#include "service/pipeline_client.hpp"
 #include "service/session.hpp"
 #include "service/simulation_service.hpp"
 #include "service/transport.hpp"
@@ -119,18 +120,44 @@ int main(int argc, char** argv) {
     std::unique_ptr<service::Stream> stream =
         service::connect_socket(config.host, config.port,
                                 /*retry_ms=*/10000);
-    // Send everything, half-close, then read to EOF. The session's
-    // split reader/writer threads guarantee the server keeps reading
-    // while it writes, so a one-shot scripted stream cannot deadlock.
-    for (const std::string& request : request_lines) {
-      if (!stream->write_line(request)) {
-        std::cerr << "simulation_client: connection broke while sending\n";
+    if (config.pipeline > 0) {
+      // Pipelined mode: up to --pipeline requests in flight in batch
+      // frames, busy rejections retried with jittered backoff, responses
+      // reassembled into request order (so --verify below still applies).
+      service::PipelineOptions options;
+      options.window = config.pipeline;
+      options.ordered = config.ordered;
+      service::PipelineReport report =
+          service::run_pipelined(*stream, request_lines, options);
+      if (!report.complete) {
+        std::cerr << "simulation_client: " << report.error << "\n";
         return 2;
       }
+      std::cerr << "pipelined " << request_lines.size() << " requests ("
+                << (report.unordered ? "unordered" : "ordered") << ", "
+                << report.frames_sent << " frames, " << report.busy_replies
+                << " busy retries)\n";
+      responses = std::move(report.responses);
+      // Blank/comment request lines hold empty response slots; the
+      // server never answers them, so the legacy sender (and the
+      // --verify reference) have no lines for them either.
+      responses.erase(
+          std::remove(responses.begin(), responses.end(), std::string()),
+          responses.end());
+    } else {
+      // Send everything, half-close, then read to EOF. The session's
+      // split reader/writer threads guarantee the server keeps reading
+      // while it writes, so a one-shot scripted stream cannot deadlock.
+      for (const std::string& request : request_lines) {
+        if (!stream->write_line(request)) {
+          std::cerr << "simulation_client: connection broke while sending\n";
+          return 2;
+        }
+      }
+      stream->close_write();
+      std::string response;
+      while (stream->read_line(response)) responses.push_back(response);
     }
-    stream->close_write();
-    std::string response;
-    while (stream->read_line(response)) responses.push_back(response);
   } catch (const std::exception& e) {
     std::cerr << "simulation_client: " << e.what() << "\n";
     return 2;

@@ -52,6 +52,13 @@ struct SweepJob {
   /// without re-deriving from the layers. < 1 is a PreconditionError.
   int dilation = 1;
   int depth_multiplier = 1;
+  /// Precomputed network_fingerprint(*layers, *input), or 0 for "not
+  /// computed". Hashing a workload touches every weight and input byte -
+  /// hundreds of microseconds for real networks - so callers that submit
+  /// the same immutable workload many times (the simulation service via
+  /// WorkloadCatalog) compute it once at materialization and carry it
+  /// here. Consumers must fall back to hashing when it is 0.
+  std::uint64_t fingerprint = 0;
 };
 
 /// Result of one job. A job whose configuration cannot map the network
@@ -84,9 +91,13 @@ struct SweepOutcome {
   /// (ok outcomes only - it stays default for failures). This is what the
   /// service protocol reports and what the persisted result cache stores.
   RunSummary summary;
-  /// True when this outcome was served from the *persisted* summary cache
-  /// of a restarted service: `summary` (and ok/error) are authoritative
-  /// but `result` is empty - per-layer data does not survive restarts.
+  /// True when this outcome was served at summary level: `summary` (and
+  /// ok/error) are authoritative but `result` is empty. Set for outcomes
+  /// from the persisted summary cache of a restarted service (per-layer
+  /// data does not survive restarts) and for every cache-served outcome
+  /// on the service's streaming path, where copying the full result per
+  /// request would dominate hit latency (see
+  /// SimulationService::CompletionCallback).
   bool summary_only = false;
 };
 

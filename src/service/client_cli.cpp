@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "core/backend.hpp"
+#include "service/protocol.hpp"
 
 namespace edea::service {
 
@@ -67,7 +68,16 @@ std::string client_usage() {
       "                         in-process --verify reference for requests\n"
       "                         that carry no depth_multiplier= key; must\n"
       "                         mirror the server's --depth-multiplier\n"
-      "                         (>= 1; default 1)\n";
+      "                         (>= 1; default 1)\n"
+      "  --pipeline N           keep up to N requests in flight using\n"
+      "                         batch frames and unordered streaming,\n"
+      "                         retrying busy rejections with jittered\n"
+      "                         backoff; responses still print in request\n"
+      "                         order (1..4096; default: send everything,\n"
+      "                         then read - the legacy one-shot mode)\n"
+      "  --ordered              with --pipeline: stay on the byte-exact\n"
+      "                         ordered reply protocol instead of\n"
+      "                         negotiating `mode unordered`\n";
 }
 
 ClientConfig parse_client_args(int argc, const char* const* argv) {
@@ -120,6 +130,18 @@ ClientConfig parse_client_args(int argc, const char* const* argv) {
             "--depth-multiplier needs a positive count, got '" + value + "'";
         break;
       }
+    } else if (arg == "--pipeline") {
+      if (!value_of(i, arg, &value)) break;
+      int window = 0;
+      if (!parse_positive(value, &window) || window > kMaxFrameLines) {
+        config.error = "--pipeline needs a window in [1, " +
+                       std::to_string(kMaxFrameLines) + "], got '" + value +
+                       "'";
+        break;
+      }
+      config.pipeline = static_cast<std::size_t>(window);
+    } else if (arg == "--ordered") {
+      config.ordered = true;
     } else if (arg == "--connect") {
       if (!value_of(i, arg, &value)) break;
       const std::size_t colon = value.rfind(':');
@@ -161,6 +183,11 @@ ClientConfig parse_client_args(int argc, const char* const* argv) {
   }
   if (config.error.empty() && config.expect_all_hits && !config.verify) {
     config.error = "--expect-all-hits requires --verify";
+  }
+  if (config.error.empty() && config.ordered && config.pipeline == 0) {
+    // The legacy one-shot sender never negotiates a mode, so it is
+    // ordered by construction - the flag would be a silent no-op.
+    config.error = "--ordered only applies with --pipeline";
   }
   return config;
 }

@@ -5,6 +5,7 @@
 // the server, applied to the client.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -32,6 +33,14 @@ struct ClientConfig {
   /// Validated >= 1 at parse time; 0 = the protocol default (1).
   int dilation = 0;
   int depth_multiplier = 0;
+  /// --pipeline N: keep up to N requests in flight using batch frames and
+  /// `mode unordered` streaming (service/pipeline_client.hpp); responses
+  /// still print in request order, so --verify composes. Validated in
+  /// [1, kMaxFrameLines] at parse time; 0 = the legacy one-shot sender.
+  std::size_t pipeline = 0;
+  /// --ordered: with --pipeline, skip the `mode unordered` negotiation
+  /// and pipeline over the byte-exact ordered reference protocol.
+  bool ordered = false;
 
   std::string error;  ///< non-empty: bad usage, message says why
 };

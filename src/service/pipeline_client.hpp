@@ -1,0 +1,89 @@
+// pipeline_client.hpp - client-side driver for the pipelined wire
+// protocol (service/protocol.hpp "Pipelining").
+//
+// run_pipelined keeps up to `window` requests in flight on one Stream:
+// requests go out in batch frames (`batch-begin N` .. `batch-end`) so the
+// server corks the replies, a reader thread matches replies back to
+// requests, and `busy id=<n> retry_ms=<m>` rejections are retried with
+// jittered exponential backoff until they complete. Responses come back
+// in *logical request order* with any `id=<n> ` framing prefix stripped,
+// so a caller can byte-compare them against the serial stdio reference
+// regardless of the wire mode - that is exactly what simulation_client
+// --pipeline --verify does.
+//
+// Two wire modes:
+//   - unordered (default): the driver negotiates `mode unordered` first,
+//     the server streams each reply as its simulation finishes, and the
+//     reader reorders by id. Out-of-order completion is what lets a slow
+//     request stop blocking the replies behind it.
+//   - ordered (options.ordered, or a server running --ordered that
+//     refuses the switch): replies arrive in request-id order and match
+//     FIFO. Reply bytes are identical to the pre-pipelining protocol -
+//     the verified reference mode.
+//
+// run_serial is the one-line-per-RTT baseline the saturation benchmark
+// compares against: write one line, wait for its reply, repeat (still
+// absorbing busy replies). Same result shape, so the two are drop-in
+// interchangeable.
+//
+// Threading: run_pipelined owns its reader thread; the calling thread
+// writes. That matches the Stream contract (one concurrent reader plus
+// one writer). Neither function throws on connection failure - a broken
+// stream comes back as PipelineReport::complete == false.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace edea::service {
+
+class Stream;
+
+struct PipelineOptions {
+  /// Requests kept in flight at once. Clamped nowhere - callers validate;
+  /// must be in [1, kMaxFrameLines] (a burst never exceeds one frame).
+  std::size_t window = 32;
+
+  /// Skip the `mode unordered` negotiation and run the byte-exact ordered
+  /// reference protocol (replies in request order, no id prefixes).
+  bool ordered = false;
+
+  /// Busy retries per request before giving up; a request that exhausts
+  /// them keeps the final busy line as its response (callers can grep for
+  /// it). The server's retry_ms hint seeds the backoff.
+  int max_attempts = 64;
+
+  /// Seed for the backoff jitter - deterministic by default so test runs
+  /// are reproducible; load generators vary it per client.
+  std::uint64_t backoff_seed = 0x9E3779B97F4A7C15ull;
+};
+
+/// What one run did. responses[i] answers requests[i]; busy lines that
+/// were successfully retried are absorbed and never appear. Blank and
+/// comment lines - which the server ignores without replying - are never
+/// sent and keep an empty response slot. Request streams must not carry
+/// their own frame-control or `mode` lines (the driver manages both);
+/// that throws PreconditionError up front.
+struct PipelineReport {
+  std::vector<std::string> responses;
+  std::uint64_t busy_replies = 0;  ///< busy lines seen (each one retried)
+  std::uint64_t frames_sent = 0;   ///< batch frames written
+  bool unordered = false;          ///< mode actually in effect on the wire
+  bool complete = false;           ///< every request got a final response
+  std::string error;               ///< non-empty when !complete
+};
+
+/// Replays `requests` over `stream` with up to options.window in flight.
+[[nodiscard]] PipelineReport run_pipelined(Stream& stream,
+                                           const std::vector<std::string>& requests,
+                                           const PipelineOptions& options = {});
+
+/// The synchronous baseline: one request on the wire at a time.
+/// options.window and options.ordered are ignored (serial is ordered by
+/// construction); busy handling matches run_pipelined.
+[[nodiscard]] PipelineReport run_serial(Stream& stream,
+                                        const std::vector<std::string>& requests,
+                                        const PipelineOptions& options = {});
+
+}  // namespace edea::service

@@ -191,8 +191,45 @@ ParsedLine parse_request_line(const std::string& line,
     parsed.kind = ParsedLine::Kind::kStats;
     return parsed;
   }
+  if (verb == "mode") {
+    if (tokens.size() != 2) {
+      return malformed("mode takes exactly one argument (ordered|unordered)");
+    }
+    if (tokens[1] != "ordered" && tokens[1] != "unordered") {
+      return malformed("bad mode '" + tokens[1] +
+                       "' (expected ordered|unordered)");
+    }
+    parsed.kind = ParsedLine::Kind::kMode;
+    parsed.unordered = tokens[1] == "unordered";
+    return parsed;
+  }
+  if (verb == "batch-begin") {
+    if (tokens.size() != 2) {
+      return malformed("batch-begin takes exactly one argument (line count)");
+    }
+    int n = 0;
+    // The strict count grammar: "0", "+4", " 4", "4x", and overflow all
+    // fail here - a frame size is wire data and parses like batch=.
+    if (!parse_strict_count(tokens[1], &n)) {
+      return malformed("bad batch-begin count '" + tokens[1] +
+                       "' (want a plain integer >= 1)");
+    }
+    if (n > kMaxFrameLines) {
+      return malformed("batch-begin count " + tokens[1] + " exceeds the " +
+                       std::to_string(kMaxFrameLines) + "-line frame limit");
+    }
+    parsed.kind = ParsedLine::Kind::kBatchBegin;
+    parsed.frame_size = n;
+    return parsed;
+  }
+  if (verb == "batch-end") {
+    if (tokens.size() != 1) return malformed("batch-end takes no arguments");
+    parsed.kind = ParsedLine::Kind::kBatchEnd;
+    return parsed;
+  }
   if (verb != "run") {
-    return malformed("unknown verb '" + verb + "' (expected run|stats|#)");
+    return malformed("unknown verb '" + verb +
+                     "' (expected run|stats|mode|batch-begin|batch-end|#)");
   }
   if (tokens.size() < 2) {
     return malformed("run needs a network name");
@@ -245,11 +282,29 @@ std::string format_outcome_line(const core::SweepOutcome& outcome) {
 }
 
 std::string format_stats_line(const CacheStats& stats) {
-  return "stats hits=" + std::to_string(stats.hits) +
-         " misses=" + std::to_string(stats.misses) +
-         " evictions=" + std::to_string(stats.evictions) +
-         " entries=" + std::to_string(stats.entries) +
-         " inflight=" + std::to_string(stats.in_flight);
+  std::string line = "stats hits=" + std::to_string(stats.hits) +
+                     " misses=" + std::to_string(stats.misses) +
+                     " evictions=" + std::to_string(stats.evictions) +
+                     " entries=" + std::to_string(stats.entries) +
+                     " inflight=" + std::to_string(stats.in_flight);
+  // Admission counters appear only when a bounded queue is configured:
+  // the same only-when-non-default rule that keeps batch= silent keeps
+  // every pre-admission stats line byte-stable.
+  if (stats.max_queue > 0) {
+    line += " queued=" + std::to_string(stats.queued) +
+            " rejected=" + std::to_string(stats.rejected) +
+            " peak_queue=" + std::to_string(stats.peak_queue);
+  }
+  return line;
+}
+
+std::string format_busy_line(std::uint64_t id, int retry_ms) {
+  return "busy id=" + std::to_string(id) +
+         " retry_ms=" + std::to_string(retry_ms);
+}
+
+std::string format_unordered_line(std::uint64_t id, const std::string& line) {
+  return "id=" + std::to_string(id) + " " + line;
 }
 
 }  // namespace edea::service

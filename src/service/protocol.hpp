@@ -5,6 +5,9 @@
 //
 //   run <network> [key=value ...]     submit a simulation request
 //   stats                             report cache + in-flight counters
+//   mode ordered|unordered            select the session's reply framing
+//   batch-begin <n>                   open a pipelined frame of n lines
+//   batch-end                         close the open frame
 //   # anything                        comment (ignored, like blank lines)
 //
 // <network> is a model-zoo name (nn::zoo_specs). Recognized keys:
@@ -52,10 +55,47 @@
 //
 // A `stats` request answers with one line of exact service counters:
 //   stats hits=<n> misses=<n> evictions=<n> entries=<n> inflight=<n>
-// The session layer (service/session.hpp) serves `stats` as a barrier -
-// the reply reflects every preceding request of the session, completed,
-// and nothing submitted after it - so the line is deterministic for a
-// given request stream.
+//      [queued=<n> rejected=<n> peak_queue=<n>]
+// The admission trio is echoed only when the service runs with a bounded
+// admission queue (max_queue > 0) - the same only-when-non-default rule
+// the outcome line uses for batch=, so every pre-admission stats line
+// stays byte-identical. The session layer (service/session.hpp) serves
+// `stats` as a barrier - the reply reflects every preceding request of
+// the session, completed, and nothing submitted after it - so the line is
+// deterministic for a given request stream.
+//
+// Pipelining (PR 9). A client may wrap up to kMaxFrameLines request lines
+// in a frame:
+//   batch-begin <n>
+//   <exactly n answering lines>
+//   batch-end
+// Well-formed batch-begin/batch-end lines answer nothing (like comments)
+// and consume no request id; every line between them is parsed and
+// answered exactly as if it had arrived bare, so a frame is purely a
+// transport-batching hint (the session corks the frame's replies into
+// fewer writes). Bare lines stay valid - they are 1-frames. Frame
+// violations (nested batch-begin, batch-end outside a frame or before n
+// lines, a non-batch-end line after n lines, EOF inside a frame) answer
+// `protocol-error ...` like any malformed line.
+//
+// Reply framing is per-session and negotiated on the wire:
+//   mode ordered       replies in request-id order (the default - byte
+//                      identical to the pre-pipelining protocol)
+//   mode unordered     replies stream as they complete, each prefixed
+//                      with `id=<n> ` so the client can match them
+// The server answers with the mode now in effect (`mode ordered` or
+// `mode unordered`, id-prefixed iff the effective mode is unordered); a
+// server running --ordered refuses the switch by answering
+// `mode ordered`.
+//
+// Under a bounded admission queue, a `run` line that would start a fresh
+// simulation while max_queue admitted jobs are already in flight is not
+// queued; it answers
+//   busy id=<n> retry_ms=<m>
+// in its slot (the id it would have had), and the client owns the retry
+// (resubmit after ~retry_ms with jitter; see PipelineClient). Cache hits
+// and requests coalescing onto an in-flight duplicate are always
+// admitted - they start no new work.
 //
 // The parser validates shape only (tokens, numbers, known keys); whether a
 // configuration can map a network is the simulation's verdict, reported in
@@ -92,17 +132,30 @@ struct Request {
   [[nodiscard]] std::string job_name() const;
 };
 
+/// Most request lines one frame may carry. Far above any sane pipeline
+/// depth; a larger N is a protocol error, because accepting an absurd
+/// frame size would let one malformed line commit the session to
+/// swallowing gigabytes as "frame content".
+inline constexpr int kMaxFrameLines = 4096;
+
 /// Result of parsing one protocol line.
 struct ParsedLine {
   enum class Kind {
-    kEmpty,  ///< blank line or comment - nothing to do
-    kRun,    ///< `request` holds a simulation request
-    kStats,  ///< client asked for cache counters
-    kError,  ///< malformed line - `error` explains
+    kEmpty,       ///< blank line or comment - nothing to do
+    kRun,         ///< `request` holds a simulation request
+    kStats,       ///< client asked for cache counters
+    kMode,        ///< reply-framing switch - `unordered` holds the ask
+    kBatchBegin,  ///< frame open - `frame_size` holds its line count
+    kBatchEnd,    ///< frame close
+    kError,       ///< malformed line - `error` explains
   };
   Kind kind = Kind::kEmpty;
   Request request;
   std::string error;
+  /// kBatchBegin: the declared line count (1..kMaxFrameLines).
+  int frame_size = 0;
+  /// kMode: true iff the client asked for unordered replies.
+  bool unordered = false;
 };
 
 /// Strict decimal parsers - the single integer grammar of the wire
@@ -145,7 +198,19 @@ struct ParsedLine {
 [[nodiscard]] std::string format_outcome_line(
     const core::SweepOutcome& outcome);
 
-/// Formats the `stats` response line.
+/// Formats the `stats` response line. The admission counters (queued=,
+/// rejected=, peak_queue=) are echoed only when `stats.max_queue > 0` -
+/// a service without a bounded admission queue keeps the exact
+/// pre-admission bytes.
 [[nodiscard]] std::string format_stats_line(const CacheStats& stats);
+
+/// Formats a busy (admission-rejected) reply: `busy id=<n> retry_ms=<m>`.
+/// The line is self-identifying in both reply modes - it carries its
+/// request id in-band, so an unordered session does not prefix it again.
+[[nodiscard]] std::string format_busy_line(std::uint64_t id, int retry_ms);
+
+/// Frames one reply line for an unordered session: `id=<n> <line>`.
+[[nodiscard]] std::string format_unordered_line(std::uint64_t id,
+                                                const std::string& line);
 
 }  // namespace edea::service

@@ -66,6 +66,17 @@ std::string server_usage() {
       "                         network already carries (>= 1; default 1)\n"
       "  --workers N            service worker threads (0 = shared pool;\n"
       "                         default 0)\n"
+      "  --max-queue N          admit at most N in-flight fresh\n"
+      "                         simulations; beyond that a run request\n"
+      "                         answers `busy id=<n> retry_ms=<m>` instead\n"
+      "                         of queueing (0 = unbounded; default 0).\n"
+      "                         Cache hits and coalesced duplicates are\n"
+      "                         always admitted\n"
+      "  --busy-retry-ms N      the retry hint busy replies advertise\n"
+      "                         (>= 1; default 25; needs --max-queue)\n"
+      "  --ordered              refuse `mode unordered` switches: every\n"
+      "                         session keeps the byte-exact ordered reply\n"
+      "                         protocol (the verified reference mode)\n"
       "  --cache N              result-cache capacity in completed entries\n"
       "                         (0 disables memoization; default 256)\n"
       "  --tile-parallelism N   split each layer's buffer tiles over N\n"
@@ -81,6 +92,7 @@ std::string server_usage() {
 ServerConfig parse_server_args(int argc, const char* const* argv) {
   ServerConfig config;
   bool max_sessions_given = false;
+  bool busy_retry_given = false;
 
   const auto value_of = [&](int& i, const std::string& flag,
                             std::string* out) {
@@ -186,6 +198,30 @@ ServerConfig parse_server_args(int argc, const char* const* argv) {
         break;
       }
       config.service.cache_capacity = count;
+    } else if (arg == "--max-queue") {
+      if (!value_of(i, arg, &value)) break;
+      if (!parse_count(value, std::numeric_limits<std::size_t>::max(),
+                       &count)) {
+        config.error = "--max-queue needs a non-negative count, got '" +
+                       value + "'";
+        break;
+      }
+      config.service.max_queue = count;
+    } else if (arg == "--busy-retry-ms") {
+      if (!value_of(i, arg, &value)) break;
+      if (!parse_count(value,
+                       static_cast<std::size_t>(
+                           std::numeric_limits<int>::max()),
+                       &count) ||
+          count < 1) {
+        config.error =
+            "--busy-retry-ms needs a positive count, got '" + value + "'";
+        break;
+      }
+      config.busy_retry_ms = static_cast<int>(count);
+      busy_retry_given = true;
+    } else if (arg == "--ordered") {
+      config.ordered = true;
     } else if (arg == "--tile-parallelism") {
       if (!value_of(i, arg, &value)) break;
       if (!parse_count(value,
@@ -210,6 +246,12 @@ ServerConfig parse_server_args(int argc, const char* const* argv) {
   }
   if (config.error.empty() && max_sessions_given && !config.listen) {
     config.error = "--max-sessions only applies with --listen";
+  }
+  if (config.error.empty() && busy_retry_given &&
+      config.service.max_queue == 0) {
+    // Without a bounded queue no busy reply is ever sent - a retry hint
+    // that can never reach a client is an operator error, not a knob.
+    config.error = "--busy-retry-ms only applies with --max-queue";
   }
   if (config.error.empty() && !config.cache_file.empty() &&
       config.service.cache_capacity == 0) {

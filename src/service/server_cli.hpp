@@ -32,6 +32,12 @@ struct ServerConfig {
   /// (default 1).
   int dilation = 1;
   int depth_multiplier = 1;
+  /// --ordered: refuse `mode unordered` switches, locking every session
+  /// to the byte-exact ordered reply protocol (the verified reference).
+  bool ordered = false;
+  /// --busy-retry-ms N: the retry hint busy replies advertise. Validated
+  /// >= 1 at parse time; only meaningful with --max-queue (default 25).
+  int busy_retry_ms = 25;
 
   std::string error;  ///< non-empty: bad usage, message says why
 };

@@ -5,10 +5,18 @@
 // SimulationService. It owns everything between raw lines and dispatch:
 //
 //   - line framing: one request per line in, one response per line out,
-//   - per-session request ids: every answering line (run, stats,
-//     malformed) gets a monotonically increasing id in arrival order,
-//   - ordered response write-back: responses are written strictly in
-//     request-id order, even though simulations complete out of order,
+//     plus batch frames (`batch-begin N` .. `batch-end`) that cork up to
+//     N replies into fewer transport writes,
+//   - per-session request ids: every answering line (run, stats, mode,
+//     malformed) gets a monotonically increasing id in arrival order;
+//     well-formed frame control lines answer nothing and take no id,
+//   - reply framing modes: ordered (default - responses written strictly
+//     in request-id order, byte-identical to the pre-pipelining protocol)
+//     or unordered (negotiated by a `mode unordered` line - responses
+//     stream as their simulations finish, each prefixed `id=<n> `),
+//   - admission: when the service runs a bounded queue, a run line that
+//     would start a fresh simulation at the bound answers
+//     `busy id=<n> retry_ms=<m>` in its slot instead of queueing,
 //   - error replies: malformed lines answer "protocol-error <msg>" in
 //     their slot; unknown networks answer an error outcome line,
 //   - workload resolution: zoo names materialize through a shared
@@ -18,15 +26,17 @@
 // Concurrency: serve() runs two threads - the calling thread reads,
 // parses, and submits (so independent requests simulate concurrently and
 // duplicates coalesce in the service), while a writer thread drains
-// responses in id order, blocking on each future in turn. Session threads
-// block on futures, which is why transports run sessions on dedicated
-// threads, never on the simulation pool (see transport.hpp).
+// completed reply slots, corking every consecutively ready reply into one
+// Stream::write_lines call. Completions arrive via
+// SimulationService::submit_streaming callbacks, so neither thread ever
+// blocks inside the simulation pool; sessions still run on dedicated
+// transport threads, never on the pool (see transport.hpp).
 //
-// `stats` is a barrier: the reader stops submitting until the writer has
-// answered it, so the reported counters reflect exactly the session's
-// preceding requests (all completed) and nothing after - deterministic
-// for a given request stream, which is what lets CI byte-compare socket
-// sessions against the stdio reference.
+// `stats` is a barrier: the reader stops submitting until every preceding
+// submission of the session has completed, so the reported counters
+// reflect exactly the session's preceding requests (all completed) and
+// nothing after - deterministic for a given request stream, which is what
+// lets CI byte-compare socket sessions against the stdio reference.
 #pragma once
 
 #include <cstdint>
@@ -58,6 +68,12 @@ class WorkloadCatalog {
   struct Workload {
     std::vector<nn::QuantDscLayer> layers;
     nn::Int8Tensor input;
+    /// network_fingerprint(layers, input), hashed once at
+    /// materialization. Hashing walks every weight byte (~hundreds of
+    /// microseconds), so recomputing it per request would dominate the
+    /// cache-hit serving path - sessions stamp this into each SweepJob
+    /// instead (SweepJob::fingerprint).
+    std::uint64_t fingerprint = 0;
   };
 
   /// Resolves (materializing on first use). `dilation` is applied to
@@ -103,6 +119,16 @@ struct SessionOptions {
   /// construction.
   int dilation = 1;
   int depth_multiplier = 1;
+
+  /// Whether a client's `mode unordered` request is honored. False (the
+  /// server's --ordered flag) locks the session to ordered replies: the
+  /// request answers `mode ordered`, stating what is in effect - the
+  /// byte-exact reference behavior CI compares against.
+  bool allow_unordered = true;
+
+  /// The retry hint busy replies advertise (`busy id=<n> retry_ms=<m>`).
+  /// Must be >= 1 - validated at Session construction.
+  int busy_retry_ms = 25;
 };
 
 /// What one serve() call did. Counters cover the whole session; the
@@ -113,6 +139,8 @@ struct SessionStats {
   std::uint64_t runs = 0;             ///< `run` lines (incl. unresolved)
   std::uint64_t protocol_errors = 0;  ///< malformed lines
   std::uint64_t responses_written = 0;
+  std::uint64_t frames = 0;        ///< well-formed batch frames opened
+  std::uint64_t busy_replies = 0;  ///< runs rejected by admission control
   std::vector<core::SweepJob> jobs;          ///< resolved, submitted jobs
   std::vector<core::SweepOutcome> outcomes;  ///< their outcomes, in order
 };

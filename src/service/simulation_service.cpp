@@ -35,6 +35,30 @@ constexpr std::uint64_t kCacheMagic = 0x0053414341454445ull;
 // its fingerprints were computed over.
 constexpr std::uint32_t kCacheVersion = 4;
 
+/// Summary-level view of a cached outcome: everything the wire protocol
+/// reports (verdict, error text, summary, config echo) and none of the
+/// per-layer result payload. Streaming hits deliver this instead of a
+/// deep copy of the cached outcome - the full result drags hundreds of
+/// kilobytes of activation tensors per request through the allocator,
+/// and it dominated the cache-hit serving path that pipelined sessions
+/// are bounded by.
+core::SweepOutcome summary_view(const core::SweepOutcome& full,
+                                std::string name) {
+  core::SweepOutcome out;
+  out.name = std::move(name);
+  out.config = full.config;
+  out.backend = full.backend;
+  out.batch = full.batch;
+  out.dilation = full.dilation;
+  out.depth_multiplier = full.depth_multiplier;
+  out.ok = full.ok;
+  out.error = full.error;
+  out.summary = full.summary;
+  out.cache_hit = true;
+  out.summary_only = true;
+  return out;
+}
+
 }  // namespace
 
 SimulationService::SimulationService(Options options)
@@ -52,7 +76,11 @@ SimulationService::~SimulationService() { wait_idle(); }
 
 void SimulationService::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  // Runners count too: a runner that just completed the last job still
+  // touches service state on its way out, and the destructor must not
+  // pull that state out from under it.
+  idle_cv_.wait(lock,
+                [this] { return in_flight_ == 0 && active_runners_ == 0; });
 }
 
 CacheStats SimulationService::cache_stats() const {
@@ -60,10 +88,16 @@ CacheStats SimulationService::cache_stats() const {
   CacheStats snapshot = stats_;
   snapshot.entries = cache_.size() + persisted_.size();
   snapshot.in_flight = static_cast<std::uint64_t>(in_flight_);
+  snapshot.queued = static_cast<std::uint64_t>(waiting_);
+  snapshot.max_queue = static_cast<std::uint64_t>(options_.max_queue);
   return snapshot;
 }
 
-std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
+std::uint64_t SimulationService::new_session_id() {
+  return next_session_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SimulationService::validate_job(core::SweepJob& job) {
   EDEA_REQUIRE(job.layers != nullptr && job.input != nullptr,
                "service request '" + job.name + "' must reference a network");
   // A NaN in the key would make it unequal to itself and strand the cache
@@ -90,9 +124,144 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
                "service request '" + job.name +
                    "' must have depth_multiplier >= 1, got " +
                    std::to_string(job.depth_multiplier));
+}
 
-  // The fingerprint walks the whole workload - keep it outside the lock.
-  const Key key{core::network_fingerprint(*job.layers, *job.input),
+void SimulationService::deliver(Waiter& w, core::SweepOutcome outcome) {
+  if (w.callback) {
+    w.callback(std::move(outcome));
+    return;
+  }
+  w.promise.set_value(std::move(outcome));
+}
+
+void SimulationService::enqueue_lane(std::uint64_t session_id, LaneJob item,
+                                     std::unique_lock<std::mutex>& lock) {
+  EDEA_ASSERT(lock.owns_lock(), "enqueue_lane needs the service lock");
+  std::deque<LaneJob>& lane = lanes_[session_id];
+  const bool was_empty = lane.empty();
+  lane.push_back(std::move(item));
+  ++waiting_;
+  if (was_empty) lane_order_.push_back(session_id);
+
+  // Runners are plain pool tasks; more than the pool's width could never
+  // run concurrently, and a runner exits the moment every lane is dry, so
+  // over-spawning costs one no-op task at most.
+  if (active_runners_ >= pool_->size()) return;
+  ++active_runners_;
+  try {
+    auto task = pool_->submit([this] { runner_loop(); });
+    (void)task;  // runners report through complete()/deliver()
+  } catch (...) {
+    --active_runners_;
+    if (active_runners_ > 0) return;  // a live runner will drain the lane
+    // No runner will ever pick the job up: undo the push and let the
+    // caller unwind its accounting.
+    lane.pop_back();
+    --waiting_;
+    if (was_empty) {
+      lane_order_.pop_back();
+      lanes_.erase(session_id);
+    }
+    throw;
+  }
+}
+
+bool SimulationService::next_lane_job(LaneJob* out) {
+  // Round-robin across sessions: take the front session's oldest job,
+  // then rotate the session to the back if it still has work. One bulk
+  // session with a deep lane advances one job per turn, so interactive
+  // sessions interleave instead of queueing behind it.
+  while (!lane_order_.empty()) {
+    const std::uint64_t sid = lane_order_.front();
+    lane_order_.pop_front();
+    auto it = lanes_.find(sid);
+    if (it == lanes_.end() || it->second.empty()) continue;
+    *out = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) {
+      lanes_.erase(it);
+    } else {
+      lane_order_.push_back(sid);
+    }
+    return true;
+  }
+  return false;
+}
+
+void SimulationService::runner_loop() {
+  for (;;) {
+    LaneJob item;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (!next_lane_job(&item)) {
+        --active_runners_;
+        if (in_flight_ == 0 && active_runners_ == 0) idle_cv_.notify_all();
+        return;
+      }
+      --waiting_;
+    }
+
+    if (item.use_cache) {
+      // Any escape here (evaluate_job never throws simulation failures,
+      // but allocation can fail) must still resolve the waiters and the
+      // in-flight count - a dropped exception would hang clients.
+      try {
+        complete(item.key,
+                 core::evaluate_job(item.job, options_.tile_parallelism));
+      } catch (...) {
+        abandon(item.key, std::current_exception());
+      }
+    } else {
+      // cache_capacity == 0: no entry to complete - deliver directly.
+      try {
+        deliver(item.direct,
+                core::evaluate_job(item.job, options_.tile_parallelism));
+      } catch (...) {
+        if (item.direct.callback) {
+          core::SweepOutcome failed;
+          failed.name = item.job.name;
+          failed.config = item.key.config;
+          failed.backend = item.key.backend;
+          failed.batch = item.key.batch;
+          failed.dilation = item.key.dilation;
+          failed.depth_multiplier = item.key.depth_multiplier;
+          try {
+            std::rethrow_exception(std::current_exception());
+          } catch (const std::exception& e) {
+            failed.error = e.what();
+          } catch (...) {
+            failed.error = "unknown simulation failure";
+          }
+          try {
+            item.direct.callback(std::move(failed));
+          } catch (...) {
+            // Callbacks must not throw; nothing more can be done here.
+          }
+        } else {
+          item.direct.promise.set_exception(std::current_exception());
+        }
+      }
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0 && active_runners_ == 0) idle_cv_.notify_all();
+    }
+
+    if (item.admission_counted) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      --admitted_;
+    }
+  }
+}
+
+std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
+  validate_job(job);
+
+  // The fingerprint walks the whole workload - reuse the one the caller
+  // precomputed (WorkloadCatalog materialization); hash only when absent,
+  // and outside the lock.
+  const Key key{job.fingerprint != 0
+                    ? job.fingerprint
+                    : core::network_fingerprint(*job.layers, *job.input),
                 job.config,
                 job.backend,
                 job.batch,
@@ -104,32 +273,21 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
 
   if (options_.cache_capacity == 0) {
     // Memoization disabled: every submission simulates independently.
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.misses;
-      ++in_flight_;
-    }
+    LaneJob item;
+    item.key = key;
+    item.job = std::move(job);
+    item.use_cache = false;
+    item.direct.promise = std::move(promise);
+    std::unique_lock<std::mutex> lock(mutex_);
+    ++stats_.misses;
+    ++in_flight_;
     try {
-      auto task = pool_->submit(
-          [this, job = std::move(job),
-           promise = std::move(promise)]() mutable {
-            try {
-              promise.set_value(
-                  core::evaluate_job(job, options_.tile_parallelism));
-            } catch (...) {
-              promise.set_exception(std::current_exception());
-            }
-            const std::lock_guard<std::mutex> lock(mutex_);
-            --in_flight_;
-            if (in_flight_ == 0) idle_cv_.notify_all();
-          });
-      (void)task;  // completion is observed through the client future
+      enqueue_lane(0, std::move(item), lock);
     } catch (...) {
-      // Enqueueing failed: the task will never run, so the in-flight
-      // count must be unwound here or wait_idle() deadlocks.
-      const std::lock_guard<std::mutex> lock(mutex_);
+      // The job will never run, so the in-flight count must be unwound
+      // here or wait_idle() deadlocks.
       --in_flight_;
-      if (in_flight_ == 0) idle_cv_.notify_all();
+      if (in_flight_ == 0 && active_runners_ == 0) idle_cv_.notify_all();
       throw;
     }
     return future;
@@ -147,7 +305,11 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
       Entry& entry = it->second;
       if (!entry.ready) {
         // Coalesce onto the in-flight simulation.
-        entry.waiters.push_back(Waiter{std::move(promise), job.name, true});
+        Waiter waiter;
+        waiter.promise = std::move(promise);
+        waiter.name = job.name;
+        waiter.hit = true;
+        entry.waiters.push_back(std::move(waiter));
         return future;
       }
       lru_.splice(lru_.begin(), lru_, entry.lru);  // touch
@@ -162,7 +324,11 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
       ++stats_.misses;
       ++in_flight_;
       Entry entry;
-      entry.waiters.push_back(Waiter{std::move(promise), job.name, false});
+      Waiter waiter;
+      waiter.promise = std::move(promise);
+      waiter.name = job.name;
+      waiter.hit = false;
+      entry.waiters.push_back(std::move(waiter));
       cache_.emplace(key, std::move(entry));
       launch = true;
     }
@@ -194,28 +360,187 @@ std::future<core::SweepOutcome> SimulationService::submit(core::SweepJob job) {
   }
 
   if (launch) {
+    LaneJob item;
+    item.key = key;
+    item.job = std::move(job);
+    item.use_cache = true;
+    std::unique_lock<std::mutex> lock(mutex_);
     try {
-      auto task = pool_->submit([this, key, job = std::move(job)] {
-        // Any escape here (evaluate_job never throws simulation failures,
-        // but allocation can fail) must still resolve the waiters' futures
-        // and the in-flight count - a dropped exception would hang clients.
-        try {
-          complete(key,
-                   core::evaluate_job(job, options_.tile_parallelism));
-        } catch (...) {
-          abandon(key, std::current_exception());
-        }
-      });
-      (void)task;  // completion is observed through the client futures
+      enqueue_lane(0, std::move(item), lock);
     } catch (...) {
-      // Enqueueing failed: no task will ever complete this entry. Drop it
-      // and deliver the failure to anyone who already coalesced onto it,
-      // then surface the error to this caller too.
+      // Enqueueing failed: no runner will ever complete this entry. Drop
+      // it and deliver the failure to anyone who already coalesced onto
+      // it, then surface the error to this caller too.
+      lock.unlock();
       abandon(key, std::current_exception());
       throw;
     }
   }
   return future;
+}
+
+Admission SimulationService::submit_streaming(core::SweepJob job,
+                                              std::uint64_t session_id,
+                                              CompletionCallback done) {
+  EDEA_REQUIRE(done != nullptr,
+               "submit_streaming for '" + job.name +
+                   "' needs a completion callback");
+  validate_job(job);
+
+  // The fingerprint walks the whole workload - reuse the one the caller
+  // precomputed (WorkloadCatalog materialization); hash only when absent,
+  // and outside the lock.
+  const Key key{job.fingerprint != 0
+                    ? job.fingerprint
+                    : core::network_fingerprint(*job.layers, *job.input),
+                job.config,
+                job.backend,
+                job.batch,
+                job.dilation,
+                job.depth_multiplier};
+  const bool bounded = options_.max_queue > 0;
+
+  if (options_.cache_capacity == 0) {
+    // Memoization disabled: every submission is a fresh simulation, so
+    // every submission is subject to admission.
+    const std::string name = job.name;
+    LaneJob item;
+    item.key = key;
+    item.job = std::move(job);
+    item.use_cache = false;
+    item.direct.callback = done;  // a copy survives an enqueue failure
+    item.admission_counted = bounded;
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (bounded && admitted_ >= options_.max_queue) {
+      ++stats_.rejected;
+      return Admission::kBusy;
+    }
+    ++stats_.misses;
+    ++in_flight_;
+    if (bounded) {
+      ++admitted_;
+      stats_.peak_queue = std::max<std::uint64_t>(
+          stats_.peak_queue, static_cast<std::uint64_t>(admitted_));
+    }
+    try {
+      enqueue_lane(session_id, std::move(item), lock);
+    } catch (...) {
+      // Launch failure after admission: unwind the accounting and honor
+      // the exactly-once contract with an ok=false outcome - once
+      // kAdmitted is decided, the callback always hears back, and a
+      // throw from here on would risk a second delivery.
+      --in_flight_;
+      if (bounded) --admitted_;
+      if (in_flight_ == 0 && active_runners_ == 0) idle_cv_.notify_all();
+      lock.unlock();
+      core::SweepOutcome failed;
+      failed.name = name;
+      failed.config = key.config;
+      failed.backend = key.backend;
+      failed.batch = key.batch;
+      failed.dilation = key.dilation;
+      failed.depth_multiplier = key.depth_multiplier;
+      failed.error = "simulation launch failed";
+      try {
+        done(std::move(failed));
+      } catch (...) {
+        // Callbacks are documented non-throwing.
+      }
+    }
+    return Admission::kAdmitted;
+  }
+
+  bool persisted_hit = false;
+  PersistedResult persisted;
+  std::shared_ptr<const core::SweepOutcome> cached;
+  std::string hit_name;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      ++stats_.hits;
+      Entry& entry = it->second;
+      if (!entry.ready) {
+        // Coalescing starts no new work - always admitted, even at the
+        // bound: rejecting it would punish exactly the duplicate the
+        // cache exists to absorb.
+        Waiter waiter;
+        waiter.callback = std::move(done);
+        waiter.name = job.name;
+        waiter.hit = true;
+        entry.waiters.push_back(std::move(waiter));
+        return Admission::kAdmitted;
+      }
+      lru_.splice(lru_.begin(), lru_, entry.lru);  // touch
+      cached = entry.outcome;
+      hit_name = job.name;
+    } else if (auto pit = persisted_.find(key); pit != persisted_.end()) {
+      ++stats_.hits;
+      persisted_hit = true;
+      persisted = pit->second;
+      hit_name = job.name;
+    } else {
+      if (bounded && admitted_ >= options_.max_queue) {
+        ++stats_.rejected;
+        return Admission::kBusy;
+      }
+      ++stats_.misses;
+      ++in_flight_;
+      if (bounded) {
+        ++admitted_;
+        stats_.peak_queue = std::max<std::uint64_t>(
+            stats_.peak_queue, static_cast<std::uint64_t>(admitted_));
+      }
+      Entry entry;
+      Waiter waiter;
+      waiter.callback = std::move(done);
+      waiter.name = job.name;
+      waiter.hit = false;
+      entry.waiters.push_back(std::move(waiter));
+      cache_.emplace(key, std::move(entry));
+      LaneJob item;
+      item.key = key;
+      item.job = std::move(job);
+      item.use_cache = true;
+      item.admission_counted = bounded;
+      try {
+        enqueue_lane(session_id, std::move(item), lock);
+      } catch (...) {
+        // Launch failure after admission: abandon() drops the pending
+        // entry and delivers an ok=false outcome to every waiter -
+        // including the callback registered above, which satisfies the
+        // exactly-once contract, so the failure is not rethrown.
+        if (bounded) --admitted_;
+        lock.unlock();
+        abandon(key, std::current_exception());
+      }
+      return Admission::kAdmitted;
+    }
+  }
+
+  if (persisted_hit) {
+    core::SweepOutcome out;
+    out.name = std::move(hit_name);
+    out.config = key.config;
+    out.backend = key.backend;
+    out.batch = key.batch;
+    out.dilation = key.dilation;
+    out.depth_multiplier = key.depth_multiplier;
+    out.ok = persisted.ok;
+    out.error = std::move(persisted.error);
+    out.summary = persisted.summary;
+    out.cache_hit = true;
+    out.summary_only = true;
+    done(std::move(out));
+    return Admission::kAdmitted;
+  }
+
+  // Warm hit: deliver the summary level only. The streaming consumer (a
+  // session formatting a reply line) reads nothing below the summary, so
+  // copying the cached per-layer result here would be pure overhead - and
+  // a measured 6 us of it per request, the bulk of the hit path.
+  done(summary_view(*cached, std::move(hit_name)));
+  return Admission::kAdmitted;
 }
 
 void SimulationService::complete(const Key& key, core::SweepOutcome outcome) {
@@ -249,17 +574,44 @@ void SimulationService::complete(const Key& key, core::SweepOutcome outcome) {
     --in_flight_;
     if (in_flight_ == 0) idle_cv_.notify_all();
   }
-  // Fulfill outside the lock: set_value may run waiter continuations
-  // (future::get in another thread) that immediately resubmit. A copy
-  // failure for one waiter must not strand the others.
+  // Fulfill outside the lock: delivery may run waiter continuations
+  // (future::get in another thread, a session callback) that immediately
+  // resubmit. A copy failure for one waiter must not strand the others.
   for (Waiter& w : waiters) {
     try {
+      // Streaming duplicates that coalesced onto this simulation are
+      // hits and hear the summary level, like every other streaming hit.
+      // Promise waiters (legacy submit) and the miss that launched the
+      // simulation get the full result - in-process callers do read
+      // per-layer data, and a miss pays a whole simulation anyway.
+      if (w.callback && w.hit) {
+        deliver(w, summary_view(*stored, std::move(w.name)));
+        continue;
+      }
       core::SweepOutcome out = *stored;
       out.name = std::move(w.name);
       out.cache_hit = w.hit;
-      w.promise.set_value(std::move(out));
+      deliver(w, std::move(out));
     } catch (...) {
-      w.promise.set_exception(std::current_exception());
+      if (w.callback) {
+        // A callback waiter must still hear *something* or its reply slot
+        // hangs forever; a summary-free error outcome is the best effort.
+        try {
+          core::SweepOutcome failed;
+          failed.name = std::move(w.name);
+          failed.config = key.config;
+          failed.backend = key.backend;
+          failed.batch = key.batch;
+          failed.dilation = key.dilation;
+          failed.depth_multiplier = key.depth_multiplier;
+          failed.error = "result delivery failed";
+          w.callback(std::move(failed));
+        } catch (...) {
+          // Out of options - callbacks are documented non-throwing.
+        }
+      } else {
+        w.promise.set_exception(std::current_exception());
+      }
     }
   }
 }
@@ -274,10 +626,35 @@ void SimulationService::abandon(const Key& key, std::exception_ptr error) {
       cache_.erase(it);  // pending entries are never in lru_
     }
     --in_flight_;
-    if (in_flight_ == 0) idle_cv_.notify_all();
+    if (in_flight_ == 0 && active_runners_ == 0) idle_cv_.notify_all();
+  }
+  std::string message = "unknown simulation failure";
+  try {
+    std::rethrow_exception(error);
+  } catch (const std::exception& e) {
+    message = e.what();
+  } catch (...) {
   }
   for (Waiter& w : waiters) {
-    w.promise.set_exception(error);
+    if (w.callback) {
+      // Callback waiters hear failures as ok=false outcomes - the wire
+      // has no exception channel, only error lines.
+      core::SweepOutcome failed;
+      failed.name = std::move(w.name);
+      failed.config = key.config;
+      failed.backend = key.backend;
+      failed.batch = key.batch;
+      failed.dilation = key.dilation;
+      failed.depth_multiplier = key.depth_multiplier;
+      failed.error = message;
+      try {
+        w.callback(std::move(failed));
+      } catch (...) {
+        // Callbacks are documented non-throwing.
+      }
+    } else {
+      w.promise.set_exception(error);
+    }
   }
 }
 

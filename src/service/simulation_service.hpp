@@ -31,8 +31,11 @@
 // a fully busy pool of blocked waiters cannot make progress.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <future>
 #include <list>
 #include <memory>
@@ -63,6 +66,21 @@ struct CacheStats {
   /// the counters above this is a gauge - a snapshot, not a running total.
   std::uint64_t in_flight = 0;
 
+  // --- admission control (meaningful when max_queue > 0) ------------------
+  /// Gauge: admitted jobs sitting in the fair queue, not yet picked up by
+  /// a runner. Zero at any stats barrier (the session drains first).
+  std::uint64_t queued = 0;
+  /// Streaming submissions answered `busy` instead of admitted (total).
+  std::uint64_t rejected = 0;
+  /// High-water mark of admission-counted jobs in flight. Bounded by
+  /// max_queue *by construction*: the admission check rejects before the
+  /// gauge could exceed it, so peak_queue <= max_queue is an invariant,
+  /// not a hope.
+  std::uint64_t peak_queue = 0;
+  /// The configured ServiceOptions::max_queue (0 = unbounded). Carried in
+  /// the snapshot so format_stats_line knows whether to echo the trio.
+  std::uint64_t max_queue = 0;
+
   friend bool operator==(const CacheStats&, const CacheStats&) = default;
 };
 
@@ -85,11 +103,43 @@ struct ServiceOptions {
   /// request latency against pool pressure, and an accidental 0 from
   /// caller arithmetic must not silently pick a policy.
   int tile_parallelism = 1;
+
+  /// Bounded admission for streaming (wire-facing) submissions: while
+  /// this many admission-counted jobs are in flight, submit_streaming
+  /// answers Admission::kBusy for any request that would start a *fresh*
+  /// simulation. Cache hits and coalescing onto an in-flight duplicate
+  /// are always admitted - they start no new work. 0 (default) disables
+  /// the bound entirely and keeps every counter and stats line exactly as
+  /// before. Direct submit()/serve() callers are in-process batch code,
+  /// not wire traffic, and bypass the bound.
+  std::size_t max_queue = 0;
+};
+
+/// Verdict of an admission-checked submission (submit_streaming).
+enum class Admission {
+  kAdmitted,  ///< the outcome will be delivered to the callback
+  kBusy,      ///< rejected by the bounded queue - retry later; the
+              ///< callback will never run
 };
 
 class SimulationService {
  public:
   using Options = ServiceOptions;
+  /// Completion delivery for submit_streaming. Runs inline on the
+  /// submitting thread for cache hits, or on a pool runner thread when
+  /// the simulation finishes. Must be cheap and must never block on the
+  /// service (it may run inside the completion path) or throw.
+  ///
+  /// Result fidelity: only the outcome of a *fresh* simulation carries
+  /// the per-layer result. Anything served from cache - a warm hit, a
+  /// duplicate coalesced onto an in-flight simulation, a persisted-store
+  /// hit - arrives summary-only (SweepOutcome::summary_only == true,
+  /// empty result): the wire protocol reports nothing below the summary,
+  /// and deep-copying the cached activation tensors per request was the
+  /// dominant cost of the hit serving path. Callers needing per-layer
+  /// data from cached results must use submit(), which always delivers
+  /// full outcomes for in-memory hits.
+  using CompletionCallback = std::function<void(core::SweepOutcome)>;
 
   explicit SimulationService(Options options = Options());
   ~SimulationService();
@@ -102,6 +152,27 @@ class SimulationService {
   /// resolves when its simulation finishes on the pool. Throws
   /// PreconditionError if the job references no network.
   [[nodiscard]] std::future<core::SweepOutcome> submit(core::SweepJob job);
+
+  /// Hands out a fresh fair-scheduling lane id. Each session takes one at
+  /// construction; direct submit() traffic shares lane 0.
+  [[nodiscard]] std::uint64_t new_session_id();
+
+  /// The streaming (wire-facing) submission path: admission-checked,
+  /// fair-scheduled, callback-delivered. Returns kBusy - and does nothing
+  /// except count the rejection - when the job would start a fresh
+  /// simulation while ServiceOptions::max_queue admission-counted jobs
+  /// are already in flight. Otherwise the outcome reaches `done` exactly
+  /// once (inline for hits, from a pool runner for misses; a failed
+  /// simulation task delivers an ok=false outcome rather than an
+  /// exception). Fresh simulations are queued per `session_id` and
+  /// dispatched round-robin across sessions with pending work, so one
+  /// bulk submitter cannot starve interactive sessions. Throws
+  /// PreconditionError for the same malformed jobs submit() rejects -
+  /// always *before* the callback is registered, so on a throw the
+  /// callback has not run and never will.
+  [[nodiscard]] Admission submit_streaming(core::SweepJob job,
+                                           std::uint64_t session_id,
+                                           CompletionCallback done);
 
   /// Submits a batch; future i corresponds to jobs[i]. All requests are
   /// in flight concurrently before this returns.
@@ -185,9 +256,12 @@ class SimulationService {
     }
   };
 
-  /// A client waiting on an entry that is still simulating.
+  /// A client waiting on an entry that is still simulating. Delivery is
+  /// either a promise (submit) or a callback (submit_streaming) - exactly
+  /// one is armed.
   struct Waiter {
     std::promise<core::SweepOutcome> promise;
+    CompletionCallback callback;  ///< when set, used instead of `promise`
     std::string name;  ///< the waiter's own job name
     bool hit = false;  ///< whether this waiter was accounted as a hit
   };
@@ -209,6 +283,22 @@ class SimulationService {
     core::RunSummary summary;
   };
 
+  /// One admitted fresh simulation waiting in (or picked from) the fair
+  /// queue. `use_cache` is false only on the cache_capacity == 0 path,
+  /// where there is no Entry to complete - the runner delivers straight
+  /// to `direct`.
+  struct LaneJob {
+    Key key;
+    core::SweepJob job;
+    bool use_cache = true;
+    Waiter direct;  ///< armed iff !use_cache
+    bool admission_counted = false;
+  };
+
+  /// Validates a submission's invariants (network present, finite clock,
+  /// known backend, positive counts) and resolves the default backend.
+  static void validate_job(core::SweepJob& job);
+
   /// Marks `key` complete, stores the outcome, applies LRU eviction, and
   /// fulfills every waiter. Runs on the pool at the end of each task.
   void complete(const Key& key, core::SweepOutcome outcome);
@@ -216,8 +306,25 @@ class SimulationService {
   /// Failure path of a pool task (e.g. out-of-memory while storing the
   /// outcome): drops the pending entry so a resubmission retries, and
   /// delivers the exception to every waiter instead of leaving their
-  /// futures hanging.
+  /// futures hanging (callback waiters receive an ok=false outcome).
   void abandon(const Key& key, std::exception_ptr error);
+
+  /// Delivers a ready outcome to one waiter (promise or callback).
+  static void deliver(Waiter& w, core::SweepOutcome outcome);
+
+  /// Enqueues a fresh simulation into `session_id`'s lane and ensures
+  /// enough runner tasks are active to drain it. Caller holds mutex_.
+  /// On a pool-submit failure the job is re-extracted and the error
+  /// rethrown, so the caller can unwind its accounting.
+  void enqueue_lane(std::uint64_t session_id, LaneJob item,
+                    std::unique_lock<std::mutex>& lock);
+
+  /// Pops the next job round-robin across sessions with pending work.
+  /// Caller holds mutex_. Returns false when every lane is empty.
+  bool next_lane_job(LaneJob* out);
+
+  /// Body of one runner task: drains lane jobs until none are pending.
+  void runner_loop();
 
   Options options_;
   std::unique_ptr<util::ThreadPool> owned_pool_;  ///< when worker_threads > 0
@@ -233,6 +340,16 @@ class SimulationService {
   /// could miss into `cache_`, and load_cache skips keys already live.
   std::unordered_map<Key, PersistedResult, KeyHash> persisted_;
   CacheStats stats_;
+
+  // --- fair scheduling + admission (guarded by mutex_) --------------------
+  std::atomic<std::uint64_t> next_session_id_{1};
+  /// Pending fresh simulations, one FIFO lane per session id.
+  std::unordered_map<std::uint64_t, std::deque<LaneJob>> lanes_;
+  /// Rotation of session ids with a non-empty lane (round-robin order).
+  std::deque<std::uint64_t> lane_order_;
+  std::size_t waiting_ = 0;         ///< jobs in lanes (the queued gauge)
+  std::size_t admitted_ = 0;        ///< admission-counted jobs in flight
+  std::size_t active_runners_ = 0;  ///< runner tasks alive on the pool
 };
 
 }  // namespace edea::service

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -29,6 +30,17 @@ bool StdioStream::write_line(const std::string& line) {
   return out_.good();
 }
 
+bool StdioStream::write_lines(const std::vector<std::string>& lines) {
+  // One flush for the whole batch - an interactive peer still sees every
+  // reply, just without a syscall per line.
+  const std::lock_guard<std::mutex> lock(write_mutex_);
+  for (const std::string& line : lines) {
+    out_ << line << '\n';
+  }
+  out_.flush();
+  return out_.good();
+}
+
 void StdioTransport::serve(const std::function<void(Stream&)>& handler) {
   StdioStream stream(in_, out_);
   handler(stream);
@@ -41,7 +53,18 @@ namespace {
 /// Stream over a connected TCP socket. Owns the fd.
 class SocketStream : public Stream {
  public:
-  explicit SocketStream(int fd) : fd_(fd) {}
+  explicit SocketStream(int fd) : fd_(fd) {
+    // Nagle holds back small segments while earlier ones are unACKed -
+    // exactly the shape of a pipelined session's steady state (single
+    // refill requests, single streamed replies), where it serializes the
+    // wire at RTT granularity. Batching is done explicitly up here
+    // (write_lines corks whole frames into one send), so the kernel-side
+    // delay only adds latency. Best effort: a socket that refuses the
+    // option still works, just slower.
+    const int nodelay = 1;
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &nodelay,
+                       sizeof(nodelay));
+  }
   ~SocketStream() override {
     if (fd_ >= 0) ::close(fd_);
   }
@@ -77,14 +100,37 @@ class SocketStream : public Stream {
   }
 
   bool write_line(const std::string& line) override {
-    std::string framed = line;
-    framed.push_back('\n');
+    // The framing buffer is a member, not a local: one session writes
+    // thousands of replies, and reallocating a fresh string per line was
+    // a measurable heap churn. clear() keeps the capacity.
+    write_buffer_.clear();
+    write_buffer_.append(line);
+    write_buffer_.push_back('\n');
+    return send_all();
+  }
+
+  bool write_lines(const std::vector<std::string>& lines) override {
+    // Corked: the whole batch becomes one send(2) (modulo short writes),
+    // so a drained frame costs one packet, not one per reply.
+    write_buffer_.clear();
+    for (const std::string& line : lines) {
+      write_buffer_.append(line);
+      write_buffer_.push_back('\n');
+    }
+    return send_all();
+  }
+
+  void close_write() override { ::shutdown(fd_, SHUT_WR); }
+
+ private:
+  /// Sends write_buffer_ fully, absorbing short writes and EINTR.
+  bool send_all() {
     std::size_t sent = 0;
-    while (sent < framed.size()) {
+    while (sent < write_buffer_.size()) {
       // MSG_NOSIGNAL: a peer that hung up must surface as a failed write,
       // not a process-killing SIGPIPE.
-      const ssize_t n = ::send(fd_, framed.data() + sent,
-                               framed.size() - sent, MSG_NOSIGNAL);
+      const ssize_t n = ::send(fd_, write_buffer_.data() + sent,
+                               write_buffer_.size() - sent, MSG_NOSIGNAL);
       if (n < 0) {
         if (errno == EINTR) continue;
         return false;
@@ -94,11 +140,9 @@ class SocketStream : public Stream {
     return true;
   }
 
-  void close_write() override { ::shutdown(fd_, SHUT_WR); }
-
- private:
   int fd_;
   std::string buffer_;
+  std::string write_buffer_;
   bool peer_closed_ = false;
 };
 

@@ -57,6 +57,21 @@ class Stream {
   /// false on a broken connection; never throws.
   [[nodiscard]] virtual bool write_line(const std::string& line) = 0;
 
+  /// Writes several lines as one flush ("corked"): implementations
+  /// coalesce the batch into a single transport write where they can
+  /// (one send(2) on a socket, one ostream flush on stdio), which is how
+  /// a drained batch frame costs a handful of packets instead of one
+  /// per reply. Equivalent to write_line per element otherwise. Returns
+  /// false on a broken connection (the batch may then be partially
+  /// delivered); never throws. Same concurrency contract as write_line.
+  [[nodiscard]] virtual bool write_lines(
+      const std::vector<std::string>& lines) {
+    for (const std::string& line : lines) {
+      if (!write_line(line)) return false;
+    }
+    return true;
+  }
+
   /// Signals that no more lines will be written in the client->server
   /// direction (TCP half-close). Default: no-op - streams over process
   /// stdio signal EOF by closing the input instead.
@@ -71,6 +86,8 @@ class StdioStream : public Stream {
 
   [[nodiscard]] bool read_line(std::string& line) override;
   [[nodiscard]] bool write_line(const std::string& line) override;
+  [[nodiscard]] bool write_lines(
+      const std::vector<std::string>& lines) override;
 
  private:
   std::istream& in_;

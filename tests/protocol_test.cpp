@@ -448,6 +448,108 @@ TEST(ProtocolFormatTest, OutcomeLinesEchoTheBackend) {
             std::string::npos);
 }
 
+TEST(ProtocolParseTest, ModeLineParsesStrictly) {
+  const ParsedLine ordered = parse_request_line("mode ordered");
+  ASSERT_EQ(ordered.kind, ParsedLine::Kind::kMode);
+  EXPECT_FALSE(ordered.unordered);
+  const ParsedLine unordered = parse_request_line("mode unordered");
+  ASSERT_EQ(unordered.kind, ParsedLine::Kind::kMode);
+  EXPECT_TRUE(unordered.unordered);
+  // The tokenizer's usual whitespace tolerance applies.
+  EXPECT_EQ(parse_request_line("  mode \t unordered ").kind,
+            ParsedLine::Kind::kMode);
+  // Anything else is a protocol error naming the legal vocabulary.
+  for (const char* bad :
+       {"mode", "mode sideways", "mode unordered now", "mode ORDERED"}) {
+    SCOPED_TRACE(bad);
+    const ParsedLine p = parse_request_line(bad);
+    EXPECT_EQ(p.kind, ParsedLine::Kind::kError);
+    EXPECT_NE(p.error.find("ordered|unordered"), std::string::npos)
+        << p.error;
+  }
+}
+
+TEST(ProtocolParseTest, BatchFrameLinesParseStrictly) {
+  const ParsedLine begin = parse_request_line("batch-begin 32");
+  ASSERT_EQ(begin.kind, ParsedLine::Kind::kBatchBegin);
+  EXPECT_EQ(begin.frame_size, 32u);
+  // The full frame limit is itself a legal count ...
+  const ParsedLine top = parse_request_line("batch-begin 4096");
+  ASSERT_EQ(top.kind, ParsedLine::Kind::kBatchBegin);
+  EXPECT_EQ(top.frame_size, kMaxFrameLines);
+  // ... and one past it is rejected naming the limit, so a client bug
+  // cannot make a session buffer unboundedly.
+  const ParsedLine over = parse_request_line("batch-begin 4097");
+  ASSERT_EQ(over.kind, ParsedLine::Kind::kError);
+  EXPECT_NE(over.error.find("4096"), std::string::npos) << over.error;
+
+  EXPECT_EQ(parse_request_line("batch-end").kind,
+            ParsedLine::Kind::kBatchEnd);
+  EXPECT_EQ(parse_request_line("  batch-end  ").kind,
+            ParsedLine::Kind::kBatchEnd);
+
+  // The count shares the strict digit-first integer grammar.
+  for (const char* bad :
+       {"batch-begin", "batch-begin 0", "batch-begin -1", "batch-begin +4",
+        "batch-begin 4x", "batch-begin abc", "batch-begin 2 2",
+        "batch-begin 99999999999999999999", "batch-end now"}) {
+    SCOPED_TRACE(bad);
+    const ParsedLine p = parse_request_line(bad);
+    EXPECT_EQ(p.kind, ParsedLine::Kind::kError);
+    EXPECT_FALSE(p.error.empty());
+  }
+}
+
+TEST(ProtocolFormatTest, BusyLineIsSelfIdentifying) {
+  // Busy replies carry their own id= even in ordered mode - the client
+  // must be able to match the rejection to the request it has to retry
+  // without counting reply positions.
+  EXPECT_EQ(format_busy_line(7, 25), "busy id=7 retry_ms=25");
+  EXPECT_EQ(format_busy_line(18446744073709551615ull, 1),
+            "busy id=18446744073709551615 retry_ms=1");
+}
+
+TEST(ProtocolFormatTest, UnorderedPrefixWrapsAnyReplyLine) {
+  core::SweepOutcome outcome;
+  outcome.name = "edeanet-64@7";
+  outcome.ok = true;
+  const std::string bare = format_outcome_line(outcome);
+  const std::string framed = format_unordered_line(42, bare);
+  EXPECT_EQ(framed, "id=42 " + bare);
+  // Error replies ride the same prefix, so out-of-order error delivery
+  // is still attributable.
+  EXPECT_EQ(format_unordered_line(3, "error ! msg=bad verb cache=miss"),
+            "id=3 error ! msg=bad verb cache=miss");
+}
+
+TEST(ProtocolFormatTest, StatsLineGrowsAdmissionFieldsOnlyWhenBounded) {
+  // Unbounded services keep the pre-admission stats line byte-identical.
+  CacheStats stats;
+  stats.hits = 3;
+  stats.misses = 9;
+  stats.evictions = 1;
+  stats.entries = 8;
+  stats.in_flight = 2;
+  EXPECT_EQ(format_stats_line(stats),
+            "stats hits=3 misses=9 evictions=1 entries=8 inflight=2");
+  // With a bounded queue the admission trio appears, zeros included -
+  // an operator watching an overloaded server needs to see rejected=0
+  // explicitly to know the bound was never hit.
+  stats.max_queue = 4;
+  stats.queued = 1;
+  stats.rejected = 37;
+  stats.peak_queue = 2;
+  EXPECT_EQ(format_stats_line(stats),
+            "stats hits=3 misses=9 evictions=1 entries=8 inflight=2 "
+            "queued=1 rejected=37 peak_queue=2");
+  stats.queued = 0;
+  stats.rejected = 0;
+  stats.peak_queue = 0;
+  EXPECT_EQ(format_stats_line(stats),
+            "stats hits=3 misses=9 evictions=1 entries=8 inflight=2 "
+            "queued=0 rejected=0 peak_queue=0");
+}
+
 TEST(ProtocolRoundTripTest, IdenticalRequestLinesYieldIdenticalKeys) {
   const ParsedLine a = parse_request_line("run edeanet-64 seed=7 td=16");
   const ParsedLine b = parse_request_line("run edeanet-64 td=16 seed=7");

@@ -28,7 +28,8 @@ TEST(ServerCliTest, HelpTextMentionsEveryDocumentedFlag) {
   for (const char* flag :
        {"--help", "--listen", "--max-sessions", "--cache-file", "--workers",
         "--cache", "--tile-parallelism", "--backend", "--batch",
-        "--dilation", "--depth-multiplier", "--verify"}) {
+        "--dilation", "--depth-multiplier", "--verify", "--max-queue",
+        "--busy-retry-ms", "--ordered"}) {
     SCOPED_TRACE(flag);
     EXPECT_NE(usage.find(flag), std::string::npos)
         << "flag missing from simulation_server --help output";
@@ -53,6 +54,9 @@ TEST(ServerCliTest, DefaultsMatchTheServiceDefaults) {
   EXPECT_EQ(config.batch, 1);
   EXPECT_EQ(config.dilation, 1);
   EXPECT_EQ(config.depth_multiplier, 1);
+  EXPECT_EQ(config.service.max_queue, 0u);
+  EXPECT_EQ(config.busy_retry_ms, 25);
+  EXPECT_FALSE(config.ordered);
 }
 
 TEST(ServerCliTest, EveryFlagParses) {
@@ -60,7 +64,8 @@ TEST(ServerCliTest, EveryFlagParses) {
       parse({"--listen", "47163", "--max-sessions", "2", "--cache-file",
              "/tmp/edea.cache", "--workers", "3", "--cache", "64",
              "--tile-parallelism", "4", "--backend", "serialized",
-             "--batch", "8", "--dilation", "2", "--depth-multiplier", "3"});
+             "--batch", "8", "--dilation", "2", "--depth-multiplier", "3",
+             "--max-queue", "2", "--busy-retry-ms", "5", "--ordered"});
   ASSERT_TRUE(config.error.empty()) << config.error;
   EXPECT_TRUE(config.listen);
   EXPECT_EQ(config.port, 47163);
@@ -73,6 +78,9 @@ TEST(ServerCliTest, EveryFlagParses) {
   EXPECT_EQ(config.batch, 8);
   EXPECT_EQ(config.dilation, 2);
   EXPECT_EQ(config.depth_multiplier, 3);
+  EXPECT_EQ(config.service.max_queue, 2u);
+  EXPECT_EQ(config.busy_retry_ms, 5);
+  EXPECT_TRUE(config.ordered);
 }
 
 TEST(ServerCliTest, ListenPortMustBeNumericAndInRange) {
@@ -135,6 +143,13 @@ TEST(ServerCliTest, MalformedValuesAreRejectedWithAReason) {
            {"--depth-multiplier", "+3"},     // stoul would accept the '+'
            {"--depth-multiplier"},           // missing value
            {"--cache-file"},                 // missing value
+           {"--max-queue", "abc"},           // non-numeric
+           {"--max-queue", "-1"},            // negative wraps in stoul
+           {"--max-queue"},                  // missing value
+           {"--busy-retry-ms", "0"},         // a 0 ms hint is a busy loop
+           {"--busy-retry-ms", "-5"},        // negative
+           {"--busy-retry-ms", "5x"},        // trailing junk
+           {"--busy-retry-ms"},              // missing value
            {"--wat"},                        // unknown flag
        }) {
     SCOPED_TRACE(args.front());
@@ -157,6 +172,11 @@ TEST(ServerCliTest, ContradictoryModesAreRejected) {
       parse({"--cache", "0", "--cache-file", "/tmp/c.bin"}).error.empty());
   EXPECT_TRUE(
       parse({"--cache", "8", "--cache-file", "/tmp/c.bin"}).error.empty());
+  // The retry hint is what busy replies advertise; without a bounded
+  // queue no reply will ever carry it, so stating it is a config error.
+  EXPECT_FALSE(parse({"--busy-retry-ms", "5"}).error.empty());
+  EXPECT_TRUE(
+      parse({"--max-queue", "2", "--busy-retry-ms", "5"}).error.empty());
 }
 
 // --- the client's command line (service/client_cli.hpp) --------------------
@@ -165,7 +185,8 @@ TEST(ClientCliTest, HelpTextMentionsEveryDocumentedFlag) {
   const std::string usage = client_usage();
   for (const char* flag :
        {"--help", "--connect", "--verify", "--expect-all-hits", "--backend",
-        "--batch", "--dilation", "--depth-multiplier"}) {
+        "--batch", "--dilation", "--depth-multiplier", "--pipeline",
+        "--ordered"}) {
     SCOPED_TRACE(flag);
     EXPECT_NE(usage.find(flag), std::string::npos)
         << "flag missing from simulation_client --help output";
@@ -178,7 +199,8 @@ TEST(ClientCliTest, EveryFlagParses) {
       parse_client({"--connect", "127.0.0.1:47163", "--verify",
                     "--expect-all-hits", "--backend", "serialized",
                     "--batch", "4", "--dilation", "2",
-                    "--depth-multiplier", "3"});
+                    "--depth-multiplier", "3", "--pipeline", "32",
+                    "--ordered"});
   ASSERT_TRUE(config.error.empty()) << config.error;
   EXPECT_TRUE(config.connect_given);
   EXPECT_EQ(config.host, "127.0.0.1");
@@ -189,6 +211,8 @@ TEST(ClientCliTest, EveryFlagParses) {
   EXPECT_EQ(config.batch, 4);
   EXPECT_EQ(config.dilation, 2);
   EXPECT_EQ(config.depth_multiplier, 3);
+  EXPECT_EQ(config.pipeline, 32u);
+  EXPECT_TRUE(config.ordered);
 }
 
 TEST(ClientCliTest, TransformFlagsDefaultToNotGiven) {
@@ -199,6 +223,9 @@ TEST(ClientCliTest, TransformFlagsDefaultToNotGiven) {
   ASSERT_TRUE(config.error.empty()) << config.error;
   EXPECT_EQ(config.dilation, 0);
   EXPECT_EQ(config.depth_multiplier, 0);
+  // pipeline 0 selects the legacy send-everything-then-read mode.
+  EXPECT_EQ(config.pipeline, 0u);
+  EXPECT_FALSE(config.ordered);
 }
 
 TEST(ClientCliTest, HelpNeedsNoConnect) {
@@ -247,6 +274,29 @@ TEST(ClientCliTest, ContradictionsAndUnknownsAreRejected) {
     }
     EXPECT_FALSE(parse_client({"--connect", "h:1", flag}).error.empty());
   }
+}
+
+TEST(ClientCliTest, PipelineWindowIsBoundedByTheFrameLimit) {
+  // The window rides inside batch frames, so it can never exceed the
+  // protocol's own frame limit; the error names the legal range.
+  for (const char* bad : {"0", "-1", "+8", "8x", "abc", "4097", ""}) {
+    SCOPED_TRACE(std::string("window '") + bad + "'");
+    const ClientConfig config =
+        parse_client({"--connect", "h:1", "--pipeline", bad});
+    EXPECT_FALSE(config.error.empty());
+    EXPECT_NE(config.error.find("4096"), std::string::npos) << config.error;
+  }
+  EXPECT_FALSE(parse_client({"--connect", "h:1", "--pipeline"}).error.empty());
+  const ClientConfig top =
+      parse_client({"--connect", "h:1", "--pipeline", "4096"});
+  EXPECT_TRUE(top.error.empty()) << top.error;
+  EXPECT_EQ(top.pipeline, 4096u);
+  // --ordered shapes how the pipelined sender negotiates; the one-shot
+  // sender is ordered by construction, so alone it is a silent no-op.
+  EXPECT_FALSE(parse_client({"--connect", "h:1", "--ordered"}).error.empty());
+  EXPECT_TRUE(parse_client({"--connect", "h:1", "--pipeline", "8",
+                            "--ordered"})
+                  .error.empty());
 }
 
 }  // namespace
