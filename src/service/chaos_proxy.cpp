@@ -1,0 +1,176 @@
+#include "service/chaos_proxy.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace edea::service {
+
+namespace {
+
+/// Blocking connect to a numeric IPv4 / localhost address. Returns -1 on
+/// failure (the relay then drops the freshly accepted client, which is a
+/// legitimate chaos outcome in itself).
+int connect_upstream(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  const std::string numeric = host == "localhost" ? "127.0.0.1" : host;
+  if (::inet_pton(AF_INET, numeric.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Copies bytes from `from` to `to` until EOF or error, then propagates
+/// the half-close so protocol drains traverse the proxy.
+void pump(int from, int to) {
+  char chunk[4096];
+  for (;;) {
+    const ssize_t got = ::read(from, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    std::size_t sent = 0;
+    while (sent < static_cast<std::size_t>(got)) {
+      const ssize_t wrote =
+          ::send(to, chunk + sent, static_cast<std::size_t>(got) - sent,
+                 MSG_NOSIGNAL);
+      if (wrote < 0 && errno == EINTR) continue;
+      if (wrote <= 0) return;
+      sent += static_cast<std::size_t>(wrote);
+    }
+  }
+  ::shutdown(to, SHUT_WR);
+}
+
+}  // namespace
+
+/// One relayed connection: the accepted client fd, the upstream fd, and
+/// the two pump threads moving bytes between them.
+struct ChaosProxy::Relay {
+  int client_fd = -1;
+  int upstream_fd = -1;
+  std::thread forward;   ///< client -> upstream
+  std::thread backward;  ///< upstream -> client
+
+  ~Relay() {
+    if (forward.joinable()) forward.join();
+    if (backward.joinable()) backward.join();
+    if (client_fd >= 0) ::close(client_fd);
+    if (upstream_fd >= 0) ::close(upstream_fd);
+  }
+};
+
+ChaosProxy::ChaosProxy(std::string upstream_host, std::uint16_t upstream_port)
+    : upstream_host_(std::move(upstream_host)),
+      upstream_port_(upstream_port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw ResourceError("chaos proxy: socket() failed");
+  const int enable = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;  // ephemeral
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    throw ResourceError("chaos proxy: cannot bind a loopback port");
+  }
+  sockaddr_in bound{};
+  socklen_t bound_size = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_size) != 0) {
+    ::close(listen_fd_);
+    throw ResourceError("chaos proxy: getsockname() failed");
+  }
+  port_ = ntohs(bound.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+ChaosProxy::~ChaosProxy() {
+  kill();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::unique_ptr<Relay>> relays;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    relays.swap(relays_);
+  }
+  relays.clear();  // joins pumps, closes fds
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void ChaosProxy::accept_loop() {
+  for (;;) {
+    const int client_fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (client_fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // kill() shut the listen socket down
+    }
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++accepted_;
+      if (killed_) {
+        // Raced with kill(): the upstream is "dead", drop the client.
+        ::close(client_fd);
+        continue;
+      }
+    }
+    const int upstream_fd = connect_upstream(upstream_host_, upstream_port_);
+    if (upstream_fd < 0) {
+      ::close(client_fd);
+      continue;
+    }
+    auto relay = std::make_unique<Relay>();
+    relay->client_fd = client_fd;
+    relay->upstream_fd = upstream_fd;
+    relay->forward = std::thread([client_fd, upstream_fd] {
+      pump(client_fd, upstream_fd);
+    });
+    relay->backward = std::thread([client_fd, upstream_fd] {
+      pump(upstream_fd, client_fd);
+    });
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (killed_) {
+      // kill() already swept relays_; drop this straggler the same way.
+      ::shutdown(client_fd, SHUT_RDWR);
+      ::shutdown(upstream_fd, SHUT_RDWR);
+    }
+    relays_.push_back(std::move(relay));
+  }
+}
+
+void ChaosProxy::kill() noexcept {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (killed_) return;
+  killed_ = true;
+  // Wakes the acceptor (accept fails once the listen socket is shut down)
+  // and makes every pump see EOF/error on its next read or write. The fds
+  // stay open - and therefore valid - until the destructor joins the
+  // threads that might still touch them.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  for (const std::unique_ptr<Relay>& relay : relays_) {
+    ::shutdown(relay->client_fd, SHUT_RDWR);
+    ::shutdown(relay->upstream_fd, SHUT_RDWR);
+  }
+}
+
+std::size_t ChaosProxy::connections() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return accepted_;
+}
+
+}  // namespace edea::service

@@ -1,0 +1,68 @@
+// chaos_proxy.hpp - a killable TCP relay for fault-injection tests.
+//
+// A ChaosProxy listens on an ephemeral loopback port and relays every
+// accepted connection byte-for-byte to a fixed upstream (host, port),
+// propagating half-closes in both directions so line-protocol drains work
+// through it unchanged. Pointing a ClusterRouter at the proxy instead of
+// the worker makes worker death reproducible: kill() hard-drops every
+// relayed connection at once (the router sees EOF mid-stream, exactly
+// like a crashed worker process) without actually crashing the worker -
+// so the same worker can keep serving other tests, and the test can
+// assert about requests that were in flight through the dropped pipe.
+//
+// Test/bench infrastructure: nothing in the production router depends on
+// this file.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace edea::service {
+
+/// A byte relay to one upstream endpoint with a kill switch.
+class ChaosProxy {
+ public:
+  /// Starts listening on an ephemeral 127.0.0.1 port and relaying to
+  /// `upstream_host:upstream_port`. Throws ResourceError when the listen
+  /// socket cannot be created.
+  ChaosProxy(std::string upstream_host, std::uint16_t upstream_port);
+
+  /// kill()s and joins every relay thread.
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// The bound proxy port clients connect to.
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Hard-drops every relayed connection (both directions, all at once)
+  /// and stops accepting new ones. From the client's point of view the
+  /// upstream died mid-stream. Idempotent, callable from any thread.
+  void kill() noexcept;
+
+  /// Number of connections accepted so far (live + dropped).
+  [[nodiscard]] std::size_t connections() const;
+
+ private:
+  struct Relay;
+
+  void accept_loop();
+
+  std::string upstream_host_;
+  std::uint16_t upstream_port_ = 0;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  mutable std::mutex mutex_;
+  bool killed_ = false;
+  std::size_t accepted_ = 0;
+  std::vector<std::unique_ptr<Relay>> relays_;
+  std::thread acceptor_;
+};
+
+}  // namespace edea::service

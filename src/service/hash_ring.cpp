@@ -1,0 +1,86 @@
+#include "service/hash_ring.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace edea::service {
+
+namespace {
+
+/// 64-bit avalanche finalizer (the murmur3 fmix64 constants). FNV-1a is a
+/// fine fingerprint but a poor point-placement hash: its multiply-only
+/// mixing barely diffuses short inputs like "shard3"+replica, which
+/// empirically clusters virtual nodes into arcs and skews ownership by
+/// several x. One finalizer pass restores uniform placement; applied to
+/// lookup keys too, so both sides of the binary search live in the same
+/// well-mixed space.
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdull;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ull;
+  x ^= x >> 33;
+  return x;
+}
+
+/// The ring point of one (node, replica) pair. Hashing the replica index
+/// as a fixed-width integer (not a decimal suffix) keeps "shard1"+replica
+/// 12 and "shard11"+replica 2 from colliding by concatenation.
+std::uint64_t ring_point(const std::string& id, int replica) {
+  return mix64(util::Fnv1a64()
+                   .str(id)
+                   .pod(static_cast<std::uint64_t>(replica))
+                   .digest());
+}
+
+}  // namespace
+
+HashRing::HashRing(int replicas) : replicas_(replicas) {
+  EDEA_REQUIRE(replicas >= 1,
+               "hash ring needs at least 1 replica per node, got " +
+                   std::to_string(replicas));
+}
+
+void HashRing::add_node(const std::string& id) {
+  EDEA_REQUIRE(!id.empty(), "hash ring node id must not be empty");
+  EDEA_REQUIRE(!contains(id), "hash ring node '" + id + "' already present");
+  nodes_.insert(std::lower_bound(nodes_.begin(), nodes_.end(), id), id);
+  points_.reserve(points_.size() + static_cast<std::size_t>(replicas_));
+  for (int replica = 0; replica < replicas_; ++replica) {
+    points_.push_back(Point{ring_point(id, replica), id});
+  }
+  // Re-sorting the whole vector on every membership change is O(P log P)
+  // for a few hundred points - membership changes are rare (startup,
+  // failover), lookups are the hot path and stay a binary search.
+  std::sort(points_.begin(), points_.end(),
+            [](const Point& a, const Point& b) {
+              return a.where != b.where ? a.where < b.where : a.node < b.node;
+            });
+}
+
+bool HashRing::remove_node(const std::string& id) {
+  const auto it = std::lower_bound(nodes_.begin(), nodes_.end(), id);
+  if (it == nodes_.end() || *it != id) return false;
+  nodes_.erase(it);
+  points_.erase(std::remove_if(points_.begin(), points_.end(),
+                               [&](const Point& p) { return p.node == id; }),
+                points_.end());
+  return true;
+}
+
+bool HashRing::contains(const std::string& id) const {
+  return std::binary_search(nodes_.begin(), nodes_.end(), id);
+}
+
+const std::string& HashRing::owner(std::uint64_t key) const {
+  EDEA_REQUIRE(!points_.empty(), "hash ring is empty - no owner for any key");
+  const std::uint64_t mixed = mix64(key);
+  const auto it = std::lower_bound(
+      points_.begin(), points_.end(), mixed,
+      [](const Point& p, std::uint64_t k) { return p.where < k; });
+  return (it == points_.end() ? points_.front() : *it).node;
+}
+
+}  // namespace edea::service

@@ -13,6 +13,7 @@
 
 #include "service/protocol.hpp"
 #include "service/transport.hpp"
+#include "util/backoff.hpp"
 #include "util/check.hpp"
 #include "util/random.hpp"
 
@@ -21,54 +22,6 @@ namespace edea::service {
 namespace {
 
 using Clock = std::chrono::steady_clock;
-
-/// Strict digit run starting at `pos`; advances pos past it. Returns
-/// false when no digit is there or the value overflows uint64.
-bool scan_u64(const std::string& text, std::size_t& pos, std::uint64_t* out) {
-  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return false;
-  std::uint64_t value = 0;
-  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
-    const std::uint64_t digit = static_cast<std::uint64_t>(text[pos] - '0');
-    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
-      return false;
-    }
-    value = value * 10 + digit;
-    ++pos;
-  }
-  *out = value;
-  return true;
-}
-
-/// Matches `busy id=<n> retry_ms=<m>` exactly.
-bool parse_busy_reply(const std::string& line, std::uint64_t* id,
-                      int* retry_ms) {
-  constexpr const char* kPrefix = "busy id=";
-  constexpr const char* kRetry = " retry_ms=";
-  if (line.rfind(kPrefix, 0) != 0) return false;
-  std::size_t pos = std::string(kPrefix).size();
-  if (!scan_u64(line, pos, id)) return false;
-  if (line.compare(pos, std::string(kRetry).size(), kRetry) != 0) return false;
-  pos += std::string(kRetry).size();
-  std::uint64_t ms = 0;
-  if (!scan_u64(line, pos, &ms) || pos != line.size() ||
-      ms > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
-    return false;
-  }
-  *retry_ms = static_cast<int>(ms);
-  return true;
-}
-
-/// Matches the `id=<n> ` unordered framing prefix; on success `*rest` is
-/// the payload line with the prefix stripped.
-bool parse_unordered_reply(const std::string& line, std::uint64_t* id,
-                           std::string* rest) {
-  if (line.rfind("id=", 0) != 0) return false;
-  std::size_t pos = 3;
-  if (!scan_u64(line, pos, id)) return false;
-  if (pos >= line.size() || line[pos] != ' ') return false;
-  *rest = line.substr(pos + 1);
-  return true;
-}
 
 /// First whitespace-delimited token of a request line ("" when blank).
 std::string first_token(const std::string& line) {
@@ -185,7 +138,7 @@ PipelineReport run_pipelined(Stream& stream,
       int retry_ms = 0;
       std::string payload;
       const std::lock_guard<std::mutex> lock(mutex);
-      if (parse_busy_reply(line, &wire_id, &retry_ms)) {
+      if (parse_busy_line(line, &wire_id, &retry_ms)) {
         const auto it = inflight.find(wire_id);
         if (it == inflight.end()) {
           failed = true;
@@ -203,20 +156,17 @@ PipelineReport run_pipelined(Stream& stream,
           report.responses[logical] = line;
           ++completed;
         } else {
-          // Exponential backoff on the server's hint, jittered into
-          // [0.5, 1.5) of the nominal delay so a herd of rejected
-          // clients does not retry in lockstep.
-          const int shift = std::min(attempts[logical] - 1, 5);
-          const double nominal =
-              static_cast<double>(retry_ms) * static_cast<double>(1 << shift);
+          // Exponential backoff on the server's hint, jittered so a herd
+          // of rejected clients does not retry in lockstep (the policy
+          // lives in util/backoff.hpp, shared with connect_socket and the
+          // cluster router's failover path).
           const auto delay = std::chrono::milliseconds(
-              std::max<std::int64_t>(1, static_cast<std::int64_t>(
-                                            nominal * rng.uniform(0.5, 1.5))));
+              jittered_backoff_ms(attempts[logical], retry_ms, rng));
           retries.emplace_back(Clock::now() + delay, logical);
         }
       } else {
         if (report.unordered) {
-          if (!parse_unordered_reply(line, &wire_id, &payload)) {
+          if (!parse_unordered_line(line, &wire_id, &payload)) {
             failed = true;
             failure = "reply without id prefix in unordered mode: '" + line +
                       "'";
@@ -356,7 +306,7 @@ PipelineReport run_serial(Stream& stream,
       }
       std::uint64_t wire_id = 0;
       int retry_ms = 0;
-      if (!parse_busy_reply(reply, &wire_id, &retry_ms)) {
+      if (!parse_busy_line(reply, &wire_id, &retry_ms)) {
         report.responses[i] = std::move(reply);
         break;
       }
@@ -365,12 +315,9 @@ PipelineReport run_serial(Stream& stream,
         report.responses[i] = std::move(reply);
         break;
       }
-      const int shift = std::min(attempt - 1, 5);
-      const double nominal =
-          static_cast<double>(retry_ms) * static_cast<double>(1 << shift);
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          std::max<std::int64_t>(1, static_cast<std::int64_t>(
-                                        nominal * rng.uniform(0.5, 1.5)))));
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(jittered_backoff_ms(attempt, retry_ms,
+                                                        rng)));
     }
   }
   report.complete = true;

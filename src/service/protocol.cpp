@@ -104,6 +104,32 @@ std::string apply_override(Request& request, const std::string& key,
   return "";
 }
 
+/// Strict digit run starting at `pos`; advances pos past it. Returns
+/// false when no digit is there or the value overflows uint64.
+bool scan_u64(const std::string& text, std::size_t& pos, std::uint64_t* out) {
+  if (pos >= text.size() || text[pos] < '0' || text[pos] > '9') return false;
+  std::uint64_t value = 0;
+  while (pos < text.size() && text[pos] >= '0' && text[pos] <= '9') {
+    const std::uint64_t digit = static_cast<std::uint64_t>(text[pos] - '0');
+    if (value > (std::numeric_limits<std::uint64_t>::max() - digit) / 10) {
+      return false;
+    }
+    value = value * 10 + digit;
+    ++pos;
+  }
+  *out = value;
+  return true;
+}
+
+/// Matches ` <key>=` at `pos` and scans the digit run after it.
+bool scan_field(const std::string& text, std::size_t& pos, const char* key,
+                std::uint64_t* out) {
+  const std::string want = std::string(" ") + key + "=";
+  if (text.compare(pos, want.size(), want) != 0) return false;
+  pos += want.size();
+  return scan_u64(text, pos, out);
+}
+
 std::string format_gops(double gops) {
   std::ostringstream os;
   os << std::fixed << std::setprecision(2) << gops;
@@ -305,6 +331,73 @@ std::string format_busy_line(std::uint64_t id, int retry_ms) {
 
 std::string format_unordered_line(std::uint64_t id, const std::string& line) {
   return "id=" + std::to_string(id) + " " + line;
+}
+
+bool parse_busy_line(const std::string& line, std::uint64_t* id,
+                     int* retry_ms) {
+  constexpr const char* kPrefix = "busy id=";
+  constexpr const char* kRetry = " retry_ms=";
+  if (line.rfind(kPrefix, 0) != 0) return false;
+  std::size_t pos = std::string(kPrefix).size();
+  std::uint64_t parsed_id = 0;
+  if (!scan_u64(line, pos, &parsed_id)) return false;
+  if (line.compare(pos, std::string(kRetry).size(), kRetry) != 0) return false;
+  pos += std::string(kRetry).size();
+  std::uint64_t ms = 0;
+  if (!scan_u64(line, pos, &ms) || pos != line.size() ||
+      ms > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+    return false;
+  }
+  *id = parsed_id;
+  *retry_ms = static_cast<int>(ms);
+  return true;
+}
+
+bool parse_unordered_line(const std::string& line, std::uint64_t* id,
+                          std::string* rest) {
+  if (line.rfind("id=", 0) != 0) return false;
+  std::size_t pos = 3;
+  std::uint64_t parsed_id = 0;
+  if (!scan_u64(line, pos, &parsed_id)) return false;
+  if (pos >= line.size() || line[pos] != ' ') return false;
+  *id = parsed_id;
+  *rest = line.substr(pos + 1);
+  return true;
+}
+
+bool parse_stats_line(const std::string& line, CacheStats* out) {
+  if (line.rfind("stats", 0) != 0) return false;
+  std::size_t pos = 5;
+  std::uint64_t hits = 0, misses = 0, evictions = 0, entries = 0,
+                inflight = 0;
+  if (!scan_field(line, pos, "hits", &hits) ||
+      !scan_field(line, pos, "misses", &misses) ||
+      !scan_field(line, pos, "evictions", &evictions) ||
+      !scan_field(line, pos, "entries", &entries) ||
+      !scan_field(line, pos, "inflight", &inflight)) {
+    return false;
+  }
+  CacheStats parsed;
+  parsed.hits = hits;
+  parsed.misses = misses;
+  parsed.evictions = evictions;
+  parsed.entries = static_cast<std::size_t>(entries);
+  parsed.in_flight = inflight;
+  if (pos != line.size()) {
+    // The admission trio is all-or-nothing on the wire.
+    std::uint64_t queued = 0, rejected = 0, peak = 0;
+    if (!scan_field(line, pos, "queued", &queued) ||
+        !scan_field(line, pos, "rejected", &rejected) ||
+        !scan_field(line, pos, "peak_queue", &peak) || pos != line.size()) {
+      return false;
+    }
+    parsed.queued = queued;
+    parsed.rejected = rejected;
+    parsed.peak_queue = peak;
+    parsed.max_queue = 1;  // presence flag - the bound is not wire data
+  }
+  *out = parsed;
+  return true;
 }
 
 }  // namespace edea::service

@@ -213,4 +213,30 @@ struct ParsedLine {
 [[nodiscard]] std::string format_unordered_line(std::uint64_t id,
                                                 const std::string& line);
 
+/// Reply parsers - the exact inverses of the formatters above, shared by
+/// everything that consumes the server side of the wire (the pipelined
+/// client, the cluster router). Each matches its line shape strictly
+/// (digit runs, exact separators, nothing trailing) and returns false
+/// without touching the outputs on any mismatch - a reply that merely
+/// *starts* like a busy line is some other line.
+
+/// Parses `busy id=<n> retry_ms=<m>` (format_busy_line's output) exactly.
+[[nodiscard]] bool parse_busy_line(const std::string& line, std::uint64_t* id,
+                                   int* retry_ms);
+
+/// Parses the `id=<n> ` unordered framing prefix (format_unordered_line's
+/// output); on success `*rest` is the payload with the prefix stripped.
+[[nodiscard]] bool parse_unordered_line(const std::string& line,
+                                        std::uint64_t* id, std::string* rest);
+
+/// Parses a `stats ...` reply line (format_stats_line's output) into
+/// counters. The wire does not carry the queue bound itself, only whether
+/// the admission trio was echoed - so on success `out->max_queue` is 1
+/// when the trio was present and 0 when it was absent (a presence flag,
+/// not the configured bound). That convention makes the round trip
+/// byte-stable: format_stats_line(parsed) reproduces the input line, and
+/// summing parsed stats across shards keeps the trio iff any shard had a
+/// bounded queue.
+[[nodiscard]] bool parse_stats_line(const std::string& line, CacheStats* out);
+
 }  // namespace edea::service

@@ -1,0 +1,720 @@
+#include "service/router.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "core/sweep_runner.hpp"
+#include "service/simulation_service.hpp"
+#include "service/transport.hpp"
+#include "util/backoff.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+#include "util/random.hpp"
+
+namespace edea::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Reply-FIFO entry for a fanned-out `stats` line. Request ids start at 1,
+/// so 0 is free to mark the one reply per channel that belongs to the
+/// stats aggregator instead of a pending request.
+constexpr std::uint64_t kStatsMarker = 0;
+
+}  // namespace
+
+std::uint64_t route_key(const Request& request) {
+  return util::Fnv1a64()
+      .str(request.network)
+      .pod(request.seed)
+      .pod(request.config.hash())
+      .str(request.backend)
+      .pod(request.batch)
+      .pod(request.dilation)
+      .pod(request.depth_multiplier)
+      .digest();
+}
+
+ClusterRouter::ClusterRouter(RouterOptions options)
+    : options_(std::move(options)), ring_(options_.replicas) {
+  EDEA_REQUIRE(!options_.workers.empty(),
+               "cluster router needs at least one worker");
+  EDEA_REQUIRE(core::backend_known(options_.backend),
+               "router default backend '" + options_.backend +
+                   "' is not registered (known: " +
+                   core::known_backends_string() + ")");
+  EDEA_REQUIRE(options_.batch >= 1, "router default batch must be >= 1, got " +
+                                        std::to_string(options_.batch));
+  EDEA_REQUIRE(options_.dilation >= 1,
+               "router default dilation must be >= 1, got " +
+                   std::to_string(options_.dilation));
+  EDEA_REQUIRE(options_.depth_multiplier >= 1,
+               "router default depth multiplier must be >= 1, got " +
+                   std::to_string(options_.depth_multiplier));
+  EDEA_REQUIRE(options_.max_attempts >= 1,
+               "router max_attempts must be >= 1, got " +
+                   std::to_string(options_.max_attempts));
+  EDEA_REQUIRE(options_.retry_base_ms >= 1,
+               "router retry_base_ms must be >= 1, got " +
+                   std::to_string(options_.retry_base_ms));
+  EDEA_REQUIRE(options_.connect_timeout_ms >= 1,
+               "router connect_timeout_ms must be >= 1, got " +
+                   std::to_string(options_.connect_timeout_ms));
+  for (const WorkerEndpoint& worker : options_.workers) {
+    // add_node rejects empty and duplicate ids for us.
+    ring_.add_node(worker.id);
+    endpoints_.emplace(worker.id, worker);
+  }
+}
+
+std::vector<std::string> ClusterRouter::live_workers() const {
+  const std::lock_guard<std::mutex> lock(membership_mutex_);
+  return ring_.nodes();
+}
+
+std::optional<WorkerEndpoint> ClusterRouter::owner_of(
+    std::uint64_t key) const {
+  const std::lock_guard<std::mutex> lock(membership_mutex_);
+  if (ring_.empty()) return std::nullopt;
+  return endpoints_.at(ring_.owner(key));
+}
+
+bool ClusterRouter::mark_dead(const std::string& id) {
+  const std::lock_guard<std::mutex> lock(membership_mutex_);
+  return ring_.remove_node(id);
+}
+
+/// One routed client session. Mirrors Session::serve's structure - reader
+/// (this thread) + corking writer + slot queue - with the dispatch layer
+/// replaced by per-worker forwarding channels:
+///
+///   channel     one ordered-mode connection to one worker, opened lazily
+///               on first use, plus a reader thread matching its replies
+///               FIFO against the ids sent down it. The id is pushed onto
+///               the FIFO and the line written under one per-channel write
+///               lock, so FIFO order always equals wire order.
+///   pending     every forwarded request until it finalizes: the parsed
+///               request (for rerouting after a death), the raw line (what
+///               re-sends forward), the reply slot, and the attempt count.
+///   retry pump  a timer thread re-sending requests whose worker answered
+///               busy or died, after a jittered backoff. A request is
+///               re-sent only once its FIFO entry is gone (popped for busy,
+///               stolen by the death handler), so it is on at most one
+///               worker at a time - the no-duplicates half of the failover
+///               invariant; finalize-exactly-once is the no-loss half.
+class RouterSession {
+ public:
+  RouterSession(ClusterRouter& router, Stream& client)
+      : router_(router),
+        opt_(router.options_),
+        client_(client),
+        rng_(opt_.backoff_seed) {}
+
+  RouterSessionStats run();
+
+ private:
+  /// A reply slot; ordered mode queues it at submit time, unordered at
+  /// completion (same discipline as Session). Router slots are always
+  /// pre-formed text - worker replies arrive fully formatted.
+  struct Slot {
+    std::uint64_t id = 0;
+    bool ready = false;
+    std::string text;
+  };
+
+  struct Pending {
+    Request request;       ///< for rerouting and give-up error lines
+    std::string raw_line;  ///< forwarded verbatim on every attempt
+    std::shared_ptr<Slot> slot;
+    int attempts = 0;  ///< forwarding attempts consumed (sends + failed
+                       ///< connects)
+    bool unordered = false;  ///< reply framing at submit time
+  };
+
+  struct Channel {
+    std::string worker_id;
+    std::unique_ptr<Stream> stream;
+    std::thread reader;
+    /// Serializes {FIFO push + wire write} so FIFO order is wire order.
+    std::mutex write_mutex;
+    /// Ids awaiting replies, in wire order (guarded by mutex_).
+    std::deque<std::uint64_t> fifo;
+    bool broken = false;  ///< guarded by mutex_; death handled once
+  };
+
+  void push_text(std::uint64_t id, std::string text);
+  void finalize_line_locked(std::uint64_t id, std::string payload,
+                            bool self_identifying);
+  void finalize_error_locked(std::uint64_t id, const std::string& message);
+  void schedule_retry_locked(std::uint64_t id, std::int64_t delay_ms);
+  void resend(std::uint64_t id);
+  bool send_run(Channel* channel, std::uint64_t id);
+  void send_stats(Channel* channel);
+  Channel* get_or_create_channel(const WorkerEndpoint& worker);
+  void channel_reader(Channel* channel);
+  /// Consumes one reply line on a channel. Returns false on a FIFO/parse
+  /// desync - wire corruption, treated as a worker death.
+  bool handle_reply(Channel* channel, const std::string& line);
+  void handle_channel_death(Channel* channel);
+  void serve_stats(std::uint64_t id, bool unordered);
+
+  ClusterRouter& router_;
+  const RouterOptions& opt_;
+  Stream& client_;
+  RouterSessionStats stats_;
+
+  std::mutex mutex_;
+  std::condition_variable queue_cv_;  // writer waits for a ready head
+  std::condition_variable done_cv_;   // reader waits for outstanding == 0
+  std::condition_variable retry_cv_;  // retry pump waits for due work
+  std::condition_variable fan_cv_;    // stats barrier waits for replies
+  std::deque<std::shared_ptr<Slot>> queue_;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t outstanding_ = 0;
+  bool finished_ = false;
+  bool stream_broken_ = false;
+  bool closing_ = false;     ///< clean shutdown: channel EOFs are not deaths
+  bool stop_retry_ = false;  ///< retry pump may exit once retries_ drains
+  std::vector<std::pair<Clock::time_point, std::uint64_t>> retries_;
+  Rng rng_;  ///< backoff jitter (guarded by mutex_)
+
+  /// The (single, barrier-serialized) in-flight stats fan-out.
+  struct Fanout {
+    std::size_t awaiting = 0;
+    std::vector<std::pair<std::string, CacheStats>> collected;
+  } fan_;
+
+  std::mutex channels_mutex_;  ///< serializes channel creation/lookup
+  std::map<std::string, std::unique_ptr<Channel>> channels_;
+};
+
+void RouterSession::push_text(std::uint64_t id, std::string text) {
+  auto slot = std::make_shared<Slot>();
+  slot->id = id;
+  slot->ready = true;
+  slot->text = std::move(text);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(slot));
+  }
+  queue_cv_.notify_one();
+}
+
+void RouterSession::finalize_line_locked(std::uint64_t id, std::string payload,
+                                         bool self_identifying) {
+  const auto it = pending_.find(id);
+  EDEA_ASSERT(it != pending_.end(),
+              "router finalized request " + std::to_string(id) + " twice");
+  Pending pending = std::move(it->second);
+  pending_.erase(it);
+  if (pending.unordered && !self_identifying) {
+    payload = format_unordered_line(id, payload);
+  }
+  pending.slot->text = std::move(payload);
+  pending.slot->ready = true;
+  if (pending.unordered) queue_.push_back(pending.slot);
+  --outstanding_;
+  // Notify while holding the mutex - same condition-variable lifetime
+  // reasoning as Session's completion callback.
+  queue_cv_.notify_one();
+  done_cv_.notify_all();
+}
+
+void RouterSession::finalize_error_locked(std::uint64_t id,
+                                          const std::string& message) {
+  const Request& request = pending_.at(id).request;
+  core::SweepOutcome failed;
+  failed.name = request.job_name();
+  failed.config = request.config;
+  failed.backend = request.backend;
+  failed.batch = request.batch;
+  failed.dilation = request.dilation;
+  failed.depth_multiplier = request.depth_multiplier;
+  failed.error = message;
+  finalize_line_locked(id, format_outcome_line(failed), false);
+}
+
+void RouterSession::schedule_retry_locked(std::uint64_t id,
+                                          std::int64_t delay_ms) {
+  retries_.emplace_back(Clock::now() + std::chrono::milliseconds(delay_ms),
+                        id);
+  retry_cv_.notify_all();
+}
+
+void RouterSession::resend(std::uint64_t id) {
+  for (;;) {
+    std::uint64_t key = 0;
+    int attempts = 0;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      const auto it = pending_.find(id);
+      if (it == pending_.end()) return;  // already finalized
+      key = route_key(it->second.request);
+      attempts = it->second.attempts;
+    }
+    if (attempts >= opt_.max_attempts) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_.find(id) != pending_.end()) {
+        finalize_error_locked(
+            id, "cluster: request failed after " + std::to_string(attempts) +
+                    " attempts (no reachable worker)");
+      }
+      return;
+    }
+    const std::optional<WorkerEndpoint> owner = router_.owner_of(key);
+    if (!owner.has_value()) {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (pending_.find(id) != pending_.end()) {
+        finalize_error_locked(id, "cluster: no live workers");
+      }
+      return;
+    }
+    Channel* channel = get_or_create_channel(*owner);
+    if (channel == nullptr) {
+      // Unreachable worker: treat exactly like a death and burn one
+      // attempt, so a cluster of black holes converges on the error line
+      // instead of looping.
+      const bool first_observer = router_.mark_dead(owner->id);
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (first_observer) ++stats_.failovers;
+      const auto it = pending_.find(id);
+      if (it == pending_.end()) return;
+      ++it->second.attempts;
+      if (it->second.attempts > 1) ++stats_.retries;
+      continue;
+    }
+    if (send_run(channel, id)) return;
+    // The channel broke between lookup and send: route again.
+  }
+}
+
+bool RouterSession::send_run(Channel* channel, std::uint64_t id) {
+  const std::lock_guard<std::mutex> write_lock(channel->write_mutex);
+  std::string raw;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (channel->broken) return false;
+    const auto it = pending_.find(id);
+    if (it == pending_.end()) return true;  // finalized while routing
+    channel->fifo.push_back(id);
+    ++it->second.attempts;
+    ++stats_.forwarded;
+    if (it->second.attempts > 1) ++stats_.retries;
+    raw = it->second.raw_line;
+  }
+  if (!channel->stream->write_line(raw)) {
+    // The death handler steals the FIFO entry just pushed and reschedules
+    // (or finalizes) it - accounting is complete either way.
+    handle_channel_death(channel);
+  }
+  return true;
+}
+
+void RouterSession::send_stats(Channel* channel) {
+  const std::lock_guard<std::mutex> write_lock(channel->write_mutex);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (channel->broken) return;
+    channel->fifo.push_back(kStatsMarker);
+    ++fan_.awaiting;
+  }
+  if (!channel->stream->write_line("stats")) handle_channel_death(channel);
+}
+
+RouterSession::Channel* RouterSession::get_or_create_channel(
+    const WorkerEndpoint& worker) {
+  const std::lock_guard<std::mutex> lock(channels_mutex_);
+  const auto it = channels_.find(worker.id);
+  if (it != channels_.end()) return it->second.get();
+  std::unique_ptr<Stream> stream;
+  try {
+    stream = connect_socket(worker.host, worker.port, opt_.connect_timeout_ms);
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+  auto channel = std::make_unique<Channel>();
+  channel->worker_id = worker.id;
+  channel->stream = std::move(stream);
+  Channel* raw = channel.get();
+  channels_.emplace(worker.id, std::move(channel));
+  raw->reader = std::thread([this, raw] { channel_reader(raw); });
+  return raw;
+}
+
+bool RouterSession::handle_reply(Channel* channel, const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (channel->fifo.empty()) return false;  // reply with nothing in flight
+  const std::uint64_t front = channel->fifo.front();
+
+  if (front == kStatsMarker) {
+    CacheStats parsed;
+    if (!parse_stats_line(line, &parsed)) return false;
+    channel->fifo.pop_front();
+    fan_.collected.emplace_back(channel->worker_id, parsed);
+    --fan_.awaiting;
+    fan_cv_.notify_all();
+    return true;
+  }
+
+  std::uint64_t worker_wire_id = 0;
+  int retry_ms = 0;
+  if (parse_busy_line(line, &worker_wire_id, &retry_ms)) {
+    // The embedded id is the *worker's* wire id, not ours - FIFO position
+    // is the match. The router owns the retry (the client asked us, not
+    // the worker); only when attempts run out does the client see a busy
+    // line, re-written with its own id.
+    channel->fifo.pop_front();
+    ++stats_.busy_replies;
+    Pending& pending = pending_.at(front);
+    if (pending.attempts >= opt_.max_attempts) {
+      finalize_line_locked(front, format_busy_line(front, retry_ms), true);
+    } else {
+      schedule_retry_locked(
+          front, jittered_backoff_ms(pending.attempts, retry_ms, rng_));
+    }
+    return true;
+  }
+
+  channel->fifo.pop_front();
+  finalize_line_locked(front, line, false);
+  return true;
+}
+
+void RouterSession::channel_reader(Channel* channel) {
+  std::string line;
+  while (channel->stream->read_line(line)) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (channel->broken) return;  // death already handled elsewhere
+    }
+    if (!handle_reply(channel, line)) break;
+  }
+  handle_channel_death(channel);
+}
+
+void RouterSession::handle_channel_death(Channel* channel) {
+  std::deque<std::uint64_t> stolen;
+  bool was_closing = false;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (channel->broken) return;  // first observer wins
+    channel->broken = true;
+    stolen.swap(channel->fifo);
+    was_closing = closing_;
+  }
+  // A clean shutdown EOF (close_write drained the worker) is not a death:
+  // the worker stays on the ring for other sessions. Anything still on
+  // the FIFO means the connection dropped mid-flight - that *is* a death.
+  if (was_closing && stolen.empty()) return;
+  router_.mark_dead(channel->worker_id);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.failovers;
+  for (const std::uint64_t entry : stolen) {
+    if (entry == kStatsMarker) {
+      --fan_.awaiting;
+      fan_cv_.notify_all();
+      continue;
+    }
+    Pending& pending = pending_.at(entry);
+    if (pending.attempts >= opt_.max_attempts) {
+      finalize_error_locked(
+          entry, "cluster: request failed after " +
+                     std::to_string(pending.attempts) + " attempts (worker '" +
+                     channel->worker_id + "' died)");
+    } else {
+      schedule_retry_locked(
+          entry,
+          jittered_backoff_ms(pending.attempts, opt_.retry_base_ms, rng_));
+    }
+  }
+}
+
+void RouterSession::serve_stats(std::uint64_t id, bool unordered) {
+  // Cluster barrier: every preceding request has finalized, so each
+  // worker has completed (and replied to) everything this session sent
+  // it - their counters are quiescent with respect to this session.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    fan_.awaiting = 0;
+    fan_.collected.clear();
+  }
+  // Fan out to *every* live worker, not just ones this session has
+  // routed to: a shard's persisted entries count even when no request
+  // of ours has landed on it yet, and the single-process stats line the
+  // merge must reproduce counts all of them.
+  for (const std::string& worker_id : router_.live_workers()) {
+    Channel* channel = get_or_create_channel(router_.endpoints_.at(worker_id));
+    if (channel == nullptr) {
+      const bool first_observer = router_.mark_dead(worker_id);
+      if (first_observer) {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.failovers;
+      }
+      continue;
+    }
+    send_stats(channel);
+  }
+  std::string line;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    fan_cv_.wait(lock, [&] { return fan_.awaiting == 0; });
+    // Deterministic merge: sum in sorted worker order. Addition commutes,
+    // but the order is part of the contract so future non-commutative
+    // fields (or debugging output) stay reproducible.
+    std::sort(fan_.collected.begin(), fan_.collected.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    CacheStats merged;
+    for (const auto& [worker_id, shard] : fan_.collected) {
+      merged.hits += shard.hits;
+      merged.misses += shard.misses;
+      merged.evictions += shard.evictions;
+      merged.entries += shard.entries;
+      merged.in_flight += shard.in_flight;
+      merged.queued += shard.queued;
+      merged.rejected += shard.rejected;
+      merged.peak_queue += shard.peak_queue;
+      merged.max_queue += shard.max_queue;  // presence flag: any shard
+    }
+    line = format_stats_line(merged);
+  }
+  if (unordered) line = format_unordered_line(id, line);
+  push_text(id, std::move(line));
+}
+
+RouterSessionStats RouterSession::run() {
+  std::thread writer([&] {
+    std::vector<std::shared_ptr<Slot>> drained;
+    std::vector<std::string> batch;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_cv_.wait(lock, [&] {
+          return (!queue_.empty() && queue_.front()->ready) ||
+                 (finished_ && queue_.empty());
+        });
+        if (queue_.empty()) return;  // finished, everything written
+        // Cork every consecutively ready reply into one send, exactly
+        // like Session's writer - a pending head (ordered mode, shard
+        // still working) ends the batch.
+        while (!queue_.empty() && queue_.front()->ready) {
+          drained.push_back(std::move(queue_.front()));
+          queue_.pop_front();
+        }
+      }
+      for (const std::shared_ptr<Slot>& slot : drained) {
+        batch.push_back(std::move(slot->text));
+      }
+      drained.clear();
+      bool broken;
+      {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        broken = stream_broken_;
+      }
+      if (!broken) {
+        if (client_.write_lines(batch)) {
+          stats_.responses_written += batch.size();
+        } else {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          stream_broken_ = true;
+        }
+      }
+      batch.clear();
+    }
+  });
+
+  std::thread pump([&] {
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+      if (retries_.empty()) {
+        if (stop_retry_) return;
+        retry_cv_.wait(lock);
+        continue;
+      }
+      const auto earliest = std::min_element(
+          retries_.begin(), retries_.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      if (Clock::now() >= earliest->first) {
+        const std::uint64_t id = earliest->second;
+        retries_.erase(earliest);
+        lock.unlock();
+        resend(id);
+        lock.lock();
+      } else {
+        retry_cv_.wait_until(lock, earliest->first);
+      }
+    }
+  });
+
+  bool unordered = false;
+  bool in_frame = false;
+  int frame_expected = 0;
+  int frame_seen = 0;
+
+  std::string raw;
+  while (client_.read_line(raw)) {
+    ParsedLine parsed = parse_request_line(raw, opt_.backend, opt_.batch,
+                                           opt_.dilation,
+                                           opt_.depth_multiplier);
+    if (parsed.kind == ParsedLine::Kind::kEmpty) continue;
+
+    // Frame bookkeeping, byte-identical to Session::serve: frames are a
+    // client-to-router transport hint and never travel to workers.
+    if (in_frame) {
+      if (parsed.kind == ParsedLine::Kind::kBatchEnd) {
+        if (frame_seen < frame_expected) {
+          parsed.kind = ParsedLine::Kind::kError;
+          parsed.error = "batch-end after " + std::to_string(frame_seen) +
+                         " of " + std::to_string(frame_expected) +
+                         " frame lines";
+        }
+        in_frame = false;
+        if (parsed.kind == ParsedLine::Kind::kBatchEnd) continue;
+      } else if (frame_seen >= frame_expected) {
+        parsed.kind = ParsedLine::Kind::kError;
+        parsed.error = "expected batch-end after " +
+                       std::to_string(frame_expected) +
+                       " frame lines, got '" + raw + "'";
+        in_frame = false;
+      } else {
+        ++frame_seen;
+        if (parsed.kind == ParsedLine::Kind::kBatchBegin) {
+          parsed.kind = ParsedLine::Kind::kError;
+          parsed.error = "nested batch-begin inside a frame";
+        }
+      }
+    } else if (parsed.kind == ParsedLine::Kind::kBatchBegin) {
+      in_frame = true;
+      frame_expected = parsed.frame_size;
+      frame_seen = 0;
+      ++stats_.frames;
+      continue;
+    } else if (parsed.kind == ParsedLine::Kind::kBatchEnd) {
+      parsed.kind = ParsedLine::Kind::kError;
+      parsed.error = "batch-end outside a frame";
+    }
+
+    const std::uint64_t id = ++stats_.requests;
+
+    switch (parsed.kind) {
+      case ParsedLine::Kind::kError: {
+        ++stats_.protocol_errors;
+        std::string line = "protocol-error " + parsed.error;
+        if (unordered) line = format_unordered_line(id, line);
+        push_text(id, std::move(line));
+        break;
+      }
+      case ParsedLine::Kind::kMode: {
+        unordered = parsed.unordered && opt_.allow_unordered;
+        std::string line = unordered ? "mode unordered" : "mode ordered";
+        if (unordered) line = format_unordered_line(id, line);
+        push_text(id, std::move(line));
+        break;
+      }
+      case ParsedLine::Kind::kStats: {
+        serve_stats(id, unordered);
+        break;
+      }
+      case ParsedLine::Kind::kRun: {
+        ++stats_.runs;
+        auto slot = std::make_shared<Slot>();
+        slot->id = id;
+        {
+          const std::lock_guard<std::mutex> lock(mutex_);
+          ++outstanding_;
+          Pending pending;
+          pending.request = parsed.request;
+          pending.raw_line = raw;
+          pending.slot = slot;
+          pending.unordered = unordered;
+          pending_.emplace(id, std::move(pending));
+          if (!unordered) queue_.push_back(std::move(slot));
+        }
+        // The initial send is attempt 1 of the same bounded loop re-sends
+        // use - routing, connecting, and failure handling are one path.
+        resend(id);
+        break;
+      }
+      case ParsedLine::Kind::kEmpty:
+      case ParsedLine::Kind::kBatchBegin:
+      case ParsedLine::Kind::kBatchEnd:
+        break;  // unreachable; handled above
+    }
+  }
+
+  // EOF inside a frame - same truncation report as Session::serve.
+  if (in_frame) {
+    const std::uint64_t id = ++stats_.requests;
+    ++stats_.protocol_errors;
+    std::string line = "protocol-error batch frame truncated: got " +
+                       std::to_string(frame_seen) + " of " +
+                       std::to_string(frame_expected) +
+                       " lines before EOF (missing batch-end)";
+    if (unordered) line = format_unordered_line(id, line);
+    push_text(id, std::move(line));
+  }
+
+  // Drain: every forwarded request finalizes (reply, busy give-up, or
+  // error line) before shutdown - retries keep pumping until then, so a
+  // mid-drain worker death still reroutes rather than losing replies.
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return outstanding_ == 0; });
+    stop_retry_ = true;
+    closing_ = true;
+  }
+  retry_cv_.notify_all();
+  pump.join();
+
+  // Half-close every channel; each worker session drains and closes, the
+  // channel reader sees EOF and exits (not a death - `closing_` is set
+  // and the FIFOs are empty). No lock needed for the joins: channels are
+  // only created by this thread and the (now joined) retry pump.
+  {
+    const std::lock_guard<std::mutex> lock(channels_mutex_);
+    for (auto& [worker_id, channel] : channels_) {
+      channel->stream->close_write();
+    }
+  }
+  for (auto& [worker_id, channel] : channels_) {
+    channel->reader.join();
+  }
+
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    finished_ = true;
+  }
+  queue_cv_.notify_all();
+  writer.join();
+  return stats_;
+}
+
+RouterSessionStats ClusterRouter::serve(Stream& stream) {
+  RouterSession session(*this, stream);
+  return session.run();
+}
+
+std::size_t merge_cache_files(const std::vector<std::string>& shard_paths,
+                              const std::string& out_path) {
+  // One service big enough to hold every shard's entries; load_cache
+  // keeps already-resident keys, so the first file wins a collision
+  // (collisions are bit-identical when shards agree on the simulation,
+  // which deterministic workers guarantee).
+  ServiceOptions options;
+  options.worker_threads = 1;
+  options.cache_capacity = std::size_t{1} << 20;
+  SimulationService service(options);
+  for (const std::string& path : shard_paths) {
+    service.load_cache(path);  // missing shard files load as empty
+  }
+  return service.save_cache(out_path);
+}
+
+}  // namespace edea::service

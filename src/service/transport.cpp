@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -13,6 +14,7 @@
 #include <ostream>
 #include <utility>
 
+#include "util/backoff.hpp"
 #include "util/check.hpp"
 
 namespace edea::service {
@@ -245,6 +247,16 @@ std::unique_ptr<Stream> connect_socket(const std::string& host,
 
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::milliseconds(retry_ms);
+  // Jittered exponential backoff between attempts (25ms nominal base,
+  // capped at 4x): concurrent clients racing a server that is still
+  // binding spread their retries out instead of hammering in lockstep.
+  // The jitter is deliberately unseeded per call (clock-derived seed
+  // would break nothing, but determinism buys nothing here either);
+  // the deadline, not the schedule, bounds total waiting.
+  Rng rng(0x636f6e6e65637421ull ^ (static_cast<std::uint64_t>(port) << 16));
+  BackoffOptions policy;
+  policy.max_shift = 2;
+  int attempt = 0;
   for (;;) {
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) throw_errno("socket()");
@@ -254,12 +266,17 @@ std::unique_ptr<Stream> connect_socket(const std::string& host,
     }
     const int saved = errno;
     ::close(fd);
+    const auto now = std::chrono::steady_clock::now();
     const bool retryable = saved == ECONNREFUSED || saved == EINTR;
-    if (!retryable || std::chrono::steady_clock::now() >= deadline) {
+    if (!retryable || now >= deadline) {
       errno = saved;
       throw_errno("connect(" + numeric + ":" + std::to_string(port) + ")");
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const auto remaining =
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now);
+    const std::int64_t delay = std::min<std::int64_t>(
+        jittered_backoff_ms(++attempt, 25, rng, policy), remaining.count());
+    std::this_thread::sleep_for(std::chrono::milliseconds(std::max<std::int64_t>(1, delay)));
   }
 }
 

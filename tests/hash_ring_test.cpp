@@ -1,0 +1,165 @@
+// hash_ring_test - the consistent-hash ring the cluster router shards on
+// (service/hash_ring.hpp). Two properties carry the router's correctness
+// and its failover cost model, and both are pinned here: *balance* (with
+// enough virtual nodes every worker owns a comparable keyspace share) and
+// *minimal remapping* (removing one of N nodes reassigns only the dead
+// node's keys - roughly 1/N of the keyspace - while every surviving
+// node keeps exactly the keys it had, which is what keeps shard caches
+// warm through a failover).
+#include "service/hash_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/random.hpp"
+
+namespace edea::service {
+namespace {
+
+/// A deterministic spray of keys across the full 64-bit space.
+std::vector<std::uint64_t> sample_keys(std::size_t count) {
+  Rng rng(0x5eedull);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) keys.push_back(rng());
+  return keys;
+}
+
+TEST(HashRingTest, OwnerIsDeterministicAndAmongTheNodes) {
+  HashRing ring;
+  ring.add_node("shard0");
+  ring.add_node("shard1");
+  ring.add_node("shard2");
+  EXPECT_EQ(ring.node_count(), 3u);
+  for (const std::uint64_t key : sample_keys(256)) {
+    const std::string& owner = ring.owner(key);
+    EXPECT_TRUE(ring.contains(owner));
+    EXPECT_EQ(ring.owner(key), owner) << "same key, same owner";
+  }
+}
+
+TEST(HashRingTest, DefaultReplicasBalanceTheKeyspace) {
+  // With >= 64 virtual nodes per worker, no worker's share of a large
+  // random key sample strays past 2x the fair share - the bound the
+  // router's throughput scaling (bench_cluster_throughput) relies on.
+  ASSERT_GE(HashRing::kDefaultReplicas, 64);
+  for (const std::size_t nodes : {2u, 3u, 5u, 8u}) {
+    HashRing ring;
+    for (std::size_t n = 0; n < nodes; ++n) {
+      ring.add_node("shard" + std::to_string(n));
+    }
+    std::map<std::string, std::size_t> owned;
+    const std::vector<std::uint64_t> keys = sample_keys(20000);
+    for (const std::uint64_t key : keys) ++owned[ring.owner(key)];
+
+    const double fair = static_cast<double>(keys.size()) /
+                        static_cast<double>(nodes);
+    for (const auto& [node, count] : owned) {
+      EXPECT_GT(static_cast<double>(count), fair * 0.5)
+          << node << " of " << nodes << " owns too little";
+      EXPECT_LT(static_cast<double>(count), fair * 2.0)
+          << node << " of " << nodes << " owns too much";
+    }
+  }
+}
+
+TEST(HashRingTest, RemovingANodeRemapsOnlyItsOwnKeys) {
+  // The failover property: when shard1 of 4 dies, survivors keep every
+  // key they owned (warm caches stay warm), and exactly the dead node's
+  // keys - about 1/4 of the space - move, landing on survivors.
+  HashRing ring;
+  for (int n = 0; n < 4; ++n) ring.add_node("shard" + std::to_string(n));
+
+  const std::vector<std::uint64_t> keys = sample_keys(20000);
+  std::vector<std::string> before;
+  before.reserve(keys.size());
+  for (const std::uint64_t key : keys) before.push_back(ring.owner(key));
+
+  ASSERT_TRUE(ring.remove_node("shard1"));
+  std::size_t remapped = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string& now = ring.owner(keys[i]);
+    if (before[i] == "shard1") {
+      EXPECT_NE(now, "shard1");
+      ++remapped;
+    } else {
+      EXPECT_EQ(now, before[i])
+          << "a survivor's key moved - failover would cold-start it";
+    }
+  }
+  // The dead node owned ~1/4 of the sample (balance gives +/- slack).
+  EXPECT_GT(remapped, keys.size() / 8);
+  EXPECT_LT(remapped, keys.size() / 2);
+}
+
+TEST(HashRingTest, AddingANodeStealsOnlyTheKeysItNowOwns) {
+  // The converse direction, same invariant: growth only moves keys onto
+  // the new node, never between old nodes.
+  HashRing ring;
+  for (int n = 0; n < 3; ++n) ring.add_node("shard" + std::to_string(n));
+  const std::vector<std::uint64_t> keys = sample_keys(20000);
+  std::vector<std::string> before;
+  before.reserve(keys.size());
+  for (const std::uint64_t key : keys) before.push_back(ring.owner(key));
+
+  ring.add_node("shard3");
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const std::string& now = ring.owner(keys[i]);
+    if (now != before[i]) {
+      EXPECT_EQ(now, "shard3")
+          << "keys may move only onto the newly added node";
+    }
+  }
+}
+
+TEST(HashRingTest, RemovalIsInsensitiveToInsertionOrder) {
+  // Ring placement depends only on the (id, replica) hashes, so the same
+  // membership reached by different histories routes identically - this
+  // is what makes ring ids stable across router restarts.
+  HashRing forward, reverse;
+  const std::vector<std::string> ids = {"alpha", "beta", "gamma", "delta"};
+  for (const std::string& id : ids) forward.add_node(id);
+  for (auto it = ids.rbegin(); it != ids.rend(); ++it) reverse.add_node(*it);
+  ASSERT_TRUE(forward.remove_node("beta"));
+  ASSERT_TRUE(reverse.remove_node("beta"));
+  for (const std::uint64_t key : sample_keys(4096)) {
+    EXPECT_EQ(forward.owner(key), reverse.owner(key));
+  }
+}
+
+TEST(HashRingTest, MembershipEdgeCasesAreStrict) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_THROW((void)ring.owner(1), PreconditionError)
+      << "an empty ring has no owner to return";
+  EXPECT_THROW(ring.add_node(""), PreconditionError);
+
+  ring.add_node("only");
+  EXPECT_THROW(ring.add_node("only"), PreconditionError);
+  EXPECT_EQ(ring.owner(0), "only");
+  EXPECT_EQ(ring.owner(~std::uint64_t{0}), "only")
+      << "wrap-around past the last point lands on the first";
+
+  EXPECT_FALSE(ring.remove_node("never-added"));
+  EXPECT_TRUE(ring.remove_node("only"));
+  EXPECT_FALSE(ring.remove_node("only")) << "second removal reports absent";
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(HashRingTest, ReplicaCountIsValidated) {
+  EXPECT_THROW(HashRing(0), PreconditionError);
+  EXPECT_THROW(HashRing(-3), PreconditionError);
+  HashRing small(1);
+  small.add_node("a");
+  small.add_node("b");
+  EXPECT_EQ(small.node_count(), 2u);
+  EXPECT_EQ(small.replicas(), 1);
+}
+
+}  // namespace
+}  // namespace edea::service

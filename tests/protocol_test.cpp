@@ -550,6 +550,116 @@ TEST(ProtocolFormatTest, StatsLineGrowsAdmissionFieldsOnlyWhenBounded) {
             "queued=0 rejected=0 peak_queue=0");
 }
 
+TEST(ProtocolParseTest, BusyLineParsesStrictlyAsTheFormatterInverse) {
+  std::uint64_t id = 0;
+  int retry_ms = 0;
+  ASSERT_TRUE(parse_busy_line("busy id=7 retry_ms=25", &id, &retry_ms));
+  EXPECT_EQ(id, 7u);
+  EXPECT_EQ(retry_ms, 25);
+  ASSERT_TRUE(parse_busy_line(format_busy_line(18446744073709551615ull, 1),
+                              &id, &retry_ms));
+  EXPECT_EQ(id, 18446744073709551615ull);
+  EXPECT_EQ(retry_ms, 1);
+
+  // Strictness: the grammar is exactly what format_busy_line emits.
+  for (const char* bad :
+       {"busy", "busy id=7", "busy id=7 retry_ms=", "busy id= retry_ms=25",
+        "busy id=7 retry_ms=25 extra", "busy id=7  retry_ms=25",
+        "busy id=x retry_ms=25", "busy id=7 retry_ms=2.5",
+        "busy id=7 retry_ms=-1", "Busy id=7 retry_ms=25",
+        "busy id=18446744073709551616 retry_ms=25",
+        "busy id=7 retry_ms=9999999999999"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_FALSE(parse_busy_line(bad, &id, &retry_ms));
+  }
+}
+
+TEST(ProtocolParseTest, UnorderedLineParsesStrictlyAsThePrefixInverse) {
+  std::uint64_t id = 0;
+  std::string rest;
+  ASSERT_TRUE(parse_unordered_line("id=42 ok edeanet-64@7 cache=hit", &id,
+                                   &rest));
+  EXPECT_EQ(id, 42u);
+  EXPECT_EQ(rest, "ok edeanet-64@7 cache=hit");
+  ASSERT_TRUE(
+      parse_unordered_line(format_unordered_line(3, "stats hits=0"), &id,
+                           &rest));
+  EXPECT_EQ(id, 3u);
+  EXPECT_EQ(rest, "stats hits=0");
+
+  for (const char* bad :
+       {"", "id=", "id=7", "id=7x ok", "id= ok", "id =7 ok", "Id=7 ok",
+        "7 ok", "id=18446744073709551616 ok"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_FALSE(parse_unordered_line(bad, &id, &rest));
+  }
+  // The payload may itself be empty-ish after the single separator space.
+  ASSERT_TRUE(parse_unordered_line("id=7 x", &id, &rest));
+  EXPECT_EQ(rest, "x");
+}
+
+TEST(ProtocolParseTest, StatsLineParsesBothShapesAsTheFormatterInverse) {
+  CacheStats stats;
+  ASSERT_TRUE(parse_stats_line(
+      "stats hits=3 misses=9 evictions=1 entries=8 inflight=2", &stats));
+  EXPECT_EQ(stats.hits, 3u);
+  EXPECT_EQ(stats.misses, 9u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.entries, 8u);
+  EXPECT_EQ(stats.in_flight, 2u);
+  EXPECT_EQ(stats.max_queue, 0u) << "no admission trio, no bound";
+  EXPECT_EQ(stats.queued, 0u);
+
+  ASSERT_TRUE(parse_stats_line(
+      "stats hits=3 misses=9 evictions=1 entries=8 inflight=2 "
+      "queued=1 rejected=37 peak_queue=2",
+      &stats));
+  EXPECT_EQ(stats.queued, 1u);
+  EXPECT_EQ(stats.rejected, 37u);
+  EXPECT_EQ(stats.peak_queue, 2u);
+  // The wire does not carry the bound itself; max_queue=1 is the parser's
+  // presence flag, so a format -> parse -> format round trip keeps the
+  // admission trio (format emits it whenever max_queue != 0).
+  EXPECT_EQ(stats.max_queue, 1u);
+  EXPECT_EQ(format_stats_line(stats),
+            "stats hits=3 misses=9 evictions=1 entries=8 inflight=2 "
+            "queued=1 rejected=37 peak_queue=2");
+
+  for (const char* bad :
+       {"stats", "stats hits=3", "stat hits=3 misses=9 evictions=1 entries=8",
+        "stats hits=3 misses=9 evictions=1 entries=8 inflight=2 queued=1",
+        "stats hits=3 misses=9 evictions=1 entries=8 inflight=2 queued=1 "
+        "rejected=2",
+        "stats hits=3 misses=9 evictions=1 entries=8 inflight=2 extra=1",
+        "stats hits=-1 misses=9 evictions=1 entries=8 inflight=2",
+        "stats hits=3 misses=9 evictions=1 entries=8 inflight=2 ",
+        "stats misses=9 hits=3 evictions=1 entries=8 inflight=2"}) {
+    SCOPED_TRACE(bad);
+    EXPECT_FALSE(parse_stats_line(bad, &stats));
+  }
+}
+
+TEST(ProtocolRoundTripTest, ReplyParsersInvertTheFormattersForAnyCounts) {
+  // Round-trip a spread of values through each formatter/parser pair.
+  for (const std::uint64_t id : {1ull, 999ull, 1ull << 40}) {
+    for (const int retry : {1, 25, 10000}) {
+      std::uint64_t got_id = 0;
+      int got_retry = 0;
+      ASSERT_TRUE(parse_busy_line(format_busy_line(id, retry), &got_id,
+                                  &got_retry));
+      EXPECT_EQ(got_id, id);
+      EXPECT_EQ(got_retry, retry);
+    }
+    std::uint64_t got_id = 0;
+    std::string rest;
+    ASSERT_TRUE(parse_unordered_line(
+        format_unordered_line(id, "error x@1 msg=boom cache=miss"), &got_id,
+        &rest));
+    EXPECT_EQ(got_id, id);
+    EXPECT_EQ(rest, "error x@1 msg=boom cache=miss");
+  }
+}
+
 TEST(ProtocolRoundTripTest, IdenticalRequestLinesYieldIdenticalKeys) {
   const ParsedLine a = parse_request_line("run edeanet-64 seed=7 td=16");
   const ParsedLine b = parse_request_line("run edeanet-64 td=16 seed=7");

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "service/client_cli.hpp"
+#include "service/router_cli.hpp"
 
 namespace edea::service {
 namespace {
@@ -297,6 +298,146 @@ TEST(ClientCliTest, PipelineWindowIsBoundedByTheFrameLimit) {
   EXPECT_TRUE(parse_client({"--connect", "h:1", "--pipeline", "8",
                             "--ordered"})
                   .error.empty());
+}
+
+RouterCliConfig parse_router(const std::vector<const char*>& args) {
+  return parse_router_args(static_cast<int>(args.size()), args.data());
+}
+
+TEST(RouterCliTest, HelpTextMentionsEveryDocumentedFlag) {
+  const std::string usage = router_usage();
+  for (const char* flag :
+       {"--help", "--spawn", "--worker", "--server-bin", "--cache-file",
+        "--replicas", "--retry-attempts", "--listen", "--max-sessions",
+        "--backend", "--batch", "--dilation", "--depth-multiplier",
+        "--ordered"}) {
+    SCOPED_TRACE(flag);
+    EXPECT_NE(usage.find(flag), std::string::npos)
+        << "flag missing from simulation_router --help output";
+  }
+}
+
+TEST(RouterCliTest, DefaultsMatchTheRouterDefaults) {
+  const RouterCliConfig config = parse_router({"--spawn", "2"});
+  EXPECT_TRUE(config.error.empty()) << config.error;
+  EXPECT_EQ(config.spawn, 2);
+  EXPECT_TRUE(config.workers.empty());
+  EXPECT_TRUE(config.server_bin.empty());
+  EXPECT_TRUE(config.cache_file.empty());
+  EXPECT_EQ(config.replicas, HashRing::kDefaultReplicas);
+  EXPECT_EQ(config.max_attempts, RouterOptions().max_attempts);
+  EXPECT_FALSE(config.listen);
+  EXPECT_EQ(config.max_sessions, 0u);
+  EXPECT_EQ(config.backend, "edea");
+  EXPECT_EQ(config.batch, 1);
+  EXPECT_EQ(config.dilation, 1);
+  EXPECT_EQ(config.depth_multiplier, 1);
+  EXPECT_FALSE(config.ordered);
+}
+
+TEST(RouterCliTest, EveryFlagParses) {
+  const RouterCliConfig config = parse_router(
+      {"--spawn", "4", "--server-bin", "/opt/bin/worker", "--cache-file",
+       "/tmp/cluster.cache", "--replicas", "128", "--retry-attempts", "9",
+       "--listen", "47167", "--max-sessions", "3", "--backend", "edea",
+       "--batch", "2", "--dilation", "2", "--depth-multiplier", "3",
+       "--ordered"});
+  EXPECT_TRUE(config.error.empty()) << config.error;
+  EXPECT_EQ(config.spawn, 4);
+  EXPECT_EQ(config.server_bin, "/opt/bin/worker");
+  EXPECT_EQ(config.cache_file, "/tmp/cluster.cache");
+  EXPECT_EQ(config.replicas, 128);
+  EXPECT_EQ(config.max_attempts, 9);
+  EXPECT_TRUE(config.listen);
+  EXPECT_EQ(config.port, 47167);
+  EXPECT_EQ(config.max_sessions, 3u);
+  EXPECT_EQ(config.batch, 2);
+  EXPECT_EQ(config.dilation, 2);
+  EXPECT_EQ(config.depth_multiplier, 3);
+  EXPECT_TRUE(config.ordered);
+}
+
+TEST(RouterCliTest, WorkerEndpointsParseStrictlyAsHostColonPort) {
+  const RouterCliConfig two = parse_router(
+      {"--worker", "127.0.0.1:4000", "--worker", "localhost:4001"});
+  EXPECT_TRUE(two.error.empty()) << two.error;
+  ASSERT_EQ(two.workers.size(), 2u);
+  EXPECT_EQ(two.workers[0].id, "127.0.0.1:4000")
+      << "the given string is the stable ring id";
+  EXPECT_EQ(two.workers[0].host, "127.0.0.1");
+  EXPECT_EQ(two.workers[0].port, 4000);
+  EXPECT_EQ(two.workers[1].host, "localhost");
+  EXPECT_EQ(two.workers[1].port, 4001);
+
+  for (const char* bad :
+       {"", "noport", "host:", ":4000", "host:0", "host:65536", "host:-1",
+        "host:40x0", "host: 4000", "host:4000x"}) {
+    SCOPED_TRACE(std::string("endpoint '") + bad + "'");
+    const RouterCliConfig config = parse_router({"--worker", bad});
+    EXPECT_FALSE(config.error.empty());
+    EXPECT_NE(config.error.find("HOST:PORT"), std::string::npos)
+        << config.error;
+  }
+  EXPECT_FALSE(parse_router({"--worker"}).error.empty());
+
+  const RouterCliConfig dup = parse_router(
+      {"--worker", "h:4000", "--worker", "h:4000"});
+  EXPECT_NE(dup.error.find("given twice"), std::string::npos) << dup.error;
+}
+
+TEST(RouterCliTest, SpawnAndReplicasShareTheDigitFirstBoundedGrammar) {
+  for (const char* bad : {"0", "-1", "+2", "2x", "abc", "65", ""}) {
+    SCOPED_TRACE(std::string("spawn '") + bad + "'");
+    EXPECT_FALSE(parse_router({"--spawn", bad}).error.empty());
+  }
+  EXPECT_FALSE(parse_router({"--spawn"}).error.empty());
+  EXPECT_TRUE(parse_router({"--spawn", "64"}).error.empty());
+
+  for (const char* bad : {"0", "-1", "+64", "64x", "65537", ""}) {
+    SCOPED_TRACE(std::string("replicas '") + bad + "'");
+    EXPECT_FALSE(
+        parse_router({"--spawn", "2", "--replicas", bad}).error.empty());
+  }
+  EXPECT_TRUE(
+      parse_router({"--spawn", "2", "--replicas", "65536"}).error.empty());
+  for (const char* bad : {"0", "-1", "3x", ""}) {
+    SCOPED_TRACE(std::string("retry-attempts '") + bad + "'");
+    EXPECT_FALSE(parse_router({"--spawn", "2", "--retry-attempts", bad})
+                     .error.empty());
+  }
+}
+
+TEST(RouterCliTest, ContradictoryAndIncompleteInvocationsAreRejected) {
+  // Two membership sources would make ring ids ambiguous.
+  const RouterCliConfig both = parse_router(
+      {"--spawn", "2", "--worker", "h:4000"});
+  EXPECT_NE(both.error.find("mutually exclusive"), std::string::npos)
+      << both.error;
+
+  // No membership source at all.
+  const RouterCliConfig none = parse_router({});
+  EXPECT_NE(none.error.find("need workers"), std::string::npos) << none.error;
+
+  // Spawn-only flags without --spawn.
+  EXPECT_FALSE(parse_router({"--worker", "h:4000", "--server-bin", "/b"})
+                   .error.empty());
+  EXPECT_FALSE(parse_router({"--worker", "h:4000", "--cache-file", "/c"})
+                   .error.empty());
+
+  // --max-sessions is a socket-mode knob.
+  EXPECT_FALSE(parse_router({"--spawn", "2", "--max-sessions", "1"})
+                   .error.empty());
+  EXPECT_TRUE(parse_router({"--spawn", "2", "--listen", "0",
+                            "--max-sessions", "1"})
+                  .error.empty());
+
+  const RouterCliConfig unknown = parse_router({"--spawn", "2", "--nope"});
+  EXPECT_NE(unknown.error.find("unknown option"), std::string::npos)
+      << unknown.error;
+
+  // --help short-circuits validation, like the server CLI.
+  EXPECT_TRUE(parse_router({"--help"}).error.empty());
+  EXPECT_TRUE(parse_router({"--help"}).help);
 }
 
 }  // namespace
